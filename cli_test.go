@@ -1,0 +1,219 @@
+package persistcc_test
+
+// End-to-end test of the command-line toolchain: build the binaries with
+// `go build`, then drive the full pipeline the README documents —
+// assemble → link → run (persistently, twice) → inspect the database —
+// as a user would from a shell.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runTool(t *testing.T, dir, name string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	var so, se strings.Builder
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return so.String(), se.String(), code
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(work, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("lib.s", `
+.text
+.global square
+square:
+	mul a0, a0, a0
+	ret
+`)
+	write("main.s", `
+.text
+.global _start
+_start:
+	movi a0, 6
+	call square
+	mv   t0, a0
+	movi a0, 2
+	movi a1, 1
+	la   a2, msg
+	movi a3, 4
+	sys
+	mv   a1, t0
+	movi a0, 1
+	sys
+	halt
+.data
+msg: .ascii "ok!\n"
+`)
+
+	// Assemble.
+	for _, src := range []string{"lib.s", "main.s"} {
+		if out, se, code := runTool(t, bin, "pcc-asm", filepath.Join(work, src)); code != 0 {
+			t.Fatalf("pcc-asm %s failed (%d): %s%s", src, code, out, se)
+		}
+	}
+	// Link library and executable.
+	if _, se, code := runTool(t, bin, "pcc-ld", "-lib", "-o", filepath.Join(work, "libsq.so"),
+		"-name", "libsq.so", filepath.Join(work, "lib.vxo")); code != 0 {
+		t.Fatalf("pcc-ld lib failed: %s", se)
+	}
+	if _, se, code := runTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
+		"-L", filepath.Join(work, "libsq.so"), filepath.Join(work, "main.vxo")); code != 0 {
+		t.Fatalf("pcc-ld exe failed: %s", se)
+	}
+
+	// Disassemble: the cross-module call shows as loader-patched.
+	dump, se, code := runTool(t, bin, "pcc-objdump", filepath.Join(work, "main.vxe"))
+	if code != 0 {
+		t.Fatalf("pcc-objdump failed: %s", se)
+	}
+	if !strings.Contains(dump, "loader-patched PC32 -> square") {
+		t.Errorf("objdump missing patched-call annotation:\n%s", dump)
+	}
+
+	// First persistent run: exit code 36, translates and commits.
+	db := filepath.Join(work, "db")
+	so, se, code := runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	if code != 36 {
+		t.Fatalf("first run exit %d, want 36\n%s", code, se)
+	}
+	if so != "ok!\n" {
+		t.Errorf("stdout %q", so)
+	}
+	st1 := parseStats(t, se)
+	if st1.Stats.TracesTranslated == 0 {
+		t.Error("first run translated nothing")
+	}
+
+	// Second run: full reuse, zero translation.
+	so, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	if code != 36 || so != "ok!\n" {
+		t.Fatalf("second run: exit %d stdout %q", code, so)
+	}
+	st2 := parseStats(t, se)
+	if st2.Stats.TracesTranslated != 0 || st2.Stats.TracesReused == 0 {
+		t.Errorf("second run: translated %d, reused %d", st2.Stats.TracesTranslated, st2.Stats.TracesReused)
+	}
+	if st2.Stats.Ticks >= st1.Stats.Ticks {
+		t.Errorf("persistence did not pay: %d >= %d ticks", st2.Stats.Ticks, st1.Stats.Ticks)
+	}
+
+	// Database inspection.
+	listOut, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "list")
+	if code != 0 || !strings.Contains(listOut, "main") {
+		t.Errorf("cachectl list (%d): %s%s", code, listOut, se)
+	}
+	if _, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
+		t.Errorf("cachectl verify failed: %s", se)
+	}
+
+	// Rebuilding the binary (new mtime/content) must invalidate the cache
+	// but still run correctly.
+	write("main.s", `
+.text
+.global _start
+_start:
+	movi a0, 7
+	call square
+	mv   a1, a0
+	movi a0, 1
+	sys
+	halt
+`)
+	runTool(t, bin, "pcc-asm", filepath.Join(work, "main.s"))
+	runTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
+		"-L", filepath.Join(work, "libsq.so"), filepath.Join(work, "main.vxo"))
+	_, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	if code != 49 {
+		t.Fatalf("rebuilt run exit %d, want 49\n%s", code, se)
+	}
+	st3 := parseStats(t, se)
+	if st3.Stats.TracesTranslated == 0 {
+		t.Error("modified binary must be re-translated")
+	}
+}
+
+type cliStats struct {
+	ExitCode uint64
+	Stats    struct {
+		Ticks            uint64
+		TracesTranslated uint64
+		TracesReused     uint64
+	}
+}
+
+func parseStats(t *testing.T, stderr string) *cliStats {
+	t.Helper()
+	i := strings.Index(stderr, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in stderr: %q", stderr)
+	}
+	var st cliStats
+	dec := json.NewDecoder(strings.NewReader(stderr[i:]))
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v\n%s", err, stderr)
+	}
+	return &st
+}
+
+func TestCLIWorkloadAndBenchList(t *testing.T) {
+	bin := buildTools(t)
+	out, se, code := runTool(t, bin, "pcc-bench", "-list")
+	if code != 0 {
+		t.Fatalf("pcc-bench -list failed: %s", se)
+	}
+	for _, id := range []string{"fig2a", "fig5a", "table3a", "oracle", "warmup"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("bench list missing %s", id)
+		}
+	}
+	dir := t.TempDir()
+	out, se, code = runTool(t, bin, "pcc-workload", "-suite", "oracle", "-out", dir)
+	if code != 0 {
+		t.Fatalf("pcc-workload failed: %s", se)
+	}
+	if !strings.Contains(out, "wrote 1 programs") {
+		t.Errorf("workload output: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Error("manifest missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "oracle.vxe")); err != nil {
+		t.Error("oracle.vxe missing")
+	}
+}

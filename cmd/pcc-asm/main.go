@@ -1,0 +1,42 @@
+// Command pcc-asm assembles VR64 assembly source into a relocatable VXO
+// object file.
+//
+// Usage:
+//
+//	pcc-asm [-o out.vxo] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"persistcc/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output object path (default: source name with .vxo)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-asm [-o out.vxo] file.s")
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+	f, err := asm.AssembleFile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcc-asm:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(src, filepath.Ext(src)) + ".vxo"
+	}
+	if err := f.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "pcc-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d text bytes, %d data bytes, %d symbols, %d relocs\n",
+		path, len(f.Text), len(f.Data), len(f.Symbols), len(f.Relocs))
+}

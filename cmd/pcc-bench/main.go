@@ -1,0 +1,68 @@
+// Command pcc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pcc-bench -list                 # list experiment ids
+//	pcc-bench                       # run the full evaluation
+//	pcc-bench -run fig5a,table3a    # run selected experiments
+//	pcc-bench -out results.txt      # additionally write the reports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"persistcc/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	out := flag.String("out", "", "also write the reports to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var entries []experiments.Entry
+	if *runIDs == "" {
+		entries = experiments.Registry
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pcc-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	var sb strings.Builder
+	for _, e := range entries {
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcc-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		text := rep.String()
+		fmt.Print(text)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		sb.WriteString(text)
+		sb.WriteString("\n")
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pcc-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

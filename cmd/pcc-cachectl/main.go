@@ -1,0 +1,104 @@
+// Command pcc-cachectl inspects and maintains a persistent code cache
+// database.
+//
+// Usage:
+//
+//	pcc-cachectl -dir DB list            # list cache entries
+//	pcc-cachectl -dir DB show FILE       # per-module/trace detail
+//	pcc-cachectl -dir DB verify          # integrity-check every cache file
+//	pcc-cachectl -dir DB prune           # drop entries whose files are gone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"persistcc/internal/core"
+	"persistcc/internal/stats"
+)
+
+func main() {
+	dir := flag.String("dir", "", "cache database directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl -dir DB {list|show FILE|verify|prune}")
+		os.Exit(2)
+	}
+	mgr, err := core.NewManager(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch flag.Arg(0) {
+	case "list":
+		entries, err := mgr.Entries()
+		if err != nil {
+			fatal(err)
+		}
+		tb := stats.NewTable("", "file", "application", "traces", "code pool", "data pool", "app key", "tool key")
+		for _, e := range entries {
+			tb.AddRow(e.File, e.AppPath, fmt.Sprintf("%d", e.Traces),
+				stats.Bytes(e.CodePool), stats.Bytes(e.DataPool), e.App[:8], e.Tool[:8])
+		}
+		fmt.Print(tb.Render())
+	case "show":
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("show needs a cache file name"))
+		}
+		cf, err := core.ReadCacheFile(filepath.Join(*dir, flag.Arg(1)))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("application: %s (key %s)\nVM key: %s\ntool key: %s\n",
+			cf.AppPath, cf.AppKey, cf.VMKey, cf.ToolKey)
+		fmt.Printf("pools: code %s, data %s\n", stats.Bytes(cf.CodePool), stats.Bytes(cf.DataPool))
+		tb := stats.NewTable("mappings", "path", "base", "size", "mtime", "key")
+		for _, m := range cf.Modules {
+			tb.AddRow(m.Path, fmt.Sprintf("%#x", m.Base), stats.Bytes(uint64(m.Size)),
+				fmt.Sprintf("%d", m.MTime), m.Key.String())
+		}
+		fmt.Print(tb.Render())
+		perModule := make(map[int32]int)
+		insts := 0
+		for _, t := range cf.Traces {
+			perModule[t.Module]++
+			insts += len(t.Insts)
+		}
+		fmt.Printf("traces: %d (%d instructions)\n", len(cf.Traces), insts)
+		for mi, n := range perModule {
+			fmt.Printf("  %-24s %d traces\n", cf.Modules[mi].Path, n)
+		}
+	case "verify":
+		entries, err := mgr.Entries()
+		if err != nil {
+			fatal(err)
+		}
+		bad := 0
+		for _, e := range entries {
+			if _, err := core.ReadCacheFile(filepath.Join(*dir, e.File)); err != nil {
+				fmt.Printf("BAD  %s: %v\n", e.File, err)
+				bad++
+			} else {
+				fmt.Printf("OK   %s\n", e.File)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+	case "prune":
+		rep, err := mgr.Prune()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pruned: %d stale index entries dropped, %d orphan cache files removed\n",
+			rep.DroppedEntries, rep.RemovedFiles)
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", flag.Arg(0)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc-cachectl:", err)
+	os.Exit(1)
+}

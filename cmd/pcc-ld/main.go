@@ -1,0 +1,83 @@
+// Command pcc-ld links relocatable VXO objects into an executable or a
+// shared library.
+//
+// Usage:
+//
+//	pcc-ld -o prog.vxe [-lib] [-entry sym] [-L dep.vxl]... obj.vxo...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"persistcc/internal/link"
+	"persistcc/internal/obj"
+)
+
+type multi []string
+
+func (m *multi) String() string     { return fmt.Sprint(*m) }
+func (m *multi) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	out := flag.String("o", "", "output path (required); the module name is its base name")
+	isLib := flag.Bool("lib", false, "produce a shared library instead of an executable")
+	entry := flag.String("entry", "", "entry symbol (executables; default _start)")
+	name := flag.String("name", "", "module name (default: base of -o)")
+	var deps multi
+	flag.Var(&deps, "L", "library dependency (repeatable)")
+	flag.Parse()
+	if *out == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-ld -o out [-lib] [-entry sym] [-L dep]... obj.vxo...")
+		os.Exit(2)
+	}
+
+	var objects []*obj.File
+	for _, p := range flag.Args() {
+		f, err := obj.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		objects = append(objects, f)
+	}
+	var libs []*obj.File
+	for _, p := range deps {
+		f, err := obj.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		libs = append(libs, f)
+	}
+	kind := obj.KindExec
+	if *isLib {
+		kind = obj.KindLib
+	}
+	modName := *name
+	if modName == "" {
+		modName = baseName(*out)
+	}
+	f, err := link.Link(link.Input{Name: modName, Kind: kind, Objects: objects, Libs: libs, Entry: *entry})
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s, %d text bytes, %d exports, %d dynamic relocs, needs %v\n",
+		*out, f.Kind, len(f.Text), len(f.Exports), len(f.DynRelocs), f.Needed)
+}
+
+func baseName(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc-ld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Command pcc-objdump disassembles and inspects VXO files.
+//
+// Usage:
+//
+//	pcc-objdump [-notext] [-nodata] [-norelocs] file.vxo...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"persistcc/internal/obj"
+	"persistcc/internal/objdump"
+)
+
+func main() {
+	noText := flag.Bool("notext", false, "skip the text disassembly")
+	noData := flag.Bool("nodata", false, "skip the data hexdump")
+	noRelocs := flag.Bool("norelocs", false, "skip relocation/symbol tables")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-objdump [flags] file.vxo...")
+		os.Exit(2)
+	}
+	opts := objdump.Options{NoText: *noText, NoData: *noData, NoRelocs: *noRelocs}
+	for i, path := range flag.Args() {
+		if i > 0 {
+			fmt.Println()
+		}
+		f, err := obj.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcc-objdump:", err)
+			os.Exit(1)
+		}
+		if err := objdump.Dump(os.Stdout, f, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "pcc-objdump:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command pcc-run executes a VR64 executable — natively (interpreted) or
+// under the run-time compilation system, optionally with instrumentation
+// and persistent code caching.
+//
+// Usage:
+//
+//	pcc-run [flags] prog.vxe
+//
+// Library dependencies are resolved by module name from the directories
+// given with -libpath (default: the executable's directory), expecting a
+// file named exactly like the module (e.g. "libgui.so").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"persistcc/internal/core"
+	"persistcc/internal/instr"
+	"persistcc/internal/loader"
+	"persistcc/internal/obj"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+)
+
+func main() {
+	native := flag.Bool("native", false, "interpret the original program (no translation)")
+	toolName := flag.String("tool", "", "instrumentation tool: bbcount, bbcount-inst, memtrace, opcodemix, codecov, codecov-inst")
+	persistDir := flag.String("persist", "", "persistent cache database directory (enables persistence)")
+	interApp := flag.Bool("interapp", false, "fall back to another application's cache")
+	reloc := flag.Bool("reloc", false, "enable relocatable translations")
+	inputStr := flag.String("input", "", "comma-separated input words for the guest input block")
+	libpath := flag.String("libpath", "", "colon-separated library search path (default: exe dir)")
+	aslr := flag.Uint64("aslr", 0, "ASLR seed (non-zero enables randomized library bases)")
+	hashed := flag.Bool("hashed", false, "hashed library placement (stable across applications)")
+	showStats := flag.Bool("stats", false, "print the run's cost breakdown")
+	maxInsts := flag.Uint64("maxinsts", 0, "instruction budget (0 = default)")
+	trace := flag.Uint64("trace", 0, "log the first N executed instructions to stderr")
+	jsonOut := flag.Bool("json", false, "print machine-readable run statistics to stderr")
+	smc := flag.Bool("smc", false, "detect self-modifying code (flush the cache on writes to translated pages)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-run [flags] prog.vxe")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	exePath := flag.Arg(0)
+	exe, err := obj.ReadFile(exePath)
+	if err != nil {
+		fatal(err)
+	}
+	dirs := []string{filepath.Dir(exePath)}
+	if *libpath != "" {
+		dirs = strings.Split(*libpath, ":")
+	}
+	cfg := loader.Config{
+		MTime: mtimeOf(exePath),
+		Resolve: func(name string) (*obj.File, int64, error) {
+			for _, d := range dirs {
+				p := filepath.Join(d, name)
+				if f, err := obj.ReadFile(p); err == nil {
+					return f, mtimeOf(p), nil
+				}
+			}
+			return nil, 0, fmt.Errorf("library %s not found in %v", name, dirs)
+		},
+	}
+	switch {
+	case *aslr != 0:
+		cfg.Placement = loader.PlaceASLR
+		cfg.ASLRSeed = *aslr
+	case *hashed:
+		cfg.Placement = loader.PlaceHashed
+	}
+
+	proc, err := loader.Load(exe, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var opts []vm.Option
+	var tool vm.Tool
+	if *toolName != "" {
+		tool = instr.ByName(*toolName)
+		if tool == nil {
+			fatal(fmt.Errorf("unknown tool %q", *toolName))
+		}
+		opts = append(opts, vm.WithTool(tool))
+	}
+	if *inputStr != "" {
+		var words []uint64
+		for _, f := range strings.Split(*inputStr, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input word %q: %v", f, err))
+			}
+			words = append(words, v)
+		}
+		opts = append(opts, vm.WithInput(words))
+	}
+	if *maxInsts > 0 {
+		opts = append(opts, vm.WithMaxInsts(*maxInsts))
+	}
+	if *trace > 0 {
+		opts = append(opts, vm.WithExecLog(os.Stderr, *trace))
+	}
+	if *smc {
+		opts = append(opts, vm.WithSMCDetection())
+	}
+	v := vm.New(proc, opts...)
+
+	var mgr *core.Manager
+	if *persistDir != "" {
+		var mopts []core.ManagerOption
+		if *reloc {
+			mopts = append(mopts, core.WithRelocatable())
+		}
+		mgr, err = core.NewManager(*persistDir, mopts...)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := mgr.Prime(v)
+		if err == core.ErrNoCache && *interApp {
+			rep, err = mgr.PrimeInterApp(v)
+		}
+		if err != nil && err != core.ErrNoCache {
+			fatal(err)
+		}
+		if rep.Found {
+			fmt.Fprintf(os.Stderr, "pcc-run: persistent cache: %d traces installed (%d rebased, %d invalidated)\n",
+				rep.Installed, rep.Rebased, rep.Invalidated())
+		}
+	}
+
+	var res *vm.Result
+	if *native {
+		res, err = v.RunNative()
+	} else {
+		res, err = v.Run()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(res.Output)
+
+	if mgr != nil && !*native {
+		crep, err := mgr.Commit(v)
+		if err != nil {
+			fatal(err)
+		}
+		res.Stats.PersistTicks += crep.Ticks
+		res.Stats.Ticks += crep.Ticks
+		fmt.Fprintf(os.Stderr, "pcc-run: committed %d traces (%d new) to %s\n",
+			crep.Traces, crep.NewTraces, crep.File)
+	}
+	if cov, ok := tool.(*instr.CodeCov); ok {
+		fmt.Fprintf(os.Stderr, "pcc-run: codecov: %d static instructions covered\n", cov.Count())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			ExitCode uint64
+			Stats    *vm.Stats
+		}{res.ExitCode, &res.Stats}); err != nil {
+			fatal(err)
+		}
+	}
+	if *showStats {
+		st := &res.Stats
+		fmt.Fprintf(os.Stderr, "exit=%d time=%s insts=%d traces=%d reused=%d dispatches=%d flushes=%d\n",
+			res.ExitCode, stats.Ms(st.Ticks), st.InstsExecuted, st.TracesTranslated, st.TracesReused, st.Dispatches, st.Flushes)
+		fmt.Fprintf(os.Stderr, "breakdown: trans=%s exec=%s dispatch=%s emul=%s analysis=%s persist=%s\n",
+			stats.Ms(st.TransTicks), stats.Ms(st.ExecTicks),
+			stats.Ms(st.DispatchTicks+st.IndirectTicks+st.LinkTicks),
+			stats.Ms(st.EmulTicks), stats.Ms(st.OpTicks), stats.Ms(st.PersistTicks))
+	}
+	os.Exit(int(res.ExitCode & 0x7f))
+}
+
+func mtimeOf(p string) int64 {
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0
+	}
+	return fi.ModTime().UnixNano()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc-run:", err)
+	os.Exit(1)
+}

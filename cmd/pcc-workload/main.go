@@ -1,0 +1,133 @@
+// Command pcc-workload generates the paper's evaluation workloads to disk
+// as VXO binaries plus a JSON manifest of their inputs, runnable with
+// pcc-run.
+//
+// Usage:
+//
+//	pcc-workload -suite spec|gui|oracle -out DIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"persistcc/internal/obj"
+	"persistcc/internal/workload"
+)
+
+// manifest describes the generated programs and their inputs.
+type manifest struct {
+	Suite    string         `json:"suite"`
+	Programs []manifestProg `json:"programs"`
+}
+
+type manifestProg struct {
+	Name   string          `json:"name"`
+	Exe    string          `json:"exe"`
+	Libs   []string        `json:"libs"`
+	Inputs []manifestInput `json:"inputs"`
+}
+
+type manifestInput struct {
+	Name  string   `json:"name"`
+	Words []uint64 `json:"words"`
+}
+
+func main() {
+	suite := flag.String("suite", "", "workload suite: spec, gui or oracle")
+	out := flag.String("out", "", "output directory")
+	flag.Parse()
+	if *suite == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: pcc-workload -suite spec|gui|oracle -out DIR")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	m := manifest{Suite: *suite}
+	switch *suite {
+	case "spec":
+		suite, err := workload.BuildSpecSuite()
+		if err != nil {
+			fatal(err)
+		}
+		for _, b := range suite {
+			mp, err := writeProgram(*out, b.Prog)
+			if err != nil {
+				fatal(err)
+			}
+			for _, in := range b.Ref {
+				mp.Inputs = append(mp.Inputs, manifestInput{Name: in.Name + ".ref", Words: in.Words()})
+			}
+			for _, in := range b.Train {
+				mp.Inputs = append(mp.Inputs, manifestInput{Name: in.Name + ".train", Words: in.Words()})
+			}
+			m.Programs = append(m.Programs, *mp)
+		}
+	case "gui":
+		suite, err := workload.BuildGUISuite()
+		if err != nil {
+			fatal(err)
+		}
+		for _, app := range suite.Apps {
+			mp, err := writeProgram(*out, app.Prog)
+			if err != nil {
+				fatal(err)
+			}
+			mp.Inputs = append(mp.Inputs, manifestInput{Name: app.Startup.Name, Words: app.Startup.Words()})
+			m.Programs = append(m.Programs, *mp)
+		}
+	case "oracle":
+		suite, err := workload.BuildOracleSuite()
+		if err != nil {
+			fatal(err)
+		}
+		mp, err := writeProgram(*out, suite.Prog)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ph := range suite.Phases {
+			mp.Inputs = append(mp.Inputs, manifestInput{Name: ph.Name, Words: ph.Words()})
+		}
+		m.Programs = append(m.Programs, *mp)
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suite))
+	}
+	b, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(*out, "manifest.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d programs and %s\n", len(m.Programs), path)
+}
+
+func writeProgram(dir string, p *workload.Program) (*manifestProg, error) {
+	mp := &manifestProg{Name: p.Name, Exe: p.Name + ".vxe"}
+	if err := p.Exe.WriteFile(filepath.Join(dir, mp.Exe)); err != nil {
+		return nil, err
+	}
+	for _, l := range p.Libs {
+		// Shared libraries may already exist from another program; the
+		// bytes are identical, so overwriting is harmless.
+		if err := writeLib(dir, l); err != nil {
+			return nil, err
+		}
+		mp.Libs = append(mp.Libs, l.Name)
+	}
+	return mp, nil
+}
+
+func writeLib(dir string, l *obj.File) error {
+	return l.WriteFile(filepath.Join(dir, l.Name))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc-workload:", err)
+	os.Exit(1)
+}

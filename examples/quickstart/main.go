@@ -1,0 +1,133 @@
+// Quickstart: assemble and link a small VR64 program against a shared
+// library, run it natively, then under the run-time compilation system, and
+// finally demonstrate same-input persistent code caching: the second
+// persistent run reuses every translation and eliminates the VM overhead.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"persistcc"
+)
+
+const libSrc = `
+.text
+.global collatz_step           ; a0 = next Collatz value
+collatz_step:
+	andi t0, a0, 1
+	bnez t0, odd
+	srai a0, a0, 1
+	ret
+odd:
+	muli a0, a0, 3
+	addi a0, a0, 1
+	ret
+`
+
+// progSrc sums Collatz step counts for n = 2..limit (limit = input word 0)
+// after a deliberately large one-shot initialization — the "cold code" whose
+// translation cost persistent caching exists to amortize across runs.
+func progSrc() string {
+	var sb strings.Builder
+	sb.WriteString(`
+.text
+.global _start
+_start:
+	call init_tables       ; cold startup code, executed exactly once
+	movi t1, 0x08000000    ; the run's input block
+	ld   s2, 0(t1)         ; limit
+	movi s0, 2             ; n
+	movi s1, 0             ; total steps
+outer:
+	bgt  s0, s2, done
+	mv   s3, s0
+inner:
+	movi t0, 1
+	beq  s3, t0, next
+	mv   a0, s3
+	call collatz_step
+	mv   s3, a0
+	addi s1, s1, 1
+	j    inner
+next:
+	addi s0, s0, 1
+	j    outer
+done:
+	mv   a1, s1
+	movi a0, 1             ; sys exit
+	sys
+	halt
+
+init_tables:
+	movi t0, 7
+	movi t2, 13
+`)
+	for i := 0; i < 700; i++ {
+		fmt.Fprintf(&sb, "\taddi t0, t0, %d\n\txor  t2, t2, t0\n", i%97+1)
+	}
+	sb.WriteString("\tret\n")
+	return sb.String()
+}
+
+func main() {
+	exe, libs, err := persistcc.BuildExecutable("collatz", progSrc(),
+		map[string]string{"libcollatz.so": libSrc})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const limit = 120
+	input := []uint64{limit}
+
+	native, err := persistcc.Run(exe, libs, persistcc.RunOptions{Input: input, Native: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total Collatz steps for n=2..%d: %d\n\n", limit, native.ExitCode)
+	fmt.Printf("%-34s %12s %14s\n", "configuration", "time", "VM overhead")
+	show := func(name string, r *persistcc.RunOutcome) {
+		fmt.Printf("%-34s %10.3fms %12.3fms\n", name,
+			float64(r.Stats.Ticks)/1e6, float64(r.Stats.TransTicks)/1e6)
+	}
+	show("native (original program)", native)
+
+	cold, err := persistcc.Run(exe, libs, persistcc.RunOptions{Input: input})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("under the VM (cold code cache)", cold)
+
+	dir, err := os.MkdirTemp("", "pcc-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	first, err := persistcc.Run(exe, libs, persistcc.RunOptions{
+		Input: input, Persist: true, CacheDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("VM, generating persistent cache", first)
+	fmt.Printf("  -> committed %d traces to %s\n", first.Commit.Traces, first.Commit.File)
+
+	second, err := persistcc.Run(exe, libs, persistcc.RunOptions{
+		Input: input, Persist: true, CacheDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("VM, reusing persistent cache", second)
+	fmt.Printf("  -> %d traces installed from the cache, %d re-translated\n",
+		second.Prime.Installed, second.Stats.TracesTranslated)
+
+	imp := 1 - float64(second.Stats.Ticks)/float64(cold.Stats.Ticks)
+	fmt.Printf("\nsame-input persistence improved the VM run by %.0f%%\n", 100*imp)
+	if second.ExitCode != cold.ExitCode {
+		log.Fatal("results diverged!")
+	}
+}

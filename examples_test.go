@@ -1,0 +1,40 @@
+package persistcc_test
+
+// Smoke test: every example program must build, run to completion and
+// print its headline line. Examples are the repository's user-facing
+// documentation, so they are tested like everything else.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example runs in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring that proves the example reached its point
+	}{
+		{"./examples/quickstart", "same-input persistence improved the VM run by"},
+		{"./examples/guistartup", "inter-application persistence"},
+		{"./examples/oracleregression", "steady-state speedup"},
+		{"./examples/customtool", "reproduced the profile exactly"},
+		{"./examples/regressiontest", "coverage identical across passes"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module persistcc
+
+go 1.22

@@ -1,0 +1,447 @@
+package asm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+// expr is a parsed operand expression: an optional symbol plus a constant,
+// or a "."-relative displacement.
+type expr struct {
+	sym string // "" when absent
+	dot bool   // relative to the current instruction address
+	val int64
+}
+
+// fixup records a field that needs a value once all symbols are known.
+type fixup struct {
+	sec      obj.SectionID
+	instOff  uint32 // offset of the instruction (PC for pc-relative fixups)
+	fieldOff uint32 // offset of the patched field within the section
+	typ      obj.RelocType
+	pcRel    bool
+	e        expr
+	line     int
+}
+
+// Assembler holds the state of one assembly unit.
+type Assembler struct {
+	name    string
+	cur     obj.SectionID
+	text    []byte
+	data    []byte
+	bssSize uint32
+
+	syms    []obj.Symbol
+	symIdx  map[string]int
+	globals map[string]bool
+	fixups  []fixup
+	relocs  []obj.Reloc
+	line    int
+}
+
+// Assemble assembles src into a relocatable object named name.
+func Assemble(name, src string) (*obj.File, error) {
+	a := &Assembler{
+		name:    name,
+		cur:     obj.SecText,
+		symIdx:  make(map[string]int),
+		globals: make(map[string]bool),
+	}
+	for i, line := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(line); err != nil {
+			return nil, fmt.Errorf("%s:%w", name, err)
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, fmt.Errorf("%s:%w", name, err)
+	}
+	f := &obj.File{
+		Kind:    obj.KindObject,
+		Name:    name,
+		Text:    a.text,
+		Data:    a.data,
+		BSSSize: a.bssSize,
+		Symbols: a.syms,
+		Relocs:  a.relocs,
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// AssembleFile assembles the source file at path.
+func AssembleFile(path string) (*obj.File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".s") + ".o"
+	return Assemble(name, string(b))
+}
+
+func (a *Assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *Assembler) sectionLen(sec obj.SectionID) uint32 {
+	switch sec {
+	case obj.SecText:
+		return uint32(len(a.text))
+	case obj.SecData:
+		return uint32(len(a.data))
+	case obj.SecBSS:
+		return a.bssSize
+	}
+	return 0
+}
+
+func (a *Assembler) defineSymbol(name string, sec obj.SectionID, off uint32) error {
+	if i, ok := a.symIdx[name]; ok {
+		if a.syms[i].Sec != obj.SecUndef {
+			return a.errf("symbol %q redefined", name)
+		}
+		a.syms[i].Sec = sec
+		a.syms[i].Off = off
+		return nil
+	}
+	a.symIdx[name] = len(a.syms)
+	a.syms = append(a.syms, obj.Symbol{Name: name, Sec: sec, Off: off})
+	return nil
+}
+
+// refSymbol returns the index of name, adding an undefined entry if needed.
+func (a *Assembler) refSymbol(name string) int {
+	if i, ok := a.symIdx[name]; ok {
+		return i
+	}
+	a.symIdx[name] = len(a.syms)
+	a.syms = append(a.syms, obj.Symbol{Name: name, Sec: obj.SecUndef})
+	return a.symIdx[name]
+}
+
+func (a *Assembler) doLine(line string) error {
+	lx := &lineLexer{src: line, line: a.line}
+	tok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	// Leading labels: "ident :".
+	for tok.kind == tokIdent && isLabelAhead(lx) {
+		if _, err := lx.next(); err != nil { // consume ':'
+			return err
+		}
+		if err := a.defineSymbol(tok.text, a.cur, a.sectionLen(a.cur)); err != nil {
+			return err
+		}
+		tok, err = lx.next()
+		if err != nil {
+			return err
+		}
+	}
+	switch tok.kind {
+	case tokEOF:
+		return nil
+	case tokIdent:
+		if strings.HasPrefix(tok.text, ".") {
+			return a.doDirective(tok.text, lx)
+		}
+		return a.doInstruction(tok.text, lx)
+	}
+	return a.errf("unexpected token at start of statement")
+}
+
+// isLabelAhead peeks whether the next token is ":" (allowing directive-like
+// dotted labels such as ".Lloop:").
+func isLabelAhead(lx *lineLexer) bool {
+	save := *lx
+	nxt, err := lx.next()
+	*lx = save
+	return err == nil && nxt.kind == tokPunct && nxt.text == ":"
+}
+
+func (a *Assembler) doDirective(dir string, lx *lineLexer) error {
+	switch dir {
+	case ".text":
+		a.cur = obj.SecText
+	case ".data":
+		a.cur = obj.SecData
+	case ".bss":
+		a.cur = obj.SecBSS
+	case ".global", ".globl":
+		tok, err := lx.next()
+		if err != nil {
+			return err
+		}
+		if tok.kind != tokIdent {
+			return a.errf("%s expects a symbol name", dir)
+		}
+		a.globals[tok.text] = true
+		a.refSymbol(tok.text)
+	case ".equ":
+		tok, err := lx.next()
+		if err != nil {
+			return err
+		}
+		if tok.kind != tokIdent {
+			return a.errf(".equ expects a symbol name")
+		}
+		name := tok.text
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		v, err := a.parseIntExpr(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.defineSymbol(name, obj.SecAbs, uint32(v)); err != nil {
+			return err
+		}
+	case ".byte", ".word32", ".word64":
+		return a.doDataWords(dir, lx)
+	case ".ascii", ".asciz":
+		tok, err := lx.next()
+		if err != nil {
+			return err
+		}
+		if tok.kind != tokString {
+			return a.errf("%s expects a string literal", dir)
+		}
+		b := []byte(tok.text)
+		if dir == ".asciz" {
+			b = append(b, 0)
+		}
+		return a.emitData(b)
+	case ".space":
+		n, err := a.parseIntExpr(lx)
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 16<<20 {
+			return a.errf(".space size %d out of range", n)
+		}
+		switch a.cur {
+		case obj.SecBSS:
+			a.bssSize += uint32(n)
+		case obj.SecData:
+			a.data = append(a.data, make([]byte, n)...)
+		default:
+			return a.errf(".space not allowed in %s", a.cur)
+		}
+	case ".align":
+		n, err := a.parseIntExpr(lx)
+		if err != nil {
+			return err
+		}
+		if n <= 0 || n&(n-1) != 0 || n > 4096 {
+			return a.errf(".align %d: want a power of two <= 4096", n)
+		}
+		if a.cur == obj.SecText && n < isa.InstSize {
+			return a.errf(".align in .text must be >= %d", isa.InstSize)
+		}
+		cur := int64(a.sectionLen(a.cur))
+		pad := (n - cur%n) % n
+		switch a.cur {
+		case obj.SecBSS:
+			a.bssSize += uint32(pad)
+		case obj.SecData:
+			a.data = append(a.data, make([]byte, pad)...)
+		case obj.SecText:
+			for i := int64(0); i < pad/isa.InstSize; i++ {
+				a.emitInst(isa.Inst{Op: isa.OpNop})
+			}
+		}
+	default:
+		return a.errf("unknown directive %s", dir)
+	}
+	return a.expectEOL(lx)
+}
+
+func (a *Assembler) doDataWords(dir string, lx *lineLexer) error {
+	if a.cur != obj.SecData {
+		return a.errf("%s only allowed in .data", dir)
+	}
+	size := map[string]int{".byte": 1, ".word32": 4, ".word64": 8}[dir]
+	for {
+		e, err := a.parseExpr(lx)
+		if err != nil {
+			return err
+		}
+		off := uint32(len(a.data))
+		a.data = append(a.data, make([]byte, size)...)
+		if e.sym == "" && !e.dot {
+			if size < 8 {
+				lim := int64(1) << (8 * size)
+				if e.val >= lim || e.val < -lim/2 {
+					return a.errf("%s value %d out of range", dir, e.val)
+				}
+			}
+			putLE(a.data[off:], size, uint64(e.val))
+		} else {
+			if e.dot {
+				return a.errf("%q not allowed in data", ".")
+			}
+			typ := obj.RelAbs64
+			if size == 4 {
+				typ = obj.RelAbs32
+			} else if size != 8 {
+				return a.errf("symbolic .byte not supported")
+			}
+			a.fixups = append(a.fixups, fixup{
+				sec: obj.SecData, instOff: off, fieldOff: off, typ: typ, e: e, line: a.line,
+			})
+		}
+		tok, err := lx.next()
+		if err != nil {
+			return err
+		}
+		if tok.kind == tokEOF {
+			return nil
+		}
+		if tok.kind != tokPunct || tok.text != "," {
+			return a.errf("expected ',' or end of line in %s", dir)
+		}
+	}
+}
+
+func putLE(b []byte, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func (a *Assembler) emitData(b []byte) error {
+	switch a.cur {
+	case obj.SecData:
+		a.data = append(a.data, b...)
+		return nil
+	}
+	return a.errf("data not allowed in %s", a.cur)
+}
+
+func (a *Assembler) emitInst(i isa.Inst) uint32 {
+	off := uint32(len(a.text))
+	var b [isa.InstSize]byte
+	i.Encode(b[:])
+	a.text = append(a.text, b[:]...)
+	return off
+}
+
+func (a *Assembler) expectComma(lx *lineLexer) error {
+	tok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokPunct || tok.text != "," {
+		return a.errf("expected ','")
+	}
+	return nil
+}
+
+func (a *Assembler) expectEOL(lx *lineLexer) error {
+	tok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokEOF {
+		return a.errf("unexpected trailing operand")
+	}
+	return nil
+}
+
+func (a *Assembler) parseReg(lx *lineLexer) (uint8, error) {
+	tok, err := lx.next()
+	if err != nil {
+		return 0, err
+	}
+	if tok.kind != tokIdent {
+		return 0, a.errf("expected register")
+	}
+	r, ok := isa.RegByName(tok.text)
+	if !ok {
+		return 0, a.errf("unknown register %q", tok.text)
+	}
+	return r, nil
+}
+
+// parseExpr parses [+-]number | sym[±number] | .[±number].
+func (a *Assembler) parseExpr(lx *lineLexer) (expr, error) {
+	tok, err := lx.next()
+	if err != nil {
+		return expr{}, err
+	}
+	var e expr
+	switch tok.kind {
+	case tokPunct:
+		if tok.text == "-" || tok.text == "+" {
+			n, err := lx.next()
+			if err != nil {
+				return expr{}, err
+			}
+			if n.kind != tokNumber {
+				return expr{}, a.errf("expected number after %q", tok.text)
+			}
+			if tok.text == "-" {
+				return expr{val: -n.num}, nil
+			}
+			return expr{val: n.num}, nil
+		}
+		return expr{}, a.errf("unexpected %q in expression", tok.text)
+	case tokNumber:
+		return expr{val: tok.num}, nil
+	case tokDot:
+		e.dot = true
+	case tokIdent:
+		e.sym = tok.text
+	default:
+		return expr{}, a.errf("expected expression")
+	}
+	// Optional ±constant suffix.
+	save := *lx
+	nxt, err := lx.next()
+	if err != nil {
+		return expr{}, err
+	}
+	if nxt.kind == tokPunct && (nxt.text == "+" || nxt.text == "-") {
+		n, err := lx.next()
+		if err != nil {
+			return expr{}, err
+		}
+		if n.kind != tokNumber {
+			return expr{}, a.errf("expected number after %q", nxt.text)
+		}
+		if nxt.text == "-" {
+			e.val = -n.num
+		} else {
+			e.val = n.num
+		}
+		return e, nil
+	}
+	*lx = save
+	return e, nil
+}
+
+func (a *Assembler) parseIntExpr(lx *lineLexer) (int64, error) {
+	e, err := a.parseExpr(lx)
+	if err != nil {
+		return 0, err
+	}
+	if e.dot {
+		return 0, a.errf("%q not allowed here", ".")
+	}
+	if e.sym != "" {
+		i, ok := a.symIdx[e.sym]
+		if !ok || a.syms[i].Sec != obj.SecAbs {
+			return 0, a.errf("%q is not a defined constant", e.sym)
+		}
+		return int64(a.syms[i].Off) + e.val, nil
+	}
+	return e.val, nil
+}

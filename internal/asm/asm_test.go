@@ -1,0 +1,431 @@
+package asm
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+func mustAssemble(t *testing.T, src string) *obj.File {
+	t.Helper()
+	f, err := Assemble("test.o", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return f
+}
+
+func decodeAll(t *testing.T, text []byte) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for off := 0; off < len(text); off += isa.InstSize {
+		in, err := isa.Decode(text[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	f := mustAssemble(t, `
+.text
+	nop
+	movi a0, 42
+	addi a1, a0, -1
+	add  a2, a0, a1
+	sub  a3, a2, a0
+	sltui t0, a0, 1
+	ld   t1, 16(sp)
+	sd   t1, -8(sp)
+	jalr t2, t1, 4
+	sys
+	halt
+`)
+	ins := decodeAll(t, f.Text)
+	want := []isa.Inst{
+		{Op: isa.OpNop},
+		{Op: isa.OpMovI, Rd: isa.RegA0, Imm: 42},
+		{Op: isa.OpAddI, Rd: isa.RegA1, Rs1: isa.RegA0, Imm: -1},
+		{Op: isa.OpAdd, Rd: isa.RegA2, Rs1: isa.RegA0, Rs2: isa.RegA1},
+		{Op: isa.OpSub, Rd: isa.RegA3, Rs1: isa.RegA2, Rs2: isa.RegA0},
+		{Op: isa.OpSltUI, Rd: isa.RegT0, Rs1: isa.RegA0, Imm: 1},
+		{Op: isa.OpLd, Rd: isa.RegT0 + 1, Rs1: isa.RegSP, Imm: 16},
+		{Op: isa.OpSd, Rs1: isa.RegSP, Rs2: isa.RegT0 + 1, Imm: -8},
+		{Op: isa.OpJalr, Rd: isa.RegT0 + 2, Rs1: isa.RegT0 + 1, Imm: 4},
+		{Op: isa.OpSys},
+		{Op: isa.OpHalt},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("inst %d: got %v, want %v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	f := mustAssemble(t, `
+.text
+top:	addi t0, t0, 1
+	bne  t0, a0, top
+	beq  t0, a0, done
+	j    top
+done:	halt
+`)
+	ins := decodeAll(t, f.Text)
+	if ins[1].Op != isa.OpBne || ins[1].Imm != -8 {
+		t.Errorf("backward branch: %v", ins[1])
+	}
+	if ins[2].Op != isa.OpBeq || ins[2].Imm != 16 {
+		t.Errorf("forward branch: %v (imm want 16)", ins[2])
+	}
+	if ins[3].Op != isa.OpJal || ins[3].Rd != isa.RegZero || ins[3].Imm != -24 {
+		t.Errorf("j: %v", ins[3])
+	}
+	if len(f.Relocs) != 0 {
+		t.Errorf("unexpected relocs: %+v", f.Relocs)
+	}
+}
+
+func TestDotRelativeTargets(t *testing.T) {
+	f := mustAssemble(t, `
+.text
+	jal zero, .+16
+	beq a0, a1, .-8
+	ldpc t0, .+0
+`)
+	ins := decodeAll(t, f.Text)
+	if ins[0].Imm != 16 || ins[1].Imm != -8 || ins[2].Imm != 0 {
+		t.Errorf("dot-relative immediates wrong: %v", ins)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	f := mustAssemble(t, `
+.text
+	li  t0, 7
+	li  t1, 0x123456789a
+	mv  a0, t0
+	not a1, a0
+	neg a2, a0
+	seqz a3, a0
+	snez a4, a0
+	call f
+	ret
+	jr  ra
+	callr t0
+	beqz a0, f
+	bgt a0, a1, f
+f:	halt
+`)
+	ins := decodeAll(t, f.Text)
+	i := 0
+	expect := func(want isa.Inst) {
+		t.Helper()
+		if ins[i] != want {
+			t.Errorf("inst %d: got %v, want %v", i, ins[i], want)
+		}
+		i++
+	}
+	expect(isa.Inst{Op: isa.OpMovI, Rd: isa.RegT0, Imm: 7})
+	// li 0x123456789a -> movi low + movhi high
+	expect(isa.Inst{Op: isa.OpMovI, Rd: isa.RegT0 + 1, Imm: int32(uint32(0x3456789a))})
+	expect(isa.Inst{Op: isa.OpMovHI, Rd: isa.RegT0 + 1, Rs1: isa.RegT0 + 1, Imm: 0x12})
+	expect(isa.Inst{Op: isa.OpAddI, Rd: isa.RegA0, Rs1: isa.RegT0})
+	expect(isa.Inst{Op: isa.OpXorI, Rd: isa.RegA1, Rs1: isa.RegA0, Imm: -1})
+	expect(isa.Inst{Op: isa.OpSub, Rd: isa.RegA2, Rs1: isa.RegZero, Rs2: isa.RegA0})
+	expect(isa.Inst{Op: isa.OpSltUI, Rd: isa.RegA3, Rs1: isa.RegA0, Imm: 1})
+	expect(isa.Inst{Op: isa.OpSltU, Rd: isa.RegA4, Rs1: isa.RegZero, Rs2: isa.RegA0})
+	// call f: f is at inst 14 (offset 112), call at offset 64 -> imm 48
+	expect(isa.Inst{Op: isa.OpJal, Rd: isa.RegRA, Imm: 48})
+	expect(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+	expect(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+	expect(isa.Inst{Op: isa.OpJalr, Rd: isa.RegRA, Rs1: isa.RegT0})
+	expect(isa.Inst{Op: isa.OpBeq, Rs1: isa.RegA0, Rs2: isa.RegZero, Imm: 16})
+	expect(isa.Inst{Op: isa.OpBlt, Rs1: isa.RegA1, Rs2: isa.RegA0, Imm: 8}) // bgt swaps
+	// last imm: branch at offset 104? verify via label arithmetic instead:
+	if ins[13].Op != isa.OpBlt {
+		t.Errorf("bgt not swapped: %v", ins[13])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	f := mustAssemble(t, `
+.data
+v1:	.byte 1, 2, 255
+	.align 4
+v2:	.word32 0x11223344
+v3:	.word64 0x1122334455667788
+s:	.ascii "ab"
+z:	.asciz "c"
+.bss
+buf:	.space 100
+	.align 16
+buf2:	.space 4
+`)
+	want := []byte{1, 2, 255, 0, 0x44, 0x33, 0x22, 0x11, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 'a', 'b', 'c', 0}
+	if string(f.Data) != string(want) {
+		t.Errorf("data = % x, want % x", f.Data, want)
+	}
+	if f.BSSSize != 116 {
+		t.Errorf("bss size = %d, want 116", f.BSSSize)
+	}
+	var buf2 *obj.Symbol
+	for i := range f.Symbols {
+		if f.Symbols[i].Name == "buf2" {
+			buf2 = &f.Symbols[i]
+		}
+	}
+	if buf2 == nil || buf2.Sec != obj.SecBSS || buf2.Off != 112 {
+		t.Errorf("buf2 symbol wrong: %+v", buf2)
+	}
+}
+
+func TestRelocEmission(t *testing.T) {
+	f := mustAssemble(t, `
+.text
+.global _start
+_start:
+	la   t0, table
+	movi t1, external
+	call external_fn
+	jal  ra, data_target
+	halt
+.data
+table:	.word64 _start
+	.word32 external
+data_target:
+`)
+	// Expected relocs: ABS32(table), ABS32(external), PC32(external_fn),
+	// PC32(data_target, cross-section), ABS64(_start), ABS32(external).
+	if len(f.Relocs) != 6 {
+		t.Fatalf("got %d relocs: %+v", len(f.Relocs), f.Relocs)
+	}
+	byKey := map[string]obj.Reloc{}
+	for _, r := range f.Relocs {
+		byKey[f.Symbols[r.Sym].Name+"/"+r.Type.String()+"/"+r.Sec.String()] = r
+	}
+	if r, ok := byKey["table/ABS32/.text"]; !ok || r.Off != 4 {
+		t.Errorf("la reloc missing/wrong: %+v", byKey)
+	}
+	if _, ok := byKey["external_fn/PC32/.text"]; !ok {
+		t.Error("call reloc missing")
+	}
+	if _, ok := byKey["data_target/PC32/.text"]; !ok {
+		t.Error("cross-section jal reloc missing")
+	}
+	if r, ok := byKey["_start/ABS64/.data"]; !ok || r.Off != 0 {
+		t.Error("data ABS64 reloc missing")
+	}
+	// Undefined symbols must be global imports.
+	for _, s := range f.Symbols {
+		if s.Sec == obj.SecUndef && !s.Global {
+			t.Errorf("undefined symbol %q not global", s.Name)
+		}
+	}
+}
+
+func TestEqu(t *testing.T) {
+	f := mustAssemble(t, `
+.equ BUFSZ, 64
+.equ FD, 1
+.text
+	movi a0, FD
+	addi sp, sp, BUFSZ
+	ld   t0, BUFSZ(sp)
+	movi a1, BUFSZ+8
+`)
+	ins := decodeAll(t, f.Text)
+	if ins[0].Imm != 1 || ins[1].Imm != 64 || ins[2].Imm != 64 || ins[3].Imm != 72 {
+		t.Errorf("equ substitution wrong: %v", ins)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":    "\tfoo a0, a1\n",
+		"unknown directive":   ".bogus\n",
+		"unknown register":    "\tadd a0, a1, q7\n",
+		"redefined label":     "x:\nx:\n",
+		"text data":           ".text\n.word32 5\n",
+		"inst in data":        ".data\n\tadd a0, a0, a0\n",
+		"movi range":          "\tmovi a0, 0x100000000\n",
+		"byte range":          ".data\n.byte 300\n",
+		"bad mem operand":     "\tld a0, 5 a1\n",
+		"missing paren":       "\tld a0, 5(a1\n",
+		"trailing junk":       "\tnop nop\n",
+		"const as branch":     ".equ K, 4\n\tjal ra, K\n",
+		"undef const":         "\tld a0, NOPE(sp)\n",
+		"unterminated string": ".data\n.ascii \"abc\n",
+		"bad escape":          ".data\n.ascii \"\\q\"\n",
+		"space in text":       ".text\n.space 8\n",
+		"align too small":     ".text\n.align 4\n",
+		"dot in data":         ".data\n.word64 .\n",
+		"la number":           "\tla a0, 42\n",
+		"negative space":      ".bss\n.space -1\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("e.o", src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestAssembleFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(path, []byte(".text\nnop\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := AssembleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "prog.o" || len(f.Text) != 8 {
+		t.Errorf("AssembleFile result wrong: %s %d", f.Name, len(f.Text))
+	}
+	if _, err := AssembleFile(filepath.Join(dir, "missing.s")); err == nil {
+		t.Error("AssembleFile of missing path succeeded")
+	}
+}
+
+// Property: the disassembler output of any valid instruction reassembles to
+// the identical encoding (for instruction forms that do not involve
+// symbols).
+func TestDisasmReassembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n < 3000; n++ {
+		in := isa.Inst{
+			Op:  isa.Op(r.Intn(isa.NumOps)),
+			Rd:  uint8(r.Intn(isa.NumRegs)),
+			Rs1: uint8(r.Intn(isa.NumRegs)),
+			Rs2: uint8(r.Intn(isa.NumRegs)),
+			Imm: int32(r.Uint32()),
+		}
+		// Canonicalize fields the textual form cannot represent: unused
+		// register/immediate fields print as nothing and reassemble as 0.
+		switch in.Op {
+		case isa.OpNop, isa.OpHalt, isa.OpSys:
+			in.Rd, in.Rs1, in.Rs2, in.Imm = 0, 0, 0, 0
+		case isa.OpMovI:
+			in.Rs1, in.Rs2 = 0, 0
+		case isa.OpMovHI, isa.OpLdPC:
+			in.Rs2 = 0
+			if in.Op == isa.OpLdPC {
+				in.Rs1 = 0
+			}
+		case isa.OpJal:
+			in.Rs1, in.Rs2 = 0, 0
+		case isa.OpJalr:
+			in.Rs2 = 0
+		default:
+			switch isa.Classify(in.Op) {
+			case isa.ClassALU:
+				if isRegRegALU(in.Op) {
+					in.Imm = 0
+				} else {
+					in.Rs2 = 0
+				}
+			case isa.ClassLoad:
+				in.Rs2 = 0
+			case isa.ClassStore:
+				in.Rd = 0
+			case isa.ClassBranch:
+				in.Rd = 0
+			}
+		}
+		// Branch/jump displacements must be printable as .±off within
+		// 32 bits; any value is fine textually.
+		src := ".text\n\t" + in.String() + "\n"
+		f, err := Assemble("rt.o", src)
+		if err != nil {
+			t.Fatalf("reassemble %q: %v", in.String(), err)
+		}
+		got, err := isa.Decode(f.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != in {
+			t.Fatalf("round trip %q: got %v, want %v", in.String(), got, in)
+		}
+	}
+}
+
+func isRegRegALU(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpDivU, isa.OpRem, isa.OpRemU,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltU:
+		return true
+	}
+	return false
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	f := mustAssemble(t, strings.Join([]string{
+		"; full line comment",
+		"# another",
+		"// and another",
+		".text",
+		"\tnop ; trailing",
+		"\tnop # trailing",
+		"\tnop // trailing",
+		"",
+		"   ",
+	}, "\n"))
+	if len(f.Text) != 24 {
+		t.Errorf("text length %d, want 24", len(f.Text))
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	f := mustAssemble(t, ".text\na: b: c: nop\n")
+	for _, name := range []string{"a", "b", "c"} {
+		found := false
+		for _, s := range f.Symbols {
+			if s.Name == name && s.Sec == obj.SecText && s.Off == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("label %q not defined at 0", name)
+		}
+	}
+}
+
+// The assembler must reject, never panic on, arbitrary junk.
+func TestAssembleNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pieces := []string{
+		".text", ".data", ".bss", ".global", ".equ", ".word64", ".ascii",
+		"add", "movi", "ld", "sd", "jal", "beq", "la", "li", "call", "ret",
+		"a0", "t0", "sp", "zero", "label:", ",", "(", ")", "+", "-", ".",
+		"0x10", "42", "-1", "\"str\"", "'c'", ";", "#", "\\", "`", "\x00",
+	}
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		for i, n := 0, r.Intn(30); i < n; i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+			if r.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		_, _ = Assemble("junk.o", sb.String()) // must not panic
+	}
+	// Raw random bytes too.
+	for trial := 0; trial < 200; trial++ {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		_, _ = Assemble("junk.o", string(b))
+	}
+}

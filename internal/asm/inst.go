@@ -1,0 +1,535 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+func (a *Assembler) doInstruction(mn string, lx *lineLexer) error {
+	if a.cur != obj.SecText {
+		return a.errf("instruction %q outside .text", mn)
+	}
+	if err := a.encodeMnemonic(mn, lx); err != nil {
+		return err
+	}
+	return a.expectEOL(lx)
+}
+
+func (a *Assembler) encodeMnemonic(mn string, lx *lineLexer) error {
+	// Pseudo-instructions first: they expand into real opcodes.
+	switch mn {
+	case "li":
+		return a.pseudoLI(lx)
+	case "la":
+		return a.pseudoLA(lx)
+	case "mv":
+		rd, rs, err := a.parseRR(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpAddI, Rd: rd, Rs1: rs})
+		return nil
+	case "not":
+		rd, rs, err := a.parseRR(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpXorI, Rd: rd, Rs1: rs, Imm: -1})
+		return nil
+	case "neg":
+		rd, rs, err := a.parseRR(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		return nil
+	case "seqz":
+		rd, rs, err := a.parseRR(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpSltUI, Rd: rd, Rs1: rs, Imm: 1})
+		return nil
+	case "snez":
+		rd, rs, err := a.parseRR(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpSltU, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		return nil
+	case "j":
+		return a.emitJal(isa.RegZero, lx)
+	case "call":
+		return a.emitJal(isa.RegRA, lx)
+	case "jr":
+		rs, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: rs})
+		return nil
+	case "callr":
+		rs, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.RegRA, Rs1: rs})
+		return nil
+	case "ret":
+		a.emitInst(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+		return nil
+	case "beqz", "bnez", "bltz", "bgez", "bgtz", "blez":
+		return a.pseudoBranchZ(mn, lx)
+	case "bgt", "ble", "bgtu", "bleu":
+		return a.pseudoBranchSwap(mn, lx)
+	}
+
+	op, ok := isa.OpByName(mn)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mn)
+	}
+	switch op {
+	case isa.OpNop, isa.OpHalt, isa.OpSys:
+		a.emitInst(isa.Inst{Op: op})
+		return nil
+	case isa.OpMovI:
+		rd, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		e, err := a.parseExpr(lx)
+		if err != nil {
+			return err
+		}
+		return a.emitMovI(rd, e)
+	case isa.OpMovHI:
+		rd, rs1, imm, err := a.parseRRI(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+	case isa.OpLdPC:
+		rd, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		return a.emitPCRel(isa.Inst{Op: op, Rd: rd}, lx)
+	case isa.OpJal:
+		rd, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		return a.emitPCRel(isa.Inst{Op: op, Rd: rd}, lx)
+	case isa.OpJalr:
+		rd, rs1, imm, err := a.parseRRI(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+	}
+	switch isa.Classify(op) {
+	case isa.ClassLoad:
+		rd, rs1, imm, err := a.parseMem(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+	case isa.ClassStore:
+		rs2, rs1, imm, err := a.parseMem(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm})
+		return nil
+	case isa.ClassBranch:
+		rs1, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		rs2, err := a.parseReg(lx)
+		if err != nil {
+			return err
+		}
+		if err := a.expectComma(lx); err != nil {
+			return err
+		}
+		return a.emitPCRel(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, lx)
+	}
+	// Register-immediate then register-register ALU forms.
+	switch op {
+	case isa.OpAddI, isa.OpMulI, isa.OpAndI, isa.OpOrI, isa.OpXorI,
+		isa.OpSllI, isa.OpSrlI, isa.OpSraI, isa.OpSltI, isa.OpSltUI:
+		rd, rs1, imm, err := a.parseRRI(lx)
+		if err != nil {
+			return err
+		}
+		a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		return nil
+	}
+	rd, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	rs1, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	rs2, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	a.emitInst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	return nil
+}
+
+func (a *Assembler) parseRR(lx *lineLexer) (rd, rs uint8, err error) {
+	rd, err = a.parseReg(lx)
+	if err != nil {
+		return
+	}
+	if err = a.expectComma(lx); err != nil {
+		return
+	}
+	rs, err = a.parseReg(lx)
+	return
+}
+
+func (a *Assembler) parseRRI(lx *lineLexer) (rd, rs1 uint8, imm int32, err error) {
+	rd, err = a.parseReg(lx)
+	if err != nil {
+		return
+	}
+	if err = a.expectComma(lx); err != nil {
+		return
+	}
+	rs1, err = a.parseReg(lx)
+	if err != nil {
+		return
+	}
+	if err = a.expectComma(lx); err != nil {
+		return
+	}
+	var v int64
+	v, err = a.parseIntExpr(lx)
+	if err != nil {
+		return
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		err = a.errf("immediate %d out of 32-bit range", v)
+		return
+	}
+	imm = int32(v)
+	return
+}
+
+// parseMem parses "reg, imm(reg)" (the displacement may be omitted or a
+// defined constant).
+func (a *Assembler) parseMem(lx *lineLexer) (rv, rb uint8, imm int32, err error) {
+	rv, err = a.parseReg(lx)
+	if err != nil {
+		return
+	}
+	if err = a.expectComma(lx); err != nil {
+		return
+	}
+	tok, err2 := lx.next()
+	if err2 != nil {
+		err = err2
+		return
+	}
+	var v int64
+	switch {
+	case tok.kind == tokPunct && tok.text == "(":
+		// no displacement
+	case tok.kind == tokNumber:
+		v = tok.num
+		tok, err2 = lx.next()
+		if err2 != nil || tok.kind != tokPunct || tok.text != "(" {
+			err = a.errf("expected '(' in memory operand")
+			return
+		}
+	case tok.kind == tokPunct && tok.text == "-":
+		n, err3 := lx.next()
+		if err3 != nil || n.kind != tokNumber {
+			err = a.errf("expected number after '-'")
+			return
+		}
+		v = -n.num
+		tok, err2 = lx.next()
+		if err2 != nil || tok.kind != tokPunct || tok.text != "(" {
+			err = a.errf("expected '(' in memory operand")
+			return
+		}
+	case tok.kind == tokIdent:
+		v, err = a.lookupConst(tok.text)
+		if err != nil {
+			return
+		}
+		tok, err2 = lx.next()
+		if err2 != nil || tok.kind != tokPunct || tok.text != "(" {
+			err = a.errf("expected '(' in memory operand")
+			return
+		}
+	default:
+		err = a.errf("malformed memory operand")
+		return
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		err = a.errf("displacement %d out of range", v)
+		return
+	}
+	imm = int32(v)
+	rb, err = a.parseReg(lx)
+	if err != nil {
+		return
+	}
+	tok, err2 = lx.next()
+	if err2 != nil || tok.kind != tokPunct || tok.text != ")" {
+		err = a.errf("expected ')'")
+		return
+	}
+	return
+}
+
+func (a *Assembler) lookupConst(name string) (int64, error) {
+	i, ok := a.symIdx[name]
+	if !ok || a.syms[i].Sec != obj.SecAbs {
+		return 0, a.errf("%q is not a defined constant", name)
+	}
+	return int64(a.syms[i].Off), nil
+}
+
+func (a *Assembler) emitMovI(rd uint8, e expr) error {
+	if e.dot {
+		return a.errf("%q not allowed in movi", ".")
+	}
+	if e.sym != "" {
+		off := a.emitInst(isa.Inst{Op: isa.OpMovI, Rd: rd})
+		a.fixups = append(a.fixups, fixup{
+			sec: obj.SecText, instOff: off, fieldOff: off + 4,
+			typ: obj.RelAbs32, e: e, line: a.line,
+		})
+		return nil
+	}
+	if e.val < math.MinInt32 || e.val > math.MaxInt32 {
+		return a.errf("movi immediate %d out of range (use li)", e.val)
+	}
+	a.emitInst(isa.Inst{Op: isa.OpMovI, Rd: rd, Imm: int32(e.val)})
+	return nil
+}
+
+func (a *Assembler) pseudoLI(lx *lineLexer) error {
+	rd, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	e, err := a.parseExpr(lx)
+	if err != nil {
+		return err
+	}
+	if e.sym != "" || e.dot {
+		return a.emitMovI(rd, e)
+	}
+	if e.val >= math.MinInt32 && e.val <= math.MaxInt32 {
+		a.emitInst(isa.Inst{Op: isa.OpMovI, Rd: rd, Imm: int32(e.val)})
+		return nil
+	}
+	// 64-bit constant: movi low half, then movhi to install the high half.
+	a.emitInst(isa.Inst{Op: isa.OpMovI, Rd: rd, Imm: int32(uint32(e.val))})
+	a.emitInst(isa.Inst{Op: isa.OpMovHI, Rd: rd, Rs1: rd, Imm: int32(uint32(uint64(e.val) >> 32))})
+	return nil
+}
+
+func (a *Assembler) pseudoLA(lx *lineLexer) error {
+	rd, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	e, err := a.parseExpr(lx)
+	if err != nil {
+		return err
+	}
+	if e.sym == "" {
+		return a.errf("la expects a symbol")
+	}
+	return a.emitMovI(rd, e)
+}
+
+func (a *Assembler) emitJal(rd uint8, lx *lineLexer) error {
+	return a.emitPCRel(isa.Inst{Op: isa.OpJal, Rd: rd}, lx)
+}
+
+// emitPCRel emits an instruction whose immediate is a pc-relative target.
+func (a *Assembler) emitPCRel(in isa.Inst, lx *lineLexer) error {
+	e, err := a.parseExpr(lx)
+	if err != nil {
+		return err
+	}
+	off := a.emitInst(in)
+	a.fixups = append(a.fixups, fixup{
+		sec: obj.SecText, instOff: off, fieldOff: off + 4,
+		typ: obj.RelPC32, pcRel: true, e: e, line: a.line,
+	})
+	return nil
+}
+
+func (a *Assembler) pseudoBranchZ(mn string, lx *lineLexer) error {
+	rs, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	var in isa.Inst
+	switch mn {
+	case "beqz":
+		in = isa.Inst{Op: isa.OpBeq, Rs1: rs}
+	case "bnez":
+		in = isa.Inst{Op: isa.OpBne, Rs1: rs}
+	case "bltz":
+		in = isa.Inst{Op: isa.OpBlt, Rs1: rs}
+	case "bgez":
+		in = isa.Inst{Op: isa.OpBge, Rs1: rs}
+	case "bgtz":
+		in = isa.Inst{Op: isa.OpBlt, Rs1: isa.RegZero, Rs2: rs}
+	case "blez":
+		in = isa.Inst{Op: isa.OpBge, Rs1: isa.RegZero, Rs2: rs}
+	}
+	return a.emitPCRel(in, lx)
+}
+
+func (a *Assembler) pseudoBranchSwap(mn string, lx *lineLexer) error {
+	r1, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	r2, err := a.parseReg(lx)
+	if err != nil {
+		return err
+	}
+	if err := a.expectComma(lx); err != nil {
+		return err
+	}
+	var op isa.Op
+	switch mn {
+	case "bgt":
+		op = isa.OpBlt
+	case "ble":
+		op = isa.OpBge
+	case "bgtu":
+		op = isa.OpBltU
+	case "bleu":
+		op = isa.OpBgeU
+	}
+	return a.emitPCRel(isa.Inst{Op: op, Rs1: r2, Rs2: r1}, lx)
+}
+
+// resolve patches all fixups, either locally or by emitting relocations,
+// and applies .global markings.
+func (a *Assembler) resolve() error {
+	for _, fx := range a.fixups {
+		if err := a.resolveFixup(fx); err != nil {
+			return err
+		}
+	}
+	for name := range a.globals {
+		if i, ok := a.symIdx[name]; ok {
+			a.syms[i].Global = true
+		}
+	}
+	// Undefined symbols are implicit imports and must be global.
+	for i := range a.syms {
+		if a.syms[i].Sec == obj.SecUndef {
+			a.syms[i].Global = true
+		}
+	}
+	return nil
+}
+
+func (a *Assembler) resolveFixup(fx fixup) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("line %d: %s", fx.line, fmt.Sprintf(format, args...))
+	}
+	if fx.e.dot || fx.e.sym == "" {
+		// A "."-relative or bare-number target is a literal displacement
+		// for pc-relative contexts, a literal value otherwise.
+		if !fx.pcRel {
+			return fail("displacement expression not allowed here")
+		}
+		return a.patch(fx, fx.e.val)
+	}
+	idx := a.refSymbol(fx.e.sym)
+	s := a.syms[idx]
+	switch s.Sec {
+	case obj.SecAbs:
+		if fx.pcRel {
+			return fail("constant %q used as a branch target", s.Name)
+		}
+		return a.patch(fx, int64(s.Off)+fx.e.val)
+	case obj.SecUndef:
+		a.relocs = append(a.relocs, obj.Reloc{
+			Sec: fx.sec, Off: fx.fieldOff, Type: fx.typ, Sym: int32(idx), Addend: fx.e.val,
+		})
+		return nil
+	default:
+		if fx.pcRel && s.Sec == fx.sec && fx.sec == obj.SecText {
+			return a.patch(fx, int64(s.Off)+fx.e.val-int64(fx.instOff))
+		}
+		a.relocs = append(a.relocs, obj.Reloc{
+			Sec: fx.sec, Off: fx.fieldOff, Type: fx.typ, Sym: int32(idx), Addend: fx.e.val,
+		})
+		return nil
+	}
+}
+
+func (a *Assembler) patch(fx fixup, v int64) error {
+	size := fx.typ.Size()
+	if size == 4 && (v < math.MinInt32 || v > math.MaxInt32) {
+		return fmt.Errorf("line %d: value %d out of 32-bit range", fx.line, v)
+	}
+	var buf []byte
+	switch fx.sec {
+	case obj.SecText:
+		buf = a.text
+	case obj.SecData:
+		buf = a.data
+	default:
+		return fmt.Errorf("line %d: fixup in %s", fx.line, fx.sec)
+	}
+	putLE(buf[fx.fieldOff:], size, uint64(v))
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package asm implements a two-pass assembler for the VR64 instruction set,
+// producing relocatable VXO objects (internal/obj).
+//
+// Source syntax, by example:
+//
+//	; comments start with ';', '#', or '//'
+//	.text
+//	.global _start
+//	_start:
+//	        li    a0, 1             ; pseudo: expands to movi (and movhi)
+//	        la    t0, table         ; absolute address of a symbol (reloc)
+//	        ld    t1, 8(t0)
+//	        call  helper            ; jal ra, helper
+//	        beqz  a0, done
+//	loop:   addi  a0, a0, -1
+//	        bne   a0, zero, loop
+//	done:   sys
+//	        halt
+//	.data
+//	table:  .word64 _start          ; address-sized data (reloc)
+//	        .word32 0x1234
+//	        .byte   7
+//	        .ascii  "hi\n"
+//	.bss
+//	buf:    .space  4096
+//
+// Labels are local unless declared .global. Control-flow operands may be a
+// symbol, "."-relative expressions (".+16"), or "sym+offset".
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation rune: , ( ) : + -
+	tokDot   // "."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+}
+
+type lineLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (lx *lineLexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentRune(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+// next scans one token. Directives like ".text" lex as tokIdent with the
+// leading dot included; a lone "." lexes as tokDot.
+func (lx *lineLexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == ';' || c == '#':
+		lx.pos = len(lx.src)
+		return token{kind: tokEOF}, nil
+	case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+		lx.pos = len(lx.src)
+		return token{kind: tokEOF}, nil
+	case c == ',' || c == '(' || c == ')' || c == ':' || c == '+' || c == '-':
+		lx.pos++
+		return token{kind: tokPunct, text: string(c)}, nil
+	case c == '.':
+		// ".ident" (directive or dotted label) vs lone ".".
+		if lx.pos+1 < len(lx.src) && isIdentRune(lx.src[lx.pos+1]) && lx.src[lx.pos+1] != '.' {
+			start := lx.pos
+			lx.pos++
+			for lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			return token{kind: tokIdent, text: lx.src[start:lx.pos]}, nil
+		}
+		lx.pos++
+		return token{kind: tokDot}, nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	case c == '\'':
+		return lx.lexChar()
+	case c == '"':
+		return lx.lexString()
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos]}, nil
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+func (lx *lineLexer) lexNumber() (token, error) {
+	start := lx.pos
+	base := 10
+	if strings.HasPrefix(lx.src[lx.pos:], "0x") || strings.HasPrefix(lx.src[lx.pos:], "0X") {
+		base = 16
+		lx.pos += 2
+	} else if strings.HasPrefix(lx.src[lx.pos:], "0b") {
+		base = 2
+		lx.pos += 2
+	}
+	digits := 0
+	var v uint64
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		case c == '_':
+			lx.pos++
+			continue
+		default:
+			d = -1
+		}
+		if d < 0 || d >= base {
+			break
+		}
+		v = v*uint64(base) + uint64(d)
+		digits++
+		lx.pos++
+	}
+	if digits == 0 {
+		return token{}, lx.errf("malformed number %q", lx.src[start:lx.pos])
+	}
+	return token{kind: tokNumber, num: int64(v)}, nil
+}
+
+func (lx *lineLexer) lexChar() (token, error) {
+	lx.pos++ // consume '
+	if lx.pos >= len(lx.src) {
+		return token{}, lx.errf("unterminated character literal")
+	}
+	var v int64
+	c := lx.src[lx.pos]
+	if c == '\\' {
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf("unterminated escape")
+		}
+		e, err := unescape(lx.src[lx.pos])
+		if err != nil {
+			return token{}, lx.errf("%v", err)
+		}
+		v = int64(e)
+	} else {
+		v = int64(c)
+	}
+	lx.pos++
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+		return token{}, lx.errf("unterminated character literal")
+	}
+	lx.pos++
+	return token{kind: tokNumber, num: v}, nil
+}
+
+func (lx *lineLexer) lexString() (token, error) {
+	lx.pos++ // consume "
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			return token{kind: tokString, text: sb.String()}, nil
+		}
+		if c == '\\' {
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				break
+			}
+			e, err := unescape(lx.src[lx.pos])
+			if err != nil {
+				return token{}, lx.errf("%v", err)
+			}
+			sb.WriteByte(e)
+			lx.pos++
+			continue
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return token{}, lx.errf("unterminated string literal")
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, fmt.Errorf("unknown escape \\%c", c)
+}

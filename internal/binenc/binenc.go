@@ -1,0 +1,170 @@
+// Package binenc provides the little-endian binary encoding helpers shared
+// by the VXO object format (internal/obj) and the persistent cache file
+// format (internal/core): an append-only writer and a bounds-checked,
+// error-accumulating reader that never allocates more than the declared
+// limits, so corrupted length fields cannot balloon memory.
+package binenc
+
+import "encoding/binary"
+
+// Writer appends primitive values to a byte buffer.
+type Writer struct {
+	Buf []byte
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
+
+// U16 appends a 16-bit value.
+func (w *Writer) U16(v uint16) { w.Buf = binary.LittleEndian.AppendUint16(w.Buf, v) }
+
+// U32 appends a 32-bit value.
+func (w *Writer) U32(v uint32) { w.Buf = binary.LittleEndian.AppendUint32(w.Buf, v) }
+
+// U64 appends a 64-bit value.
+func (w *Writer) U64(v uint64) { w.Buf = binary.LittleEndian.AppendUint64(w.Buf, v) }
+
+// I64 appends a signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) { w.Bytes([]byte(s)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Raw appends bytes without a length prefix.
+func (w *Writer) Raw(b []byte) { w.Buf = append(w.Buf, b...) }
+
+// Reader consumes primitive values from a byte buffer, accumulating the
+// first error; all subsequent reads return zero values.
+type Reader struct {
+	Buf []byte
+	Off int
+	Err error
+}
+
+// ErrTruncated is returned (wrapped) when the buffer ends early or a length
+// field exceeds its limit.
+type DecodeError struct{ Msg string }
+
+func (e *DecodeError) Error() string { return "binenc: " + e.Msg }
+
+func (r *Reader) fail(msg string) {
+	if r.Err == nil {
+		r.Err = &DecodeError{Msg: msg}
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.Err != nil {
+		return nil
+	}
+	if r.Off+n > len(r.Buf) || n < 0 {
+		r.fail("truncated input")
+		return nil
+	}
+	b := r.Buf[r.Off : r.Off+n]
+	r.Off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bytes reads a length-prefixed byte slice of at most max bytes.
+func (r *Reader) Bytes(max int) []byte {
+	n := int(r.U32())
+	if r.Err != nil {
+		return nil
+	}
+	if n > max {
+		r.fail("length field exceeds limit")
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Str reads a length-prefixed string of at most max bytes.
+func (r *Reader) Str(max int) string { return string(r.Bytes(max)) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Count reads a 32-bit element count bounded by max.
+func (r *Reader) Count(max int) int {
+	n := int(r.U32())
+	if r.Err == nil && (n < 0 || n > max) {
+		r.fail("count exceeds limit")
+		return 0
+	}
+	return n
+}
+
+// Raw reads n bytes without a length prefix (shared, not copied).
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Done reports an error if the buffer has trailing bytes or a prior error.
+func (r *Reader) Done() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Off != len(r.Buf) {
+		r.fail("trailing bytes")
+	}
+	return r.Err
+}

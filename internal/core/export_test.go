@@ -1,0 +1,11 @@
+package core
+
+import "time"
+
+// SetLockTimeout lets tests shorten the advisory-lock steal deadline; it
+// returns a restore function.
+func SetLockTimeout(d time.Duration) func() {
+	old := lockTimeout
+	lockTimeout = d
+	return func() { lockTimeout = old }
+}

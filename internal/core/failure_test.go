@@ -1,0 +1,274 @@
+package core_test
+
+import (
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"persistcc/internal/core"
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// failure injection: the database layer must degrade loudly but safely.
+
+func preparedVM(t *testing.T, w *world) *vm.VM {
+	t.Helper()
+	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(p, vm.WithInput([]uint64{10}))
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCommitToUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	dir := t.TempDir()
+	mgr, err := core.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	v := preparedVM(t, w)
+	if _, err := mgr.Commit(v); err == nil {
+		t.Error("commit to read-only database succeeded")
+	}
+}
+
+func TestCorruptIndexIsReported(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), "index.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Entries(); err == nil {
+		t.Error("corrupt index read succeeded")
+	}
+	// Exact-key lookup bypasses the index and must still work.
+	v := preparedVM(t, w)
+	if _, err := mgr.Prime(vmFresh(t, w)); err != nil {
+		t.Errorf("exact lookup should survive a corrupt index: %v", err)
+	}
+	// Commit rewrites the index... but reading it first must fail loudly,
+	// not silently clobber other entries.
+	if _, err := mgr.Commit(v); err == nil {
+		t.Error("commit over corrupt index succeeded silently")
+	}
+}
+
+func vmFresh(t *testing.T, w *world) *vm.VM {
+	t.Helper()
+	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(p, vm.WithInput([]uint64{10}))
+}
+
+func TestStaleLockIsStolen(t *testing.T) {
+	restore := core.SetLockTimeout(50 * time.Millisecond)
+	defer restore()
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	// A crashed writer left the lock behind.
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), ".lock"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v := preparedVM(t, w)
+	if _, err := mgr.Commit(v); err != nil {
+		t.Fatalf("commit did not steal the stale lock: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("lock steal took %v", elapsed)
+	}
+	if _, err := os.Stat(filepath.Join(mgr.Dir(), ".lock")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("lock not released after steal")
+	}
+}
+
+func TestMissingCacheFileAfterIndexEntry(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	entries, err := mgr.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(mgr.Dir(), entries[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	// Exact lookup: graceful ErrNoCache.
+	if _, err := mgr.Prime(vmFresh(t, w)); !errors.Is(err, core.ErrNoCache) {
+		t.Errorf("missing cache file: want ErrNoCache, got %v", err)
+	}
+}
+
+// TestConcurrentPhasesSharedDatabase models the paper's multi-process
+// Oracle setup with phases racing on one cache database: all runs must be
+// correct, and after a second (sequential) pass the database must satisfy
+// every phase without translation.
+func TestConcurrentPhasesSharedDatabase(t *testing.T) {
+	suite, err := workload.BuildOracleSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Sequential reference results.
+	want := make([]uint64, len(suite.Phases))
+	for i, ph := range suite.Phases {
+		v, err := suite.Prog.NewVM(loader.Config{}, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.ExitCode
+	}
+
+	// Racy pass: each phase is its own "process" with its own manager.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(suite.Phases))
+	for i, ph := range suite.Phases {
+		wg.Add(1)
+		go func(i int, ph workload.Input) {
+			defer wg.Done()
+			mgr, err := core.NewManager(dir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			v, err := suite.Prog.NewVM(loader.Config{}, ph, vm.WithPID(uint64(i+1)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := mgr.Prime(v); err != nil && !errors.Is(err, core.ErrNoCache) {
+				errs <- err
+				return
+			}
+			res, err := v.Run()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.ExitCode != want[i] {
+				errs <- errors.New("phase result diverged under concurrency")
+				return
+			}
+			if _, err := mgr.Commit(v); err != nil {
+				errs <- err
+			}
+		}(i, ph)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Steady state: the accumulated database covers every phase.
+	mgr, err := core.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range suite.Phases {
+		v, err := suite.Prog.NewVM(loader.Config{}, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Prime(v); err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != want[i] {
+			t.Fatalf("phase %d diverged on warm run", i)
+		}
+		if res.Stats.TracesTranslated != 0 {
+			t.Errorf("phase %d: %d traces re-translated after concurrent accumulation", i, res.Stats.TracesTranslated)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	entries, err := mgr.Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v %v", entries, err)
+	}
+	// Orphan file (crashed writer) plus a stale index entry (deleted file).
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), "deadbeef.pcc"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(mgr.Dir(), entries[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedEntries != 1 || rep.RemovedFiles != 1 {
+		t.Errorf("prune report %+v, want 1/1", rep)
+	}
+	after, err := mgr.Entries()
+	if err != nil || len(after) != 0 {
+		t.Errorf("index not emptied: %v %v", after, err)
+	}
+	if _, err := os.Stat(filepath.Join(mgr.Dir(), "deadbeef.pcc")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("orphan file not removed")
+	}
+	// Idempotent.
+	rep2, err := mgr.Prune()
+	if err != nil || rep2.DroppedEntries != 0 || rep2.RemovedFiles != 0 {
+		t.Errorf("second prune not a no-op: %+v %v", rep2, err)
+	}
+}
+
+func TestCacheFormatVersionRejected(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	entries, _ := mgr.Entries()
+	path := filepath.Join(mgr.Dir(), entries[0].File)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the format version field (offset 4, after the magic) and
+	// recompute the integrity trailer so only the version check can fail.
+	payload := append([]byte{}, b[:len(b)-32]...)
+	payload[4] = 99
+	sum := sha256.Sum256(payload)
+	bad := append(payload, sum[:]...)
+	var cf core.CacheFile
+	err = cf.UnmarshalBinary(bad)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version cache accepted: %v", err)
+	}
+}

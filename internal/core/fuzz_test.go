@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"persistcc/internal/core"
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+// TestRandomProgramsPersistCorrectly is the end-to-end correctness property
+// of the persistent system: for arbitrary terminating guest programs,
+// a run primed from a persistent cache — with the same layout, or rebased
+// under a different ASLR seed with the relocatable extension — produces
+// exactly the native result, with zero re-translation in the same-layout
+// case.
+func TestRandomProgramsPersistCorrectly(t *testing.T) {
+	for seed := int64(100); seed < 118; seed++ {
+		src := testprog.GenRandom(seed)
+		exe, libs, err := testprog.Build("fuzz", src, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		newVM := func(cfg loader.Config) *vm.VM {
+			p, err := testprog.Load(exe, libs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vm.New(p, vm.WithMaxInsts(5_000_000))
+		}
+		want, err := newVM(loader.Config{}).RunNative()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Same layout.
+		mgr := newMgr(t)
+		v1 := newVM(loader.Config{})
+		if _, err := v1.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := mgr.Commit(v1); err != nil {
+			t.Fatal(err)
+		}
+		v2 := newVM(loader.Config{})
+		if _, err := mgr.Prime(v2); err != nil {
+			t.Fatal(err)
+		}
+		res2, err := v2.Run()
+		if err != nil {
+			t.Fatalf("seed %d primed: %v", seed, err)
+		}
+		if res2.ExitCode != want.ExitCode {
+			t.Fatalf("seed %d: primed exit %d != native %d", seed, res2.ExitCode, want.ExitCode)
+		}
+		if res2.Stats.TracesTranslated != 0 {
+			t.Fatalf("seed %d: same-layout reuse translated %d traces", seed, res2.Stats.TracesTranslated)
+		}
+
+		// Relocated layout with the relocatable extension.
+		mgrR := newMgr(t, core.WithRelocatable())
+		a := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: uint64(seed) + 1}
+		b := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: uint64(seed) + 2}
+		va := newVM(a)
+		if _, err := va.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgrR.Commit(va); err != nil {
+			t.Fatal(err)
+		}
+		vb := newVM(b)
+		if _, err := mgrR.Prime(vb); err != nil && !errors.Is(err, core.ErrNoCache) {
+			t.Fatal(err)
+		}
+		resB, err := vb.Run()
+		if err != nil {
+			t.Fatalf("seed %d rebased: %v", seed, err)
+		}
+		if resB.ExitCode != want.ExitCode {
+			t.Fatalf("seed %d: rebased exit %d != native %d", seed, resB.ExitCode, want.ExitCode)
+		}
+	}
+}

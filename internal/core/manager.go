@@ -1,0 +1,633 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/mem"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+)
+
+// Manager is the persistent cache manager: it performs "the fundamental
+// tasks of generating persistent caches, verifying possible reuse, and
+// storing them in the database". The database is a directory of cache files
+// plus a JSON index.
+type Manager struct {
+	dir         string
+	relocatable bool
+	mu          sync.Mutex
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithRelocatable enables the relocatable-translation extension: traces
+// whose mappings moved (but whose binaries are unchanged) are rebased
+// instead of invalidated. This is the adaptation the paper names as the fix
+// for the inter-application persistence limitation.
+func WithRelocatable() ManagerOption {
+	return func(m *Manager) { m.relocatable = true }
+}
+
+// NewManager opens (creating if needed) a cache database at dir.
+func NewManager(dir string, opts ...ManagerOption) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m := &Manager{dir: dir}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Dir returns the database directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Relocatable reports whether the relocatable-translation extension is on.
+func (m *Manager) Relocatable() bool { return m.relocatable }
+
+// PrimeReport summarizes one reuse attempt.
+type PrimeReport struct {
+	Found       bool // a cache with matching VM and tool keys was found
+	CacheTraces int  // traces in the cache file
+	Installed   int  // traces installed into the code cache
+	Rebased     int  // installed after relocatable rebasing
+
+	// Invalidation reasons (counts of traces *not* installed).
+	InvalidMissing int // trace's own or referenced mapping absent this run
+	InvalidContent int // backing binary changed (digest/size/mtime)
+	InvalidBase    int // mapping at a different base (non-relocatable)
+}
+
+// Invalidated returns the total number of traces rejected.
+func (r *PrimeReport) Invalidated() int {
+	return r.InvalidMissing + r.InvalidContent + r.InvalidBase
+}
+
+// CommitReport summarizes one cache generation/accumulation.
+type CommitReport struct {
+	Traces     int    // traces written
+	NewTraces  int    // traces not present in the prior cache file
+	Dropped    int    // prior traces dropped (stale mappings)
+	CodePool   uint64 // modeled code pool bytes
+	DataPool   uint64 // modeled data-structure pool bytes
+	Ticks      uint64 // persistence cost charged for the save
+	File       string
+	Accumulate bool // a prior cache existed and was merged
+	Skipped    bool // the prior cache already covers this run; nothing written
+}
+
+// ErrNoCache is returned by Prime when no usable cache exists; execution
+// simply proceeds with an empty code cache.
+var ErrNoCache = errors.New("core: no persistent cache for this key set")
+
+// cachePath returns the database file for a key set.
+func (m *Manager) cachePath(ks KeySet) string {
+	return filepath.Join(m.dir, ks.lookupHash()+".pcc")
+}
+
+// Lookup loads the cache for the exact key set, if present and valid.
+func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
+	cf, err := ReadCacheFile(m.cachePath(ks))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCache
+	}
+	return cf, err
+}
+
+// LookupInterApp finds a cache created by a *different* application with
+// identical VM and tool keys ("the application key used in the persistent
+// cache lookup function is ignored, thereby allowing the function to return
+// a cache corresponding to any application instrumented identically").
+// Among candidates it picks the one with the most traces, deterministically.
+func (m *Manager) LookupInterApp(ks KeySet) (*CacheFile, error) {
+	idx, err := m.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	var best *IndexEntry
+	for i := range idx.Entries {
+		e := &idx.Entries[i]
+		if e.VM != ks.VM.Hex() || e.Tool != ks.Tool.Hex() || e.App == ks.App.Hex() {
+			continue
+		}
+		if best == nil || e.Traces > best.Traces || (e.Traces == best.Traces && e.File < best.File) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCache
+	}
+	return ReadCacheFile(filepath.Join(m.dir, best.File))
+}
+
+// Prime looks up the cache for the VM's own key set and installs every
+// valid translation. Returns (report, ErrNoCache) when nothing is found.
+func (m *Manager) Prime(v *vm.VM) (*PrimeReport, error) {
+	ks := KeysFor(v)
+	cf, err := m.Lookup(ks)
+	if err != nil {
+		return &PrimeReport{}, err
+	}
+	return m.PrimeFrom(v, cf)
+}
+
+// PrimeInterApp primes from another application's cache.
+func (m *Manager) PrimeInterApp(v *vm.VM) (*PrimeReport, error) {
+	ks := KeysFor(v)
+	cf, err := m.LookupInterApp(ks)
+	if err != nil {
+		return &PrimeReport{}, err
+	}
+	return m.PrimeFrom(v, cf)
+}
+
+// modState classifies a cached module against the current run.
+type modState struct {
+	status  uint8 // one of the mod* constants
+	current int   // index into the current module table when usable
+	newBase uint32
+}
+
+const (
+	modOK       = iota // same binary at the same base: translations valid
+	modRebase          // same binary, different base: usable via rebasing
+	modMissing         // mapping absent in this run
+	modContent         // backing binary changed
+	modBaseOnly        // base moved and rebasing is disabled
+)
+
+// PrimeFrom validates cf against the running VM and installs every usable
+// trace. The VM and tool keys are hard requirements; mapping keys are
+// checked per module, and traces are invalidated individually, exactly as
+// described in §3.2.3 of the paper.
+func (m *Manager) PrimeFrom(v *vm.VM, cf *CacheFile) (*PrimeReport, error) {
+	rep := &PrimeReport{Found: true, CacheTraces: len(cf.Traces)}
+	ks := KeysFor(v)
+	if cf.VMKey != ks.VM {
+		return rep, fmt.Errorf("core: cache written by a different VM version (key %s != %s)", cf.VMKey, ks.VM)
+	}
+	if cf.ToolKey != ks.Tool {
+		return rep, fmt.Errorf("core: cache instrumented differently (tool key %s != %s)", cf.ToolKey, ks.Tool)
+	}
+
+	// Charge the fixed load cost plus one key verification per cached
+	// mapping.
+	cost := v.Cost()
+	v.ChargePersist(cost.PersistLoadFixed + cost.PersistKeyCheck*uint64(len(cf.Modules)))
+
+	// Classify every cached module against the current mapping table.
+	curRecords, byPath := currentModules(v)
+	states := make([]modState, len(cf.Modules))
+	for i, rec := range cf.Modules {
+		cur, ok := byPath[rec.Path]
+		switch {
+		case !ok:
+			states[i] = modState{status: modMissing}
+		case curRecords[cur].Key == rec.Key:
+			states[i] = modState{status: modOK, current: cur, newBase: curRecords[cur].Base}
+		case curRecords[cur].Content == rec.Content && m.relocatable:
+			states[i] = modState{status: modRebase, current: cur, newBase: curRecords[cur].Base}
+		case curRecords[cur].Content == rec.Content:
+			states[i] = modState{status: modBaseOnly}
+		default:
+			states[i] = modState{status: modContent}
+		}
+	}
+
+	for _, t := range cf.Traces {
+		worst := states[t.Module].status
+		for _, n := range t.Notes {
+			if s := states[n.Target].status; s > worst {
+				worst = s
+			}
+		}
+		switch worst {
+		case modOK:
+			v.InstallPersisted(copyTrace(t, states, false))
+			rep.Installed++
+		case modRebase:
+			v.InstallPersisted(copyTrace(t, states, true))
+			rep.Installed++
+			rep.Rebased++
+		case modMissing:
+			rep.InvalidMissing++
+		case modContent:
+			rep.InvalidContent++
+		case modBaseOnly:
+			rep.InvalidBase++
+		}
+	}
+	return rep, nil
+}
+
+// copyTrace deep-copies a cached trace, remapping its module index to the
+// current table and (when rebase is set) rewriting its start address and
+// loader-patched immediates for the new bases.
+func copyTrace(t *vm.Trace, states []modState, rebase bool) *vm.Trace {
+	nt := &vm.Trace{
+		Start:  t.Start,
+		Module: int32(states[t.Module].current),
+		ModOff: t.ModOff,
+		Insts:  append([]isa.Inst(nil), t.Insts...),
+		Ops:    append([]vm.AnalysisOp(nil), t.Ops...),
+	}
+	nt.Notes = make([]vm.RelocNote, len(t.Notes))
+	for i, n := range t.Notes {
+		nt.Notes[i] = n
+		nt.Notes[i].Target = int32(states[n.Target].current)
+	}
+	if rebase {
+		newStart := states[t.Module].newBase + t.ModOff
+		for _, n := range t.Notes {
+			tgtAbs := states[n.Target].newBase + n.TargetOff
+			in := &nt.Insts[n.InstIdx]
+			switch n.Type {
+			case obj.RelPC32:
+				pc := newStart + uint32(n.InstIdx)*isa.InstSize
+				in.Imm = int32(tgtAbs - pc)
+			case obj.RelAbs32:
+				in.Imm = int32(tgtAbs)
+			}
+		}
+		nt.Start = newStart
+	}
+	nt.RecomputeStatic()
+	return nt
+}
+
+// currentModules snapshots the running process's file-backed mappings in
+// module order.
+func currentModules(v *vm.VM) ([]ModuleRecord, map[string]int) {
+	proc := v.Process()
+	mappings := proc.AS.Mappings()
+	byBase := make(map[uint32]mem.Mapping, len(mappings))
+	for _, mp := range mappings {
+		byBase[mp.Base] = mp
+	}
+	records := make([]ModuleRecord, len(proc.Modules))
+	byPath := make(map[string]int, len(proc.Modules))
+	for i, mod := range proc.Modules {
+		records[i] = moduleRecordFor(byBase[mod.Base])
+		byPath[records[i].Path] = i
+	}
+	return records, byPath
+}
+
+// Commit writes (or accumulates into) the persistent cache for the VM's key
+// set: "information is written to a persistent code cache whenever the
+// intra-execution code cache becomes full or the last thread of execution
+// performs the exit system call", and "the code coverage of a persistent
+// cache can be increased by repeatedly using it across executions of
+// different inputs, and adding newly discovered translations into it".
+func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The whole read-merge-write of the cache file must happen under the
+	// cross-process lock: two processes accumulating concurrently would
+	// otherwise each merge against the same prior file and the second
+	// rename would silently drop the first one's new traces.
+	unlock, err := m.lockDB()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	ks := KeysFor(v)
+	records, byPath := currentModules(v)
+
+	cf := &CacheFile{
+		AppKey:  ks.App,
+		VMKey:   ks.VM,
+		ToolKey: ks.Tool,
+		AppPath: records[0].Path,
+		Modules: records,
+	}
+
+	type traceKey struct {
+		path string
+		off  uint32
+	}
+	seen := make(map[traceKey]bool)
+	rep := &CommitReport{}
+
+	// Current run's traces first (they are authoritative for this layout).
+	for _, t := range v.Cache().Traces() {
+		if t.Module < 0 {
+			continue // dynamically generated code: never persisted
+		}
+		k := traceKey{records[t.Module].Path, t.ModOff}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cf.Traces = append(cf.Traces, t)
+		if !t.Persisted {
+			rep.NewTraces++
+		}
+	}
+
+	// Accumulate the prior cache's traces that this run did not
+	// re-discover, dropping any whose mappings went stale.
+	prior, err := m.Lookup(ks)
+	switch {
+	case err == nil:
+		rep.Accumulate = true
+		// When this run discovered nothing new and its layout matches the
+		// prior cache exactly, rewriting the file would buy nothing: skip
+		// the save entirely (reused runs then pay only the load cost).
+		if rep.NewTraces == 0 && len(cf.Traces) <= len(prior.Traces) && sameModules(cf.Modules, prior.Modules) {
+			rep.Skipped = true
+			rep.Traces = len(prior.Traces)
+			rep.CodePool = prior.CodePool
+			rep.DataPool = prior.DataPool
+			rep.File = filepath.Base(m.cachePath(ks))
+			return rep, nil
+		}
+		for _, t := range prior.Traces {
+			rec := prior.Modules[t.Module]
+			k := traceKey{rec.Path, t.ModOff}
+			if seen[k] {
+				continue
+			}
+			if !m.traceStillValid(prior, t, records, byPath) {
+				rep.Dropped++
+				continue
+			}
+			seen[k] = true
+			nt := remapPrior(prior, t, records, byPath, m.relocatable)
+			cf.Traces = append(cf.Traces, nt)
+		}
+	case errors.Is(err, ErrNoCache):
+		// First cache for this key set.
+	default:
+		return nil, err
+	}
+
+	sortTraces(cf)
+	cf.recomputePools()
+	path := m.cachePath(ks)
+	if err := cf.WriteFile(path); err != nil {
+		return nil, err
+	}
+	rep.Traces = len(cf.Traces)
+	rep.CodePool = cf.CodePool
+	rep.DataPool = cf.DataPool
+	rep.File = filepath.Base(path)
+	cost := v.Cost()
+	rep.Ticks = cost.PersistSaveFixed + cost.PersistSaveTrace*uint64(len(cf.Traces))
+
+	if err := m.updateIndexLocked(ks, cf, rep.File); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// traceStillValid checks whether a prior trace's own and referenced
+// mappings still hold in the current run (identically based, or rebasable
+// when the extension is on).
+func (m *Manager) traceStillValid(prior *CacheFile, t *vm.Trace, records []ModuleRecord, byPath map[string]int) bool {
+	check := func(mi int32) bool {
+		rec := prior.Modules[mi]
+		cur, ok := byPath[rec.Path]
+		if !ok {
+			return false
+		}
+		if records[cur].Key == rec.Key {
+			return true
+		}
+		return m.relocatable && records[cur].Content == rec.Content
+	}
+	if !check(t.Module) {
+		return false
+	}
+	for _, n := range t.Notes {
+		if !check(n.Target) {
+			return false
+		}
+	}
+	return true
+}
+
+// remapPrior rewrites a prior-cache trace onto the current module table,
+// rebasing if needed (only reachable when traceStillValid accepted it).
+func remapPrior(prior *CacheFile, t *vm.Trace, records []ModuleRecord, byPath map[string]int, relocatable bool) *vm.Trace {
+	states := make([]modState, len(prior.Modules))
+	rebase := false
+	for i, rec := range prior.Modules {
+		cur, ok := byPath[rec.Path]
+		if !ok {
+			states[i] = modState{status: modMissing}
+			continue
+		}
+		states[i] = modState{status: modOK, current: cur, newBase: records[cur].Base}
+		if records[cur].Key != rec.Key {
+			states[i].status = modRebase
+		}
+	}
+	if states[t.Module].status == modRebase {
+		rebase = true
+	}
+	for _, n := range t.Notes {
+		if states[n.Target].status == modRebase {
+			rebase = true
+		}
+	}
+	return copyTrace(t, states, rebase)
+}
+
+func sameModules(a, b []ModuleRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+func sortTraces(cf *CacheFile) {
+	sort.Slice(cf.Traces, func(i, j int) bool {
+		a, b := cf.Traces[i], cf.Traces[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		return a.ModOff < b.ModOff
+	})
+}
+
+// IndexEntry describes one cache file in the database index.
+type IndexEntry struct {
+	App      string `json:"app"`
+	VM       string `json:"vm"`
+	Tool     string `json:"tool"`
+	AppPath  string `json:"app_path"`
+	File     string `json:"file"`
+	Traces   int    `json:"traces"`
+	CodePool uint64 `json:"code_pool"`
+	DataPool uint64 `json:"data_pool"`
+}
+
+type indexFile struct {
+	Entries []IndexEntry `json:"entries"`
+}
+
+func (m *Manager) indexPath() string { return filepath.Join(m.dir, "index.json") }
+
+func (m *Manager) readIndex() (*indexFile, error) {
+	b, err := os.ReadFile(m.indexPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return &indexFile{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var idx indexFile
+	if err := json.Unmarshal(b, &idx); err != nil {
+		return nil, fmt.Errorf("core: corrupt index: %w", err)
+	}
+	return &idx, nil
+}
+
+// updateIndexLocked inserts or replaces the entry for file. The caller
+// must hold the database lock.
+func (m *Manager) updateIndexLocked(ks KeySet, cf *CacheFile, file string) error {
+	idx, err := m.readIndex()
+	if err != nil {
+		return err
+	}
+	entry := IndexEntry{
+		App: ks.App.Hex(), VM: ks.VM.Hex(), Tool: ks.Tool.Hex(),
+		AppPath: cf.AppPath, File: file, Traces: len(cf.Traces),
+		CodePool: cf.CodePool, DataPool: cf.DataPool,
+	}
+	replaced := false
+	for i := range idx.Entries {
+		if idx.Entries[i].File == file {
+			idx.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		idx.Entries = append(idx.Entries, entry)
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].File < idx.Entries[j].File })
+	b, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := m.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, m.indexPath())
+}
+
+// Entries lists the database index.
+func (m *Manager) Entries() ([]IndexEntry, error) {
+	idx, err := m.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	return idx.Entries, nil
+}
+
+// PruneReport summarizes database maintenance.
+type PruneReport struct {
+	DroppedEntries int // index entries whose cache file was gone
+	RemovedFiles   int // cache files not referenced by the index
+}
+
+// Prune reconciles the index with the directory contents: index entries
+// whose cache file has disappeared are dropped, and .pcc files the index
+// does not reference (e.g. left by a writer that crashed between the file
+// rename and the index update) are deleted.
+func (m *Manager) Prune() (*PruneReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	idx, err := m.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	rep := &PruneReport{}
+	kept := idx.Entries[:0]
+	referenced := make(map[string]bool)
+	for _, e := range idx.Entries {
+		if _, err := os.Stat(filepath.Join(m.dir, e.File)); err == nil {
+			kept = append(kept, e)
+			referenced[e.File] = true
+		} else {
+			rep.DroppedEntries++
+		}
+	}
+	idx.Entries = kept
+
+	files, err := filepath.Glob(filepath.Join(m.dir, "*.pcc"))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		if !referenced[filepath.Base(f)] {
+			if err := os.Remove(f); err == nil {
+				rep.RemovedFiles++
+			}
+		}
+	}
+
+	b, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmp := m.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, m.indexPath()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// lockTimeout bounds how long a writer waits for the database lock before
+// treating the holder as crashed and stealing it.
+var lockTimeout = 5 * time.Second
+
+// lockDB takes a best-effort advisory lock on the database directory.
+func (m *Manager) lockDB() (func(), error) {
+	lock := filepath.Join(m.dir, ".lock")
+	deadline := time.Now().Add(lockTimeout)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			// A crashed writer left the lock behind; steal it.
+			os.Remove(lock)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// Fig2a reproduces Figure 2(a): the behaviour of the SPEC2K INT benchmarks
+// under the VM without instrumentation. Each row shows the translation-
+// request timeline (vertical lines in the paper) over the run, plus the
+// fraction of run time spent generating code. 176.gcc must be the outlier
+// whose footprint is never captured: translation requests span the whole
+// execution and consume a large share of it.
+func Fig2a() (*Report, error) {
+	suite, err := specSuite()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("", "benchmark", "timeline (translation requests over run)", "VM overhead", "spread")
+	var gccOverhead, maxOther float64
+	for _, b := range suite {
+		out, err := run(runSpec{Prog: b.Prog, In: b.Ref[0], Options: []vm.Option{vm.WithTimeline()}})
+		if err != nil {
+			return nil, err
+		}
+		st := &out.Res.Stats
+		events := make([]uint64, len(st.Timeline))
+		for i, e := range st.Timeline {
+			events[i] = e.Tick
+		}
+		strip := stats.Timeline(events, st.Ticks, 60)
+		frac := float64(st.TransTicks) / float64(st.Ticks)
+		fill := stats.BucketFill(events, st.Ticks, 60)
+		tb.AddRow(b.Name, strip, stats.Pct(frac), stats.Pct(fill))
+		if b.Name == "176.gcc" {
+			gccOverhead = frac
+		} else if frac > maxOther {
+			maxOther = frac
+		}
+	}
+	rep := &Report{ID: "fig2a", Title: "SPEC2K behaviour under the VM (Reference inputs)", Body: tb.Render()}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("paper: gcc spends >60%% of its ref run generating code while the rest amortize; measured gcc %.0f%%, next-highest %.0f%%",
+			100*gccOverhead, 100*maxOther))
+	if gccOverhead < 2*maxOther {
+		rep.Notes = append(rep.Notes, "WARNING: gcc is not the clear outlier the paper reports")
+	}
+	return rep, nil
+}
+
+// Fig2b reproduces Figure 2(b): GUI startup overhead breakdown. Startup
+// under the VM is 20-100x slower than native, dominated by VM (translation)
+// overhead for all applications except File-Roller, whose emulated signal
+// handling makes its translated-code time the larger share.
+func Fig2b() (*Report, error) {
+	suite, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("", "application", "native", "under VM", "slowdown", "VM overhead", "translated+emul")
+	var fileRollerEmulDominates bool
+	minSlow, maxSlow := 1e9, 0.0
+	for _, app := range suite.Apps {
+		nat, err := run(runSpec{Prog: app.Prog, In: app.Startup, Cfg: guiCfg(), Native: true})
+		if err != nil {
+			return nil, err
+		}
+		pin, err := run(runSpec{Prog: app.Prog, In: app.Startup, Cfg: guiCfg()})
+		if err != nil {
+			return nil, err
+		}
+		st := &pin.Res.Stats
+		slow := float64(st.Ticks) / float64(nat.Res.Stats.Ticks)
+		trans := float64(st.TransTicks) / float64(st.Ticks)
+		rest := float64(st.TranslatedTicks()) / float64(st.Ticks)
+		tb.AddRow(app.Name, stats.Ms(nat.Res.Stats.Ticks), stats.Ms(st.Ticks),
+			stats.Ratio(slow), stats.Pct(trans), stats.Pct(rest))
+		if app.Name == "file-roller" && st.EmulTicks > st.TransTicks {
+			fileRollerEmulDominates = true
+		}
+		if slow < minSlow {
+			minSlow = slow
+		}
+		if slow > maxSlow {
+			maxSlow = slow
+		}
+	}
+	rep := &Report{ID: "fig2b", Title: "GUI startup overhead breakdown", Body: tb.Render()}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("paper: startup 20x-100x slower under the VM; measured %.0fx-%.0fx", minSlow, maxSlow))
+	if fileRollerEmulDominates {
+		rep.Notes = append(rep.Notes, "file-roller's signal emulation outweighs its translation cost, as in the paper")
+	} else {
+		rep.Notes = append(rep.Notes, "WARNING: file-roller emulation did not dominate")
+	}
+	return rep, nil
+}
+
+// Table1 reproduces Table 1: the GUI applications with the percentage of
+// startup code executed from shared libraries.
+func Table1() (*Report, error) {
+	suite, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("", "application", "% lib code (measured)", "% lib code (paper)")
+	for _, app := range suite.Apps {
+		cov, err := app.Prog.CoverageSet(guiCfg(), app.Startup)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(app.Name, stats.Pct(workload.LibCodeFraction(cov)), stats.Pct(app.PaperLibPct))
+	}
+	return &Report{ID: "table1", Title: "GUI applications: startup code from libraries", Body: tb.Render()}, nil
+}
+
+// Table2 reproduces Table 2: the number of common libraries between GUI
+// applications (diagonal = the application's own library count).
+func Table2() (*Report, error) {
+	suite, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(suite.Apps))
+	sets := make([]map[string]bool, len(suite.Apps))
+	for i, app := range suite.Apps {
+		names[i] = app.Name
+		sets[i] = map[string]bool{}
+		for _, l := range app.Prog.Libs {
+			sets[i][l.Name] = true
+		}
+	}
+	tb := stats.NewTable("", append([]string{""}, names...)...)
+	minShared := 1 << 30
+	for i := range suite.Apps {
+		row := []string{names[i]}
+		for j := range suite.Apps {
+			common := 0
+			for n := range sets[i] {
+				if sets[j][n] {
+					common++
+				}
+			}
+			row = append(row, fmt.Sprintf("%d", common))
+			if i != j && common < minShared {
+				minShared = common
+			}
+		}
+		tb.AddRow(row...)
+	}
+	rep := &Report{ID: "table2", Title: "Common libraries between GUI applications", Body: tb.Render()}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"paper: at least a third of each application's libraries are shared with the others; measured minimum pairwise sharing: %d libraries", minShared))
+	return rep, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"persistcc/internal/core"
+	"persistcc/internal/instr"
+	"persistcc/internal/isa"
+	"persistcc/internal/loader"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// OracleRegression reproduces the §4.2 Oracle headline numbers: a unit test
+// is the five phases run in sequence, each phase a separate process of the
+// same binary. Measured configurations: native, under the VM, under the VM
+// with a warm persistent cache database (the regression-test steady state),
+// and the same pair with memory-reference instrumentation — the paper's
+// "400% speedup ... in a regression testing environment".
+func OracleRegression() (*Report, error) {
+	ora, err := oracleSuite()
+	if err != nil {
+		return nil, err
+	}
+	total := func(tool vm.Tool, mgr *core.Manager, prime bool, commit bool, native bool) (uint64, error) {
+		var sum uint64
+		for _, ph := range ora.Phases {
+			s := runSpec{Prog: ora.Prog, In: ph, Cfg: loader.Config{}, Tool: tool, Native: native}
+			if mgr != nil {
+				s.Mgr = mgr
+				if prime {
+					s.Prime = primeSame
+				}
+				s.Commit = commit
+			}
+			out, err := run(s)
+			if err != nil {
+				return 0, err
+			}
+			sum += out.Res.Stats.Ticks
+		}
+		return sum, nil
+	}
+	warmDB := func(tool vm.Tool) (*core.Manager, func(), error) {
+		mgr, cleanup, err := tmpMgr()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Warm-up pass: phases accumulate their translations.
+		if _, err := total(tool, mgr, true, true, false); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return mgr, cleanup, nil
+	}
+
+	native, err := total(nil, nil, false, false, true)
+	if err != nil {
+		return nil, err
+	}
+	pin, err := total(nil, nil, false, false, false)
+	if err != nil {
+		return nil, err
+	}
+	mgr, cleanup, err := warmDB(nil)
+	if err != nil {
+		return nil, err
+	}
+	persisted, err := total(nil, mgr, true, false, false)
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+	mt := &instr.MemTrace{}
+	pinInstr, err := total(mt, nil, false, false, false)
+	if err != nil {
+		return nil, err
+	}
+	mgrI, cleanupI, err := warmDB(mt)
+	if err != nil {
+		return nil, err
+	}
+	persistedInstr, err := total(mt, mgrI, true, false, false)
+	cleanupI()
+	if err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable("one unit test = Start,Mount,Open,Work,Close", "configuration", "time", "vs native", "vs VM")
+	tb.AddRow("native", stats.Ms(native), "1.0x", "-")
+	tb.AddRow("under VM", stats.Ms(pin), stats.Ratio(float64(pin)/float64(native)), "1.0x")
+	tb.AddRow("VM + persistent caches", stats.Ms(persisted), stats.Ratio(float64(persisted)/float64(native)),
+		stats.Pct(stats.Improvement(pin, persisted))+" better")
+	tb.AddRow("VM + memtrace", stats.Ms(pinInstr), stats.Ratio(float64(pinInstr)/float64(native)), "-")
+	tb.AddRow("VM + memtrace + persistent caches", stats.Ms(persistedInstr),
+		stats.Ratio(float64(persistedInstr)/float64(native)),
+		fmt.Sprintf("%.1fx speedup", float64(pinInstr)/float64(persistedInstr)))
+
+	rep := &Report{ID: "oracle", Title: "Oracle regression testing", Body: tb.Render()}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("paper: ~80s native, ~1300s under Pin (16x), ~490s with persistence (63%% better); measured %s slowdown, %s improvement",
+			stats.Ratio(float64(pin)/float64(native)), stats.Pct(stats.Improvement(pin, persisted))),
+		fmt.Sprintf("paper: memtrace ~4x faster with persistence (the 400%% headline); measured %.1fx",
+			float64(pinInstr)/float64(persistedInstr)))
+	if float64(pinInstr)/float64(persistedInstr) < 2 {
+		rep.Notes = append(rep.Notes, "WARNING: instrumented persistence speedup below 2x")
+	}
+	return rep, nil
+}
+
+// PreTranslate reproduces the §5 comparison against static pre-translation:
+// translating the whole binary offline expands it by roughly an order of
+// magnitude, while a persistent cache holds only the code each run actually
+// executed.
+func PreTranslate() (*Report, error) {
+	ora, err := oracleSuite()
+	if err != nil {
+		return nil, err
+	}
+	// Actual per-phase cache sizes.
+	tb := stats.NewTable("", "configuration", "instructions", "size", "vs original binary")
+	proc, err := ora.Prog.Load(loader.Config{})
+	if err != nil {
+		return nil, err
+	}
+	var staticInsts, binaryBytes uint64
+	for _, m := range proc.Modules {
+		staticInsts += uint64(len(m.File.Text)) / isa.InstSize
+		binaryBytes += uint64(len(m.File.Text) + len(m.File.Data))
+	}
+
+	// Measure translated bytes-per-instruction from a real cache, then
+	// project the full static pre-translation.
+	mgr, cleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	var phaseRows []string
+	var lastCommit *core.CommitReport
+	var firstCacheBytes uint64
+	for i, ph := range ora.Phases {
+		out, err := run(runSpec{Prog: ora.Prog, In: ph, Cfg: loader.Config{}, Mgr: mgr, Prime: primeSame, Commit: true})
+		if err != nil {
+			return nil, err
+		}
+		lastCommit = out.Commit
+		if i == 0 {
+			firstCacheBytes = out.Commit.CodePool + out.Commit.DataPool
+		}
+		phaseRows = append(phaseRows, ph.Name)
+	}
+	_ = phaseRows
+	accumBytes := lastCommit.CodePool + lastCommit.DataPool
+	var cachedInsts uint64
+	// Bytes per translated instruction, from the accumulated cache.
+	ks, err := keysForProg(ora.Prog)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := mgr.Lookup(ks)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range cf.Traces {
+		cachedInsts += uint64(len(t.Insts))
+	}
+	bytesPerInst := float64(accumBytes) / float64(cachedInsts)
+	preBytes := uint64(bytesPerInst * float64(staticInsts))
+
+	// The paper's 10x expansion figure was measured *with instrumentation
+	// added*; project that too, from an instrumented cache.
+	mgrI, cleanupI, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupI()
+	outI, err := run(runSpec{Prog: ora.Prog, In: ora.Phases[0], Cfg: loader.Config{},
+		Tool: &instr.BBCount{PerInstruction: true}, Mgr: mgrI, Commit: true})
+	if err != nil {
+		return nil, err
+	}
+	instBytesPerInst := float64(outI.Commit.CodePool+outI.Commit.DataPool) /
+		float64(outI.Res.Stats.InstsTranslated)
+	preInstBytes := uint64(instBytesPerInst * float64(staticInsts))
+
+	tb.AddRow("original binary", fmt.Sprintf("%d", staticInsts), stats.Bytes(binaryBytes), "1.0x")
+	tb.AddRow("static pre-translation (whole binary)", fmt.Sprintf("%d", staticInsts), stats.Bytes(preBytes),
+		stats.Ratio(float64(preBytes)/float64(binaryBytes)))
+	tb.AddRow("static pre-translation, instrumented", fmt.Sprintf("%d", staticInsts), stats.Bytes(preInstBytes),
+		stats.Ratio(float64(preInstBytes)/float64(binaryBytes)))
+	tb.AddRow("persistent cache (Start phase only)", "-", stats.Bytes(firstCacheBytes),
+		stats.Ratio(float64(firstCacheBytes)/float64(binaryBytes)))
+	tb.AddRow("persistent cache (all phases accumulated)", fmt.Sprintf("%d", cachedInsts), stats.Bytes(accumBytes),
+		stats.Ratio(float64(accumBytes)/float64(binaryBytes)))
+
+	rep := &Report{ID: "pretranslate", Title: "Static pre-translation vs persistent caching", Body: tb.Render()}
+	rep.Notes = append(rep.Notes,
+		"paper: pre-translation showed ~10x code expansion in field experiments, impractical for 100MB binaries; persistent caches contain only executed code",
+		fmt.Sprintf("measured expansion %.1fx; a single phase's cache is %.1fx smaller than the pre-translated image",
+			float64(preBytes)/float64(binaryBytes), float64(preBytes)/float64(firstCacheBytes)))
+	return rep, nil
+}
+
+func keysForProg(p *workload.Program) (core.KeySet, error) {
+	proc, err := p.Load(loader.Config{})
+	if err != nil {
+		return core.KeySet{}, err
+	}
+	return core.KeysFor(vm.New(proc)), nil
+}

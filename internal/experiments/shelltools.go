@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"persistcc/internal/core"
+	"persistcc/internal/guestapps"
+	"persistcc/internal/loader"
+	"persistcc/internal/obj"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+)
+
+// ShellTools demonstrates inter-application persistence on the repository's
+// two real (hand-written, non-synthetic) guest programs: the calculator and
+// wc both link libvr.so. With hashed placement the library maps at the same
+// base in both, so wc's very first run reuses the library translations the
+// calculator generated — the paper's intro scenario ("applications
+// exhibiting cold code behavior are prevalent ... ranging from shell
+// programs to ...") on actual programs rather than generated workloads.
+func ShellTools() (*Report, error) {
+	calcExe, calcLibs, err := guestapps.BuildCalc()
+	if err != nil {
+		return nil, err
+	}
+	wcExe, wcLibs, err := guestapps.BuildWC()
+	if err != nil {
+		return nil, err
+	}
+	mgr, cleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	cfg := func(libs []*obj.File) loader.Config {
+		return loader.Config{
+			Placement: loader.PlaceHashed,
+			Resolve: func(name string) (*obj.File, int64, error) {
+				for _, l := range libs {
+					if l.Name == name {
+						return l, 1, nil
+					}
+				}
+				return nil, 0, fmt.Errorf("no %s", name)
+			},
+		}
+	}
+	runOne := func(mgr *core.Manager, exe *obj.File, libs []*obj.File, input []uint64, prime bool) (*vm.Result, *core.PrimeReport, error) {
+		p, err := loader.Load(exe, cfg(libs))
+		if err != nil {
+			return nil, nil, err
+		}
+		v := vm.New(p, vm.WithInput(input))
+		var rep *core.PrimeReport
+		if prime {
+			rep, err = mgr.Prime(v)
+			if errors.Is(err, core.ErrNoCache) {
+				rep, err = mgr.PrimeInterApp(v)
+			}
+			if err != nil && !errors.Is(err, core.ErrNoCache) {
+				return nil, nil, err
+			}
+		}
+		res, err := v.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := mgr.Commit(v); err != nil {
+			return nil, nil, err
+		}
+		return res, rep, nil
+	}
+
+	calcIn := guestapps.ExprInput("(13+29)*(7-2)")
+	wcIn := guestapps.TextInput("the quick brown fox\njumps over the lazy dog\n")
+
+	// Cold wc baseline, measured against an empty database.
+	baseMgr, baseCleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	wcCold, _, err := runOne(baseMgr, wcExe, wcLibs, wcIn, false)
+	baseCleanup()
+	if err != nil {
+		return nil, err
+	}
+
+	calcRes, _, err := runOne(mgr, calcExe, calcLibs, calcIn, true)
+	if err != nil {
+		return nil, err
+	}
+	wcRes, wcPrime, err := runOne(mgr, wcExe, wcLibs, wcIn, true)
+	if err != nil {
+		return nil, err
+	}
+	if string(wcRes.Output) != string(wcCold.Output) {
+		return nil, fmt.Errorf("shelltools: wc output diverged under inter-app reuse")
+	}
+
+	tb := stats.NewTable("calc and wc share libvr.so (hashed placement)",
+		"run", "VM overhead", "total", "traces reused", "translated", "output")
+	addRow := func(name string, res *vm.Result, reused int) {
+		tb.AddRow(name, stats.Ms(res.Stats.TransTicks), stats.Ms(res.Stats.Ticks),
+			fmt.Sprintf("%d", reused), fmt.Sprintf("%d", res.Stats.TracesTranslated),
+			firstLine(res.Output))
+	}
+	addRow("calc (cold, commits)", calcRes, 0)
+	addRow("wc cold (no database)", wcCold, 0)
+	addRow("wc first run, calc's cache", wcRes, wcPrime.Installed)
+
+	rep := &Report{ID: "shelltools", Title: "Inter-application persistence between real guest programs", Body: tb.Render()}
+	ovhImp := stats.Improvement(wcCold.Stats.TransTicks, wcRes.Stats.TransTicks)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"wc's first-ever run reuses %d of the library translations calc generated, cutting its VM overhead by %s (%d fewer traces to translate)",
+		wcPrime.Installed, stats.Pct(ovhImp), wcCold.Stats.TracesTranslated-wcRes.Stats.TracesTranslated),
+		"for programs this tiny the fixed cache-probe cost exceeds the end-to-end gain — the paper's mechanism pays off once footprints reach GUI/compiler scale (fig8, oracle); what this experiment shows is the sharing itself on real, hand-written programs")
+	if wcPrime.Installed == 0 {
+		rep.Notes = append(rep.Notes, "WARNING: no library translations were shared")
+	}
+	if wcRes.Stats.TransTicks >= wcCold.Stats.TransTicks {
+		rep.Notes = append(rep.Notes, "WARNING: VM overhead did not drop")
+	}
+	return rep, nil
+}
+
+func firstLine(out []byte) string {
+	for i, b := range out {
+		if b == '\n' {
+			return string(out[:i])
+		}
+	}
+	return string(out)
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "shelltools", Title: "Inter-application reuse between calc and wc (real programs)", Run: ShellTools,
+	})
+}

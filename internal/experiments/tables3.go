@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/stats"
+	"persistcc/internal/workload"
+)
+
+// coverageTableReport renders a measured coverage matrix next to the
+// paper's target table and reports the worst deviation.
+func coverageTableReport(id, title string, names []string, measured, paper [][]float64) *Report {
+	tb := stats.NewTable("measured (paper target in parentheses)", append([]string{""}, names...)...)
+	worst := 0.0
+	for i := range names {
+		row := []string{names[i]}
+		for j := range names {
+			row = append(row, fmt.Sprintf("%3.0f%% (%3.0f%%)", 100*measured[i][j], 100*paper[i][j]))
+			if i != j {
+				if d := math.Abs(measured[i][j] - paper[i][j]); d > worst {
+					worst = d
+				}
+			}
+		}
+		tb.AddRow(row...)
+	}
+	rep := &Report{ID: id, Title: title, Body: tb.Render()}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("worst off-diagonal deviation from the paper's table: %.1f points", 100*worst))
+	return rep
+}
+
+// Table3a reproduces Table 3(a): gcc's code coverage across its five
+// Reference inputs.
+func Table3a() (*Report, error) {
+	gcc, err := gccBench()
+	if err != nil {
+		return nil, err
+	}
+	m, err := gcc.Prog.CoverageMatrix(loader.Config{}, gcc.Ref)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"Input 1", "Input 2", "Input 3", "Input 4", "Input 5"}
+	return coverageTableReport("table3a", "176.gcc code coverage between inputs", names, m, workload.GCCCoverageTable), nil
+}
+
+// Table3b reproduces Table 3(b): Oracle's coverage between phases.
+func Table3b() (*Report, error) {
+	ora, err := oracleSuite()
+	if err != nil {
+		return nil, err
+	}
+	m, err := ora.Prog.CoverageMatrix(loader.Config{}, ora.Phases)
+	if err != nil {
+		return nil, err
+	}
+	return coverageTableReport("table3b", "Oracle code coverage between phases", workload.OraclePhases, m, workload.OracleCoverageTable), nil
+}

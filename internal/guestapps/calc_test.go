@@ -1,0 +1,261 @@
+package guestapps_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"persistcc/internal/core"
+	"persistcc/internal/guestapps"
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+// ast mirrors the guest grammar so expressions can be generated and
+// evaluated with exactly the guest's semantics (truncated signed division,
+// x/0 == 0).
+type ast struct {
+	op          byte // 'n' number, '+', '-', '*', '/', 'u' unary minus, 'p' parens
+	val         int64
+	left, right *ast
+}
+
+func (a *ast) eval() int64 {
+	switch a.op {
+	case 'n':
+		return a.val
+	case 'u':
+		return -a.left.eval()
+	case 'p':
+		return a.left.eval()
+	case '+':
+		return a.left.eval() + a.right.eval()
+	case '-':
+		return a.left.eval() - a.right.eval()
+	case '*':
+		return a.left.eval() * a.right.eval()
+	case '/':
+		l, r := a.left.eval(), a.right.eval()
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	}
+	panic("bad op")
+}
+
+func (a *ast) render(sb *strings.Builder, r *rand.Rand) {
+	pad := func() {
+		if r.Intn(3) == 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	switch a.op {
+	case 'n':
+		pad()
+		sb.WriteString(strconv.FormatInt(a.val, 10))
+	case 'u':
+		pad()
+		sb.WriteByte('-')
+		a.left.render(sb, r)
+	case 'p':
+		pad()
+		sb.WriteByte('(')
+		a.left.render(sb, r)
+		pad()
+		sb.WriteByte(')')
+	default:
+		// Fully parenthesize binary expressions: the generator does not
+		// track precedence, so the textual form must be unambiguous.
+		pad()
+		sb.WriteByte('(')
+		a.left.render(sb, r)
+		pad()
+		sb.WriteByte(a.op)
+		a.right.render(sb, r)
+		pad()
+		sb.WriteByte(')')
+	}
+}
+
+// genAST builds a random expression. Division denominators are parenthesized
+// nonzero literals so guest and host agree without div-by-zero paths
+// (which are also tested, separately and explicitly).
+func genAST(r *rand.Rand, depth int) *ast {
+	if depth == 0 || r.Intn(4) == 0 {
+		return &ast{op: 'n', val: int64(r.Intn(1000))}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &ast{op: 'u', left: &ast{op: 'p', left: genAST(r, depth-1)}}
+	case 1:
+		return &ast{op: 'p', left: genAST(r, depth-1)}
+	case 2:
+		return &ast{op: '*', left: genAST(r, depth-1), right: &ast{op: 'n', val: int64(1 + r.Intn(50))}}
+	case 3:
+		return &ast{op: '/', left: genAST(r, depth-1), right: &ast{op: 'p', left: &ast{op: 'n', val: int64(1 + r.Intn(99))}}}
+	case 4:
+		return &ast{op: '-', left: genAST(r, depth-1), right: genAST(r, depth-1)}
+	default:
+		return &ast{op: '+', left: genAST(r, depth-1), right: genAST(r, depth-1)}
+	}
+}
+
+func runCalc(t *testing.T, expr string, opts ...vm.Option) *vm.Result {
+	t.Helper()
+	exe, libs, err := guestapps.BuildCalc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := testprog.Load(exe, libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]vm.Option{vm.WithInput(guestapps.ExprInput(expr))}, opts...)
+	res, err := vm.New(p, opts...).Run()
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	return res
+}
+
+func TestCalcBasics(t *testing.T) {
+	cases := map[string]int64{
+		"1+2":                 3,
+		"2*3+4":               10,
+		"2+3*4":               14,
+		"(2+3)*4":             20,
+		"100/7":               14,
+		"10-2-3":              5, // left associative
+		"100/10/5":            2,
+		"-5+8":                3,
+		"-(2+3)*-(4)":         20,
+		" 1 + 2 * ( 3 - 1 ) ": 5,
+		"0":                   0,
+		"7/0":                 0, // guest semantics: division by zero yields 0
+	}
+	for expr, want := range cases {
+		res := runCalc(t, expr)
+		if int64(int16(res.ExitCode)) != int64(int16(want&0xffff)) {
+			t.Errorf("%q: exit %d, want %d", expr, res.ExitCode, want&0xffff)
+		}
+		wantOut := strconv.FormatInt(want, 10) + "\n"
+		if want < 0 {
+			wantOut = "-" + strconv.FormatInt(-want, 10) + "\n"
+		}
+		if string(res.Output) != wantOut {
+			t.Errorf("%q: output %q, want %q", expr, res.Output, wantOut)
+		}
+	}
+}
+
+// TestCalcDifferential compares the guest evaluator against a host-side
+// evaluation of randomly generated expressions.
+func TestCalcDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		a := genAST(r, 4)
+		var sb strings.Builder
+		a.render(&sb, r)
+		expr := sb.String()
+		want := a.eval()
+
+		res := runCalc(t, expr)
+		if uint16(res.ExitCode) != uint16(want) {
+			t.Fatalf("trial %d: %q -> exit %d, want low bits of %d", trial, expr, res.ExitCode, want)
+		}
+		wantOut := fmt.Sprintf("%d\n", want)
+		if string(res.Output) != wantOut {
+			t.Fatalf("trial %d: %q -> %q, want %q", trial, expr, res.Output, wantOut)
+		}
+	}
+}
+
+// TestCalcRegressionWithPersistence models the paper's compiler regression
+// scenario: hundreds of short tests of one binary, with persistent cache
+// accumulation across them. The warm tests must reuse everything and total
+// time must drop substantially.
+func TestCalcRegressionWithPersistence(t *testing.T) {
+	exe, libs, err := guestapps.BuildCalc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mgr, err := core.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	exprs := make([]string, 12)
+	wants := make([]int64, 12)
+	for i := range exprs {
+		a := genAST(r, 3)
+		var sb strings.Builder
+		a.render(&sb, r)
+		exprs[i] = sb.String()
+		wants[i] = a.eval()
+	}
+	runSuite := func(persist bool) (total uint64, translated uint64) {
+		for i, expr := range exprs {
+			p, err := testprog.Load(exe, libs, loader.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := vm.New(p, vm.WithInput(guestapps.ExprInput(expr)))
+			if persist {
+				if _, err := mgr.Prime(v); err != nil && err != core.ErrNoCache {
+					t.Fatal(err)
+				}
+			}
+			res, err := v.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint16(res.ExitCode) != uint16(wants[i]) {
+				t.Fatalf("test %d (%q) wrong result", i, expr)
+			}
+			if persist {
+				crep, err := mgr.Commit(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Stats.Ticks += crep.Ticks
+			}
+			total += res.Stats.Ticks
+			translated += res.Stats.TracesTranslated
+		}
+		return total, translated
+	}
+
+	coldTotal, _ := runSuite(false)
+	warmup, _ := runSuite(true) // first persistent pass accumulates
+	steady, steadyTranslated := runSuite(true)
+	if steadyTranslated != 0 {
+		t.Errorf("steady-state regression pass still translated %d traces", steadyTranslated)
+	}
+	if steady >= coldTotal {
+		t.Errorf("persistence did not pay off: cold %d, steady %d (warmup %d)", coldTotal, steady, warmup)
+	}
+	imp := 1 - float64(steady)/float64(coldTotal)
+	t.Logf("regression suite: cold %d ticks, steady %d ticks (%.0f%% improvement)", coldTotal, steady, 100*imp)
+	if imp < 0.3 {
+		t.Errorf("steady-state improvement only %.0f%%", 100*imp)
+	}
+}
+
+func TestExprInput(t *testing.T) {
+	w := guestapps.ExprInput("1+2")
+	if len(w) != 2 || w[0] != 3 {
+		t.Fatalf("words = %v", w)
+	}
+	if w[1] != uint64('1')|uint64('+')<<8|uint64('2')<<16 {
+		t.Fatalf("packing wrong: %#x", w[1])
+	}
+	long := guestapps.ExprInput("123456789")
+	if len(long) != 3 || long[0] != 9 {
+		t.Fatalf("long packing wrong: %v", long)
+	}
+}

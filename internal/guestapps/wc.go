@@ -1,0 +1,100 @@
+package guestapps
+
+import (
+	"fmt"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/link"
+	"persistcc/internal/obj"
+	"persistcc/internal/vrlib"
+)
+
+// WCName is the word-count executable's module name.
+const WCName = "wc"
+
+// WCSource is a classic wc: it counts lines, words and bytes of the
+// length-prefixed text in the input block (see TextInput) and prints the
+// three counts, one per line, via libvr.so. The exit code is
+// (lines*10000 + words*100 + bytes) masked to 16 bits — enough for the
+// tests' cross-checking.
+//
+// A word is a maximal run of non-whitespace; whitespace is space, tab and
+// newline.
+const WCSource = `
+.equ INPUT, 0x08000000
+.text
+.global _start
+_start:
+	movi t0, INPUT
+	ld   s0, 0(t0)       ; remaining bytes
+	addi s1, t0, 8       ; cursor
+	movi s2, 0           ; lines
+	movi s3, 0           ; words
+	mv   s4, s0          ; bytes
+	movi s5, 0           ; in-word flag
+wc_loop:
+	beqz s0, wc_done
+	lbu  t1, 0(s1)
+	addi s1, s1, 1
+	addi s0, s0, -1
+	; newline?
+	movi t2, '\n'
+	bne  t1, t2, wc_notnl
+	addi s2, s2, 1
+wc_notnl:
+	; whitespace?
+	movi t2, ' '
+	beq  t1, t2, wc_ws
+	movi t2, '\t'
+	beq  t1, t2, wc_ws
+	movi t2, '\n'
+	beq  t1, t2, wc_ws
+	; non-whitespace: starting a new word?
+	bnez s5, wc_loop
+	movi s5, 1
+	addi s3, s3, 1
+	j    wc_loop
+wc_ws:
+	movi s5, 0
+	j    wc_loop
+wc_done:
+	mv   a0, s2
+	call print_u64
+	mv   a0, s3
+	call print_u64
+	mv   a0, s4
+	call print_u64
+	; exit code packs the three counts
+	muli t0, s2, 10000
+	muli t1, s3, 100
+	add  t0, t0, t1
+	add  t0, t0, s4
+	andi a1, t0, 0xffff
+	movi a0, 1
+	sys
+	halt
+`
+
+// BuildWC assembles and links wc against libvr.so.
+func BuildWC() (*obj.File, []*obj.File, error) {
+	lib, err := vrlib.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := asm.Assemble("wc.o", WCSource)
+	if err != nil {
+		return nil, nil, fmt.Errorf("guestapps: %w", err)
+	}
+	exe, err := link.Link(link.Input{
+		Name: WCName, Kind: obj.KindExec,
+		Objects: []*obj.File{o}, Libs: []*obj.File{lib},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("guestapps: %w", err)
+	}
+	return exe, []*obj.File{lib}, nil
+}
+
+// TextInput packs arbitrary text for the input block, same layout as
+// ExprInput: a length word followed by the bytes.
+func TextInput(text string) []uint64 { return ExprInput(text) }

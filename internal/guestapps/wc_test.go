@@ -1,0 +1,92 @@
+package guestapps_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"persistcc/internal/guestapps"
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+// hostWC mirrors the guest semantics exactly.
+func hostWC(s string) (lines, words, bytes int) {
+	bytes = len(s)
+	in := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' {
+			lines++
+		}
+		if c == ' ' || c == '\t' || c == '\n' {
+			in = false
+		} else if !in {
+			in = true
+			words++
+		}
+	}
+	return
+}
+
+func runWC(t *testing.T, text string) *vm.Result {
+	t.Helper()
+	exe, libs, err := guestapps.BuildWC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := testprog.Load(exe, libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.New(p, vm.WithInput(guestapps.TextInput(text))).Run()
+	if err != nil {
+		t.Fatalf("%q: %v", text, err)
+	}
+	return res
+}
+
+func TestWCBasics(t *testing.T) {
+	cases := []string{
+		"",
+		"hello\n",
+		"hello world\n",
+		"one two\tthree\nfour\n",
+		"  leading and   multiple   spaces ",
+		"\n\n\n",
+		"no-trailing-newline",
+	}
+	for _, text := range cases {
+		l, w, b := hostWC(text)
+		res := runWC(t, text)
+		wantOut := fmt.Sprintf("%d\n%d\n%d\n", l, w, b)
+		if string(res.Output) != wantOut {
+			t.Errorf("%q: output %q, want %q", text, res.Output, wantOut)
+		}
+		wantExit := uint64(l*10000+w*100+b) & 0xffff
+		if res.ExitCode != wantExit {
+			t.Errorf("%q: exit %d, want %d", text, res.ExitCode, wantExit)
+		}
+	}
+}
+
+func TestWCDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	alphabet := "ab \t\nxyz  \n"
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(300)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		text := sb.String()
+		l, w, b := hostWC(text)
+		res := runWC(t, text)
+		wantOut := fmt.Sprintf("%d\n%d\n%d\n", l, w, b)
+		if string(res.Output) != wantOut {
+			t.Fatalf("trial %d (%q): output %q, want %q", trial, text, res.Output, wantOut)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package instr
+
+import (
+	"sort"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/vm"
+)
+
+// CovKey identifies one static instruction in base-independent coordinates:
+// the module index it belongs to and its module-relative offset. Module
+// indices follow load order, which is deterministic for a fixed dependency
+// set, so keys are comparable across runs of the same program — including
+// runs under address-space randomization.
+type CovKey struct {
+	Module int32
+	Off    uint32
+}
+
+// CodeCov is the code-coverage characterization tool the paper motivates
+// for regression testing ("instrumentation enables tasks like code coverage
+// characterization ... to aid debugging"). It records, at trace granularity,
+// every static instruction executed. One tool instance may be shared across
+// several runs (e.g. a whole regression suite) to accumulate suite-level
+// coverage.
+type CodeCov struct {
+	// PerInstruction selects exact coverage: one analysis op per
+	// instruction, so only instructions that actually executed are
+	// recorded. The default (trace granularity) is far cheaper but
+	// over-approximates: a trace's speculative tail past a
+	// conditional branch counts as covered even when never reached,
+	// exactly as in trace-granular Pin coverage tools.
+	PerInstruction bool
+
+	covered map[CovKey]struct{}
+}
+
+// NewCodeCov returns an empty trace-granular coverage recorder.
+func NewCodeCov() *CodeCov {
+	return &CodeCov{covered: make(map[CovKey]struct{})}
+}
+
+// NewExactCodeCov returns an instruction-exact coverage recorder.
+func NewExactCodeCov() *CodeCov {
+	return &CodeCov{PerInstruction: true, covered: make(map[CovKey]struct{})}
+}
+
+// Name implements vm.Tool.
+func (c *CodeCov) Name() string { return "codecov" }
+
+// Version implements vm.Tool.
+func (c *CodeCov) Version() string { return "1.0" }
+
+// ConfigHash implements vm.Tool.
+func (c *CodeCov) ConfigHash() uint64 {
+	if c.PerInstruction {
+		return hashConfig("codecov", "inst")
+	}
+	return hashConfig("codecov", "trace")
+}
+
+// Instrument inserts one analysis op at each trace head. The op argument
+// packs (module, ninsts, offset) so the handler can mark the whole trace
+// covered; traces from dynamically generated code are skipped (they have
+// no stable identity).
+func (c *CodeCov) Instrument(tc *vm.TraceContext) {
+	if tc.Module() < 0 {
+		return
+	}
+	if c.PerInstruction {
+		for i := range tc.Insts() {
+			arg := pack(tc.Module(), 1, tc.ModOff()+uint32(i)*isa.InstSize)
+			tc.InsertBefore(i, vm.OpKindCustom, arg, 2)
+		}
+		return
+	}
+	tc.InsertBefore(0, vm.OpKindCustom, pack(tc.Module(), len(tc.Insts()), tc.ModOff()), 3)
+}
+
+func pack(module int32, n int, off uint32) uint64 {
+	return uint64(uint16(module))<<48 | uint64(uint16(n))<<32 | uint64(off)
+}
+
+// HandleOp implements vm.OpHandler.
+func (c *CodeCov) HandleOp(_ *vm.VM, _ *vm.Trace, op vm.AnalysisOp, _ int) {
+	module := int32(uint16(op.Arg >> 48))
+	n := int(uint16(op.Arg >> 32))
+	off := uint32(op.Arg)
+	for i := 0; i < n; i++ {
+		c.covered[CovKey{Module: module, Off: off + uint32(i)*isa.InstSize}] = struct{}{}
+	}
+}
+
+// Count returns the number of covered static instructions.
+func (c *CodeCov) Count() int { return len(c.covered) }
+
+// Covered reports whether the key was executed.
+func (c *CodeCov) Covered(k CovKey) bool {
+	_, ok := c.covered[k]
+	return ok
+}
+
+// Keys returns the covered set, sorted by (module, offset).
+func (c *CodeCov) Keys() []CovKey {
+	out := make([]CovKey, 0, len(c.covered))
+	for k := range c.covered {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// Diff returns the keys covered by c but not by other — the regression-
+// testing question "which code did this test exercise that the baseline
+// did not?".
+func (c *CodeCov) Diff(other *CodeCov) []CovKey {
+	var out []CovKey
+	for _, k := range c.Keys() {
+		if !other.Covered(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CoverageOf returns |c ∩ other| / |c|, the paper's coverage metric.
+func (c *CodeCov) CoverageOf(other *CodeCov) float64 {
+	if len(c.covered) == 0 {
+		return 0
+	}
+	n := 0
+	for k := range c.covered {
+		if other.Covered(k) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.covered))
+}

@@ -1,0 +1,140 @@
+package instr_test
+
+import (
+	"errors"
+	"testing"
+
+	"persistcc/internal/core"
+	"persistcc/internal/instr"
+	"persistcc/internal/loader"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// covProgram has two selectable regions so inputs exercise different code.
+func covProgram(t *testing.T) *workload.Program {
+	t.Helper()
+	prog, err := workload.BuildProgram(workload.ProgSpec{
+		Name: "covapp",
+		Seed: 5,
+		Regions: []workload.RegionSpec{
+			{Funcs: 6, Module: 0},
+			{Funcs: 4, Module: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runCov(t *testing.T, prog *workload.Program, cov *instr.CodeCov, in workload.Input, cfg loader.Config, mgr *core.Manager) *vm.Result {
+	t.Helper()
+	v, err := prog.NewVM(cfg, in, vm.WithTool(cov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr != nil {
+		if _, err := mgr.Prime(v); err != nil && !errors.Is(err, core.ErrNoCache) {
+			t.Fatal(err)
+		}
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr != nil {
+		if _, err := mgr.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res
+}
+
+func TestCodeCovDistinguishesInputs(t *testing.T) {
+	prog := covProgram(t)
+	inA := workload.Input{Name: "a", Units: []workload.Unit{{Entry: 0, Iters: 2}}}
+	inB := workload.Input{Name: "b", Units: []workload.Unit{{Entry: 1, Iters: 2}}}
+	inAll := workload.Input{Name: "all", Units: []workload.Unit{{Entry: 0, Iters: 1}, {Entry: 1, Iters: 1}}}
+
+	// Exact mode: the superset property below only holds for
+	// instruction-accurate coverage (trace granularity includes
+	// speculative tails that differ between runs).
+	covA, covB, covAll := instr.NewExactCodeCov(), instr.NewExactCodeCov(), instr.NewExactCodeCov()
+	runCov(t, prog, covA, inA, loader.Config{}, nil)
+	runCov(t, prog, covB, inB, loader.Config{}, nil)
+	runCov(t, prog, covAll, inAll, loader.Config{}, nil)
+
+	if covA.Count() == 0 || covB.Count() == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	// Region 0 has more functions than region 1.
+	if covA.Count() <= covB.Count() {
+		t.Errorf("region sizes not reflected: A=%d B=%d", covA.Count(), covB.Count())
+	}
+	// The all-input run covers everything either individual input reached:
+	// CoverageOf(c, other) is the fraction of c's code also in other.
+	if covA.CoverageOf(covAll) < 0.999 || covB.CoverageOf(covAll) < 0.999 {
+		t.Error("superset input does not cover individual inputs")
+	}
+	// Diff finds B's private region from A's perspective.
+	diff := covB.Diff(covA)
+	if len(diff) == 0 {
+		t.Fatal("diff empty despite disjoint regions")
+	}
+	// A and B share only the driver/dispatch code.
+	shared := covA.CoverageOf(covB)
+	if shared > 0.5 {
+		t.Errorf("A covered by B = %.2f, expected mostly disjoint", shared)
+	}
+	// Keys are sorted.
+	keys := covAll.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Module > keys[i].Module ||
+			(keys[i-1].Module == keys[i].Module && keys[i-1].Off >= keys[i].Off) {
+			t.Fatal("keys not sorted")
+		}
+	}
+}
+
+func TestCodeCovStableUnderPersistenceAndASLR(t *testing.T) {
+	prog := covProgram(t)
+	in := workload.Input{Name: "a", Units: []workload.Unit{{Entry: 0, Iters: 3}, {Entry: 1, Iters: 1}}}
+	dir := t.TempDir()
+	mgr, err := core.NewManager(dir, core.WithRelocatable())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := instr.NewCodeCov()
+	r1 := runCov(t, prog, cold, in, loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 7}, mgr)
+
+	// Second run: different ASLR seed, traces rebased from the cache —
+	// the coverage report must be identical (module-relative keys).
+	warm := instr.NewCodeCov()
+	r2 := runCov(t, prog, warm, in, loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 8}, mgr)
+
+	if r1.ExitCode != r2.ExitCode {
+		t.Fatal("runs diverged")
+	}
+	if r2.Stats.TracesTranslated != 0 {
+		t.Errorf("relocatable reuse still translated %d traces", r2.Stats.TracesTranslated)
+	}
+	if cold.Count() != warm.Count() {
+		t.Fatalf("coverage differs: cold %d, warm %d", cold.Count(), warm.Count())
+	}
+	if cold.CoverageOf(warm) != 1 || warm.CoverageOf(cold) != 1 {
+		t.Error("coverage sets differ between cold and rebased runs")
+	}
+}
+
+func TestCodeCovAccumulatesAcrossRuns(t *testing.T) {
+	prog := covProgram(t)
+	suiteCov := instr.NewCodeCov()
+	runCov(t, prog, suiteCov, workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 1}}}, loader.Config{}, nil)
+	afterA := suiteCov.Count()
+	runCov(t, prog, suiteCov, workload.Input{Units: []workload.Unit{{Entry: 1, Iters: 1}}}, loader.Config{}, nil)
+	if suiteCov.Count() <= afterA {
+		t.Error("suite-level accumulation did not grow")
+	}
+}

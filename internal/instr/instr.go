@@ -1,0 +1,135 @@
+// Package instr provides the standard instrumentation tools (the analogs of
+// stock Pintools) built on the VM's client API (vm.Tool): basic-block
+// counting, memory-reference tracing, and opcode-mix profiling.
+//
+// A tool's identity — name, version, configuration hash — feeds the
+// persistence tool key. Persistent caches contain the instrumented traces,
+// so two runs may share a cache only when they are "instrumented
+// identically"; changing any knob below changes the key and invalidates
+// prior caches, exactly as the paper requires.
+package instr
+
+import (
+	"hash/fnv"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/vm"
+)
+
+// BBCount counts executions of every trace head: the detailed basic-block
+// profiling tool of Figure 5(b). Counters are keyed by trace start address.
+type BBCount struct {
+	// PerInstruction additionally annotates every instruction (heavier
+	// instrumentation, larger VM overhead).
+	PerInstruction bool
+}
+
+// Name implements vm.Tool.
+func (b *BBCount) Name() string { return "bbcount" }
+
+// Version implements vm.Tool.
+func (b *BBCount) Version() string { return "1.0" }
+
+// ConfigHash implements vm.Tool.
+func (b *BBCount) ConfigHash() uint64 {
+	if b.PerInstruction {
+		return hashConfig("bbcount", "perinst")
+	}
+	return hashConfig("bbcount", "trace")
+}
+
+// Instrument implements vm.Tool.
+func (b *BBCount) Instrument(tc *vm.TraceContext) {
+	tc.InsertBefore(0, vm.OpKindCount, uint64(tc.Start()), 4)
+	if b.PerInstruction {
+		for i := 1; i < len(tc.Insts()); i++ {
+			tc.InsertBefore(i, vm.OpKindCount, uint64(tc.PCOf(i)), 2)
+		}
+	}
+}
+
+// MemTrace records every memory reference (the "instrumenting memory
+// references" workload of the Oracle evaluation in §4.2).
+type MemTrace struct {
+	// LoadsOnly restricts instrumentation to loads.
+	LoadsOnly bool
+}
+
+// Name implements vm.Tool.
+func (m *MemTrace) Name() string { return "memtrace" }
+
+// Version implements vm.Tool.
+func (m *MemTrace) Version() string { return "1.0" }
+
+// ConfigHash implements vm.Tool.
+func (m *MemTrace) ConfigHash() uint64 {
+	if m.LoadsOnly {
+		return hashConfig("memtrace", "loads")
+	}
+	return hashConfig("memtrace", "all")
+}
+
+// Instrument implements vm.Tool.
+func (m *MemTrace) Instrument(tc *vm.TraceContext) {
+	for i, in := range tc.Insts() {
+		if !in.IsMem() {
+			continue
+		}
+		if m.LoadsOnly && isa.Classify(in.Op) != isa.ClassLoad {
+			continue
+		}
+		// Recording a reference (address formation, buffer append, the
+		// analysis routine call) is far costlier than the instruction it
+		// shadows — the paper's memory instrumentation quadruples Oracle's
+		// run time.
+		tc.InsertBefore(i, vm.OpKindMemRef, 0, 48)
+	}
+}
+
+// OpcodeMix tallies dynamic opcode frequencies.
+type OpcodeMix struct{}
+
+// Name implements vm.Tool.
+func (o *OpcodeMix) Name() string { return "opcodemix" }
+
+// Version implements vm.Tool.
+func (o *OpcodeMix) Version() string { return "1.0" }
+
+// ConfigHash implements vm.Tool.
+func (o *OpcodeMix) ConfigHash() uint64 { return hashConfig("opcodemix", "") }
+
+// Instrument implements vm.Tool.
+func (o *OpcodeMix) Instrument(tc *vm.TraceContext) {
+	for i := range tc.Insts() {
+		tc.InsertBefore(i, vm.OpKindOpcodeMix, 0, 2)
+	}
+}
+
+// ByName returns a stock tool by name ("bbcount", "bbcount-inst",
+// "memtrace", "opcodemix", "codecov", "codecov-inst"), or nil.
+func ByName(name string) vm.Tool {
+	switch name {
+	case "bbcount":
+		return &BBCount{}
+	case "bbcount-inst":
+		return &BBCount{PerInstruction: true}
+	case "memtrace":
+		return &MemTrace{}
+	case "opcodemix":
+		return &OpcodeMix{}
+	case "codecov":
+		return NewCodeCov()
+	case "codecov-inst":
+		return NewExactCodeCov()
+	}
+	return nil
+}
+
+func hashConfig(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

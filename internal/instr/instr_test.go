@@ -1,0 +1,183 @@
+package instr_test
+
+import (
+	"testing"
+
+	"persistcc/internal/instr"
+	"persistcc/internal/isa"
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+const loopSrc = `
+.text
+.global _start
+_start:
+	movi t0, 10
+	la   t1, buf
+loop:
+	ld   t2, 0(t1)
+	addi t2, t2, 1
+	sd   t2, 0(t1)
+	addi t0, t0, -1
+	bnez t0, loop
+	movi a0, 1
+	mv   a1, t2
+	sys
+	halt
+.bss
+buf:	.space 8
+`
+
+func run(t *testing.T, tool vm.Tool) *vm.Result {
+	t.Helper()
+	exe, libs, err := testprog.Build("prog", loopSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := testprog.Load(exe, libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []vm.Option{}
+	if tool != nil {
+		opts = append(opts, vm.WithTool(tool))
+	}
+	res, err := vm.New(p, opts...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 10 {
+		t.Fatalf("exit = %d, want 10", res.ExitCode)
+	}
+	return res
+}
+
+func TestBBCount(t *testing.T) {
+	res := run(t, &instr.BBCount{})
+	if len(res.Stats.Counters) == 0 {
+		t.Fatal("no counters recorded")
+	}
+	var total uint64
+	for _, c := range res.Stats.Counters {
+		total += c
+	}
+	if total != res.Stats.TraceExecs {
+		t.Errorf("bb count total %d != trace execs %d", total, res.Stats.TraceExecs)
+	}
+}
+
+func TestBBCountPerInstruction(t *testing.T) {
+	light := run(t, &instr.BBCount{})
+	heavy := run(t, &instr.BBCount{PerInstruction: true})
+	if heavy.Stats.TransTicks <= light.Stats.TransTicks {
+		t.Error("per-instruction instrumentation did not increase VM overhead")
+	}
+	if heavy.Stats.OpTicks <= light.Stats.OpTicks {
+		t.Error("per-instruction instrumentation did not increase analysis time")
+	}
+	var heavyTotal uint64
+	for _, c := range heavy.Stats.Counters {
+		heavyTotal += c
+	}
+	if heavyTotal != heavy.Stats.InstsExecuted {
+		t.Errorf("per-inst counters %d != instructions executed %d", heavyTotal, heavy.Stats.InstsExecuted)
+	}
+}
+
+func TestMemTrace(t *testing.T) {
+	res := run(t, &instr.MemTrace{})
+	// The loop does 1 ld + 1 sd per iteration, 10 iterations.
+	if res.Stats.MemRefs != 20 {
+		t.Errorf("MemRefs = %d, want 20", res.Stats.MemRefs)
+	}
+	if res.Stats.MemRefHash == 0 {
+		t.Error("MemRefHash not updated")
+	}
+	loads := run(t, &instr.MemTrace{LoadsOnly: true})
+	if loads.Stats.MemRefs != 10 {
+		t.Errorf("LoadsOnly MemRefs = %d, want 10", loads.Stats.MemRefs)
+	}
+}
+
+func TestOpcodeMix(t *testing.T) {
+	res := run(t, &instr.OpcodeMix{})
+	mix := res.Stats.OpcodeMix
+	if mix[isa.OpLd] != 10 || mix[isa.OpSd] != 10 {
+		t.Errorf("ld/sd counts = %d/%d, want 10/10", mix[isa.OpLd], mix[isa.OpSd])
+	}
+	if mix[isa.OpBne] != 10 {
+		t.Errorf("bne count = %d, want 10", mix[isa.OpBne])
+	}
+	var total uint64
+	for _, c := range mix {
+		total += c
+	}
+	if total != res.Stats.InstsExecuted {
+		t.Errorf("opcode mix total %d != executed %d", total, res.Stats.InstsExecuted)
+	}
+}
+
+func TestUninstrumentedBaseline(t *testing.T) {
+	plain := run(t, nil)
+	instrumented := run(t, &instr.BBCount{})
+	if instrumented.Stats.Ticks <= plain.Stats.Ticks {
+		t.Error("instrumentation is free; it must cost ticks")
+	}
+	if plain.Stats.OpTicks != 0 {
+		t.Error("uninstrumented run has analysis ticks")
+	}
+}
+
+func TestToolKeysDiffer(t *testing.T) {
+	tools := []vm.Tool{
+		&instr.BBCount{}, &instr.BBCount{PerInstruction: true},
+		&instr.MemTrace{}, &instr.MemTrace{LoadsOnly: true},
+		&instr.OpcodeMix{},
+	}
+	seen := map[uint64]string{}
+	for _, tool := range tools {
+		h := tool.ConfigHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("config hash collision: %s vs %s/%v", prev, tool.Name(), tool)
+		}
+		seen[h] = tool.Name()
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"bbcount", "bbcount-inst", "memtrace", "opcodemix"} {
+		if instr.ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if instr.ByName("nope") != nil {
+		t.Error("ByName accepted unknown tool")
+	}
+}
+
+// customTool exercises the OpKindCustom dispatch path.
+type customTool struct {
+	hits int
+}
+
+func (c *customTool) Name() string       { return "custom" }
+func (c *customTool) Version() string    { return "0.1" }
+func (c *customTool) ConfigHash() uint64 { return 1 }
+func (c *customTool) Instrument(tc *vm.TraceContext) {
+	tc.InsertBefore(0, vm.OpKindCustom, 7, 3)
+}
+func (c *customTool) HandleOp(v *vm.VM, t *vm.Trace, op vm.AnalysisOp, instIdx int) {
+	if op.Arg == 7 {
+		c.hits++
+	}
+}
+
+func TestCustomTool(t *testing.T) {
+	tool := &customTool{}
+	res := run(t, tool)
+	if uint64(tool.hits) != res.Stats.TraceExecs {
+		t.Errorf("custom hits %d != trace execs %d", tool.hits, res.Stats.TraceExecs)
+	}
+}

@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regNames maps register numbers to their ABI names.
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5", "a6",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+}
+
+// RegName returns the ABI name of register r ("zero", "ra", "sp", ...).
+func RegName(r uint8) string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// RegByName resolves an ABI name ("a0") or a raw name ("r5") to a register
+// number.
+func RegByName(name string) (uint8, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if strings.HasPrefix(name, "r") {
+		n, err := strconv.Atoi(name[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler syntax. The output is
+// accepted verbatim by the assembler in internal/asm, with pc-relative
+// control-flow targets printed as ".+offset"/".-offset" expressions.
+func (i Inst) String() string {
+	rd, rs1, rs2 := RegName(i.Rd), RegName(i.Rs1), RegName(i.Rs2)
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpSys:
+		return "sys"
+	case OpMovI:
+		return fmt.Sprintf("movi %s, %d", rd, i.Imm)
+	case OpMovHI:
+		return fmt.Sprintf("movhi %s, %s, %d", rd, rs1, i.Imm)
+	case OpLdPC:
+		return fmt.Sprintf("ldpc %s, %s", rd, relTarget(i.Imm))
+	case OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpSllI, OpSrlI, OpSraI, OpSltI, OpSltUI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, rd, rs1, i.Imm)
+	case OpLb, OpLbU, OpLh, OpLhU, OpLw, OpLwU, OpLd:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, rd, i.Imm, rs1)
+	case OpSb, OpSh, OpSw, OpSd:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, rs2, i.Imm, rs1)
+	case OpJal:
+		return fmt.Sprintf("jal %s, %s", rd, relTarget(i.Imm))
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s, %d", rd, rs1, i.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltU, OpBgeU:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, rs1, rs2, relTarget(i.Imm))
+	}
+	// Remaining opcodes are reg-reg ALU.
+	return fmt.Sprintf("%s %s, %s, %s", i.Op, rd, rs1, rs2)
+}
+
+func relTarget(imm int32) string {
+	if imm < 0 {
+		return fmt.Sprintf(".-%d", -int64(imm))
+	}
+	return fmt.Sprintf(".+%d", imm)
+}

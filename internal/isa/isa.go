@@ -1,0 +1,258 @@
+// Package isa defines VR64, the virtual RISC instruction set executed by the
+// guest programs in this repository.
+//
+// VR64 is a 64-bit register machine with a 32-bit address space and a fixed
+// 8-byte instruction encoding. It is deliberately simple: the point of this
+// repository is the run-time compilation system built on top of it (see
+// internal/vm and internal/core), and a fixed-width RISC encoding keeps the
+// translator, assembler and linker honest without x86-sized complexity.
+//
+// Encoding (little endian, 8 bytes, 8-byte aligned):
+//
+//	byte 0: opcode
+//	byte 1: rd  (destination register)
+//	byte 2: rs1 (first source register)
+//	byte 3: rs2 (second source register)
+//	bytes 4-7: imm (signed 32-bit immediate)
+//
+// Register r0 is hardwired to zero; writes to it are discarded.
+// Control-flow immediates are byte offsets relative to the address of the
+// branch instruction itself (target = pc + imm).
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstSize is the size in bytes of every encoded instruction.
+const InstSize = 8
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// Op identifies a VR64 operation.
+type Op uint8
+
+// The complete VR64 opcode set.
+const (
+	OpNop   Op = iota
+	OpHalt     // stop the machine
+	OpMovI     // rd = sign-extend(imm)
+	OpMovHI    // rd = (imm << 32) | (rs1 & 0xffffffff)
+	OpLdPC     // rd = pc + imm (position-independent address formation)
+
+	// Register-register ALU.
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpMul  // rd = rs1 * rs2
+	OpDiv  // rd = rs1 / rs2 (signed; x/0 == 0)
+	OpDivU // rd = rs1 / rs2 (unsigned; x/0 == 0)
+	OpRem  // rd = rs1 % rs2 (signed; x%0 == x)
+	OpRemU // rd = rs1 % rs2 (unsigned; x%0 == x)
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpSll  // rd = rs1 << (rs2 & 63)
+	OpSrl  // rd = rs1 >> (rs2 & 63) (logical)
+	OpSra  // rd = rs1 >> (rs2 & 63) (arithmetic)
+	OpSlt  // rd = 1 if rs1 < rs2 (signed) else 0
+	OpSltU // rd = 1 if rs1 < rs2 (unsigned) else 0
+
+	// Register-immediate ALU.
+	OpAddI  // rd = rs1 + imm
+	OpMulI  // rd = rs1 * imm
+	OpAndI  // rd = rs1 & imm (imm sign-extended)
+	OpOrI   // rd = rs1 | imm
+	OpXorI  // rd = rs1 ^ imm
+	OpSllI  // rd = rs1 << (imm & 63)
+	OpSrlI  // rd = rs1 >> (imm & 63) (logical)
+	OpSraI  // rd = rs1 >> (imm & 63) (arithmetic)
+	OpSltI  // rd = 1 if rs1 < imm (signed) else 0
+	OpSltUI // rd = 1 if rs1 < imm (unsigned, imm sign-extended then treated unsigned) else 0
+
+	// Loads: rd = mem[rs1 + imm]; sub-word loads zero- or sign-extend.
+	OpLb
+	OpLbU
+	OpLh
+	OpLhU
+	OpLw
+	OpLwU
+	OpLd
+
+	// Stores: mem[rs1 + imm] = rs2 (low bytes for sub-word stores).
+	OpSb
+	OpSh
+	OpSw
+	OpSd
+
+	// Control transfer.
+	OpJal  // rd = pc + 8; pc = pc + imm (direct call/jump)
+	OpJalr // rd = pc + 8; pc = (rs1 + imm) & 0xffffffff (indirect)
+	OpBeq  // if rs1 == rs2: pc = pc + imm
+	OpBne  // if rs1 != rs2: pc = pc + imm
+	OpBlt  // if rs1 <  rs2 (signed): pc = pc + imm
+	OpBge  // if rs1 >= rs2 (signed): pc = pc + imm
+	OpBltU // if rs1 <  rs2 (unsigned): pc = pc + imm
+	OpBgeU // if rs1 >= rs2 (unsigned): pc = pc + imm
+
+	OpSys // system call: number in a0, args in a1..a5, result in a0
+
+	opCount // sentinel; not a real opcode
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opCount)
+
+// Conventional register assignments (ABI). These are conventions of the
+// toolchain, not of the hardware: only r0 (zero) is architecturally special.
+const (
+	RegZero = 0 // hardwired zero
+	RegRA   = 1 // return address
+	RegSP   = 2 // stack pointer
+	RegGP   = 3 // global pointer
+	RegFP   = 4 // frame pointer
+	RegA0   = 5 // first argument / return value / syscall number
+	RegA1   = 6
+	RegA2   = 7
+	RegA3   = 8
+	RegA4   = 9
+	RegA5   = 10
+	RegA6   = 11
+	RegT0   = 12 // temporaries t0..t9 = r12..r21
+	RegS0   = 22 // callee-saved s0..s9 = r22..r31
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt", OpMovI: "movi", OpMovHI: "movhi", OpLdPC: "ldpc",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpDivU: "divu",
+	OpRem: "rem", OpRemU: "remu", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltU: "sltu",
+	OpAddI: "addi", OpMulI: "muli", OpAndI: "andi", OpOrI: "ori", OpXorI: "xori",
+	OpSllI: "slli", OpSrlI: "srli", OpSraI: "srai", OpSltI: "slti", OpSltUI: "sltui",
+	OpLb: "lb", OpLbU: "lbu", OpLh: "lh", OpLhU: "lhu", OpLw: "lw", OpLwU: "lwu", OpLd: "ld",
+	OpSb: "sb", OpSh: "sh", OpSw: "sw", OpSd: "sd",
+	OpJal: "jal", OpJalr: "jalr",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpBltU: "bltu", OpBgeU: "bgeu",
+	OpSys: "sys",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// OpByName returns the opcode with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	for o, n := range opNames {
+		if n == name {
+			return Op(o), true
+		}
+	}
+	return 0, false
+}
+
+// Inst is a decoded VR64 instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode writes the 8-byte encoding of the instruction into dst.
+// dst must be at least InstSize bytes long.
+func (i Inst) Encode(dst []byte) {
+	_ = dst[7]
+	dst[0] = byte(i.Op)
+	dst[1] = i.Rd
+	dst[2] = i.Rs1
+	dst[3] = i.Rs2
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(i.Imm))
+}
+
+// EncodeWord returns the instruction encoding as a single 64-bit word
+// (little-endian byte order when stored to memory).
+func (i Inst) EncodeWord() uint64 {
+	var b [8]byte
+	i.Encode(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// DecodeWord decodes an instruction from its 64-bit word form.
+func DecodeWord(w uint64) (Inst, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], w)
+	return Decode(b[:])
+}
+
+// Decode decodes one instruction from src, validating the opcode and
+// register fields. src must be at least InstSize bytes long.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < InstSize {
+		return Inst{}, fmt.Errorf("isa: short instruction: %d bytes", len(src))
+	}
+	i := Inst{
+		Op:  Op(src[0]),
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int32(binary.LittleEndian.Uint32(src[4:8])),
+	}
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", src[0])
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: register out of range in %s rd=%d rs1=%d rs2=%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+	return i, nil
+}
+
+// Syscall numbers handled by the VM's emulation unit (internal/vm).
+// The number is passed in a0; arguments in a1..a5; the result replaces a0.
+const (
+	SysExit      = 1  // exit(code): terminate the program
+	SysWrite     = 2  // write(fd, addr, len) -> bytes written
+	SysRead      = 3  // read(fd, addr, len) -> bytes read
+	SysBrk       = 4  // brk(addr) -> new break (addr==0 queries)
+	SysCycles    = 5  // cycles() -> current virtual cycle count
+	SysMark      = 6  // mark(id): record a phase marker (e.g. "GUI ready")
+	SysGetPID    = 7  // getpid() -> process id
+	SysSigaction = 8  // sigaction(sig, handler): expensive emulated signal setup
+	SysRaise     = 9  // raise(sig): expensive emulated signal delivery
+	SysInput     = 10 // input(idx) -> idx'th word of the run's input block
+)
+
+// SyscallName returns a human-readable name for a syscall number.
+func SyscallName(n uint64) string {
+	switch n {
+	case SysExit:
+		return "exit"
+	case SysWrite:
+		return "write"
+	case SysRead:
+		return "read"
+	case SysBrk:
+		return "brk"
+	case SysCycles:
+		return "cycles"
+	case SysMark:
+		return "mark"
+	case SysGetPID:
+		return "getpid"
+	case SysSigaction:
+		return "sigaction"
+	case SysRaise:
+		return "raise"
+	case SysInput:
+		return "input"
+	}
+	return fmt.Sprintf("sys(%d)", n)
+}

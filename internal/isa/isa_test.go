@@ -1,0 +1,197 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:  Op(r.Intn(NumOps)),
+		Rd:  uint8(r.Intn(NumRegs)),
+		Rs1: uint8(r.Intn(NumRegs)),
+		Rs2: uint8(r.Intn(NumRegs)),
+		Imm: int32(r.Uint32()),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Inst{Op: Op(op % uint8(NumOps)), Rd: rd % NumRegs, Rs1: rs1 % NumRegs, Rs2: rs2 % NumRegs, Imm: imm}
+		var b [InstSize]byte
+		in.Encode(b[:])
+		out, err := Decode(b[:])
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeWordRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n < 2000; n++ {
+		in := randomInst(r)
+		out, err := DecodeWord(in.EncodeWord())
+		if err != nil {
+			t.Fatalf("DecodeWord(%v): %v", in, err)
+		}
+		if in != out {
+			t.Fatalf("round trip mismatch: %v != %v", in, out)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		b    [InstSize]byte
+	}{
+		{"bad opcode", [InstSize]byte{255, 0, 0, 0, 0, 0, 0, 0}},
+		{"opCount opcode", [InstSize]byte{byte(opCount), 0, 0, 0, 0, 0, 0, 0}},
+		{"bad rd", [InstSize]byte{byte(OpAdd), 32, 0, 0, 0, 0, 0, 0}},
+		{"bad rs1", [InstSize]byte{byte(OpAdd), 0, 99, 0, 0, 0, 0, 0}},
+		{"bad rs2", [InstSize]byte{byte(OpAdd), 0, 0, 200, 0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.b[:]); err == nil {
+			t.Errorf("%s: Decode accepted invalid encoding", c.name)
+		}
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("Decode accepted short buffer")
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		name := o.String()
+		if name == "" || name[0] == 'o' && len(name) > 3 && name[:3] == "op(" {
+			t.Errorf("opcode %d has no mnemonic", o)
+		}
+		back, ok := OpByName(name)
+		if !ok || back != o {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", name, back, ok, o)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for r := uint8(0); r < NumRegs; r++ {
+		name := RegName(r)
+		back, ok := RegByName(name)
+		if !ok || back != r {
+			t.Errorf("RegByName(%q) = %d, %v; want %d, true", name, back, ok, r)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		want uint8
+	}{{"zero", 0}, {"ra", 1}, {"sp", 2}, {"a0", RegA0}, {"t0", RegT0}, {"s0", RegS0}, {"r17", 17}} {
+		got, ok := RegByName(c.name)
+		if !ok || got != c.want {
+			t.Errorf("RegByName(%q) = %d, %v; want %d", c.name, got, ok, c.want)
+		}
+	}
+	if _, ok := RegByName("r32"); ok {
+		t.Error("RegByName accepted r32")
+	}
+	if _, ok := RegByName("x5"); ok {
+		t.Error("RegByName accepted x5")
+	}
+}
+
+func TestTerminatorClassification(t *testing.T) {
+	term := map[Op]bool{OpJal: true, OpJalr: true, OpSys: true, OpHalt: true}
+	for o := Op(0); o < opCount; o++ {
+		in := Inst{Op: o}
+		if got := in.IsTerminator(); got != term[o] {
+			t.Errorf("%s.IsTerminator() = %v, want %v", o, got, term[o])
+		}
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		uses RegMask
+		defs RegMask
+	}{
+		{Inst{Op: OpAdd, Rd: 5, Rs1: 6, Rs2: 7}, RegMask(1<<6 | 1<<7), RegMask(1 << 5)},
+		{Inst{Op: OpAddI, Rd: 5, Rs1: 6, Rs2: 7}, RegMask(1 << 6), RegMask(1 << 5)}, // rs2 ignored
+		{Inst{Op: OpMovI, Rd: 5, Rs1: 6}, 0, RegMask(1 << 5)},
+		{Inst{Op: OpMovHI, Rd: 5, Rs1: 6}, RegMask(1 << 6), RegMask(1 << 5)},
+		{Inst{Op: OpLd, Rd: 5, Rs1: 2}, RegMask(1 << 2), RegMask(1 << 5)},
+		{Inst{Op: OpSd, Rs1: 2, Rs2: 5}, RegMask(1<<2 | 1<<5), 0},
+		{Inst{Op: OpBeq, Rs1: 5, Rs2: 6}, RegMask(1<<5 | 1<<6), 0},
+		{Inst{Op: OpJal, Rd: RegRA}, 0, RegMask(1 << RegRA)},
+		{Inst{Op: OpJalr, Rd: 0, Rs1: 5}, RegMask(1 << 5), 0}, // writes r0: discarded
+		{Inst{Op: OpNop}, 0, 0},
+		{Inst{Op: OpHalt}, 0, 0},
+		{Inst{Op: OpAdd, Rd: 0, Rs1: 0, Rs2: 0}, 0, 0}, // r0 never tracked
+	}
+	for _, c := range cases {
+		if got := c.in.Uses(); got != c.uses {
+			t.Errorf("%v.Uses() = %08x, want %08x", c.in, got, c.uses)
+		}
+		if got := c.in.Defs(); got != c.defs {
+			t.Errorf("%v.Defs() = %08x, want %08x", c.in, got, c.defs)
+		}
+	}
+	// Syscall reads a0..a5 and writes a0.
+	sys := Inst{Op: OpSys}
+	for r := uint8(RegA0); r <= RegA5; r++ {
+		if !sys.Uses().Has(r) {
+			t.Errorf("sys does not use %s", RegName(r))
+		}
+	}
+	if !sys.Defs().Has(RegA0) {
+		t.Error("sys does not def a0")
+	}
+}
+
+func TestRegMask(t *testing.T) {
+	var m RegMask
+	m = m.Add(3).Add(7).Add(3).Add(0) // adding r0 is a no-op
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", m.Count())
+	}
+	if !m.Has(3) || !m.Has(7) || m.Has(0) || m.Has(4) {
+		t.Fatalf("membership wrong: %08x", m)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Op]Class{
+		OpAdd: ClassALU, OpMovI: ClassALU, OpNop: ClassALU, OpLdPC: ClassALU,
+		OpLb: ClassLoad, OpLd: ClassLoad, OpLwU: ClassLoad,
+		OpSb: ClassStore, OpSd: ClassStore,
+		OpBeq: ClassBranch, OpBgeU: ClassBranch,
+		OpJal: ClassJump, OpJalr: ClassJump,
+		OpSys: ClassSys, OpHalt: ClassHalt,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	for n := uint64(1); n <= 10; n++ {
+		if name := SyscallName(n); name == "" || name[:3] == "sys" && n != 0 && name[3] == '(' {
+			t.Errorf("syscall %d has no name: %q", n, name)
+		}
+	}
+	if got := SyscallName(999); got != "sys(999)" {
+		t.Errorf("SyscallName(999) = %q", got)
+	}
+}

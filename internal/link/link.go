@@ -1,0 +1,280 @@
+// Package link implements the VR64 static linker: it combines relocatable
+// objects (internal/asm output) into executables or shared libraries,
+// resolving module-internal references and lowering everything else into
+// dynamic relocations applied by the loader (internal/loader).
+//
+// Module-internal pc-relative references are resolved at link time and are
+// therefore position-independent. Absolute addresses (jump tables, `la`) and
+// all cross-module references become dynamic relocations; translated code
+// containing such patched sites is exactly the code whose persisted
+// translations go stale when a mapping moves — the central mechanism behind
+// the paper's key validation and its non-relocatable-translation limitation.
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"persistcc/internal/obj"
+)
+
+// Input describes one link operation.
+type Input struct {
+	Name    string      // output module name
+	Kind    obj.Kind    // obj.KindExec or obj.KindLib
+	Objects []*obj.File // relocatable objects, in link order
+	Libs    []*obj.File // shared libraries resolved against (import interface)
+	Entry   string      // entry symbol for executables; default "_start"
+	Exports []string    // extra exported symbols (libraries export all globals)
+}
+
+// def is a resolved global symbol definition: which object defines it.
+type def struct {
+	objIdx int
+	sym    obj.Symbol
+}
+
+// placement records where an object's sections landed in the merged module.
+type placement struct {
+	text uint32 // offset within merged text
+	data uint32 // offset within merged data section
+	bss  uint32 // offset within merged bss
+}
+
+// Link performs the link and returns the module.
+func Link(in Input) (*obj.File, error) {
+	if in.Kind != obj.KindExec && in.Kind != obj.KindLib {
+		return nil, fmt.Errorf("link: %s: output kind must be exec or lib", in.Name)
+	}
+	if len(in.Objects) == 0 {
+		return nil, fmt.Errorf("link: %s: no input objects", in.Name)
+	}
+	for _, o := range in.Objects {
+		if o.Kind != obj.KindObject {
+			return nil, fmt.Errorf("link: %s: input %s is a %s, not a relocatable object", in.Name, o.Name, o.Kind)
+		}
+	}
+	for _, l := range in.Libs {
+		if l.Kind != obj.KindLib {
+			return nil, fmt.Errorf("link: %s: %s is a %s, not a library", in.Name, l.Name, l.Kind)
+		}
+	}
+
+	// Pass 1: lay out sections and build the global symbol table.
+	out := &obj.File{Kind: in.Kind, Name: in.Name}
+	places := make([]placement, len(in.Objects))
+	var textLen, dataLen, bssLen uint32
+	for i, o := range in.Objects {
+		places[i] = placement{text: textLen, data: dataLen, bss: bssLen}
+		textLen += alignUp(uint32(len(o.Text)), 8)
+		dataLen += alignUp(uint32(len(o.Data)), 8)
+		bssLen += alignUp(o.BSSSize, 8)
+	}
+	out.Text = make([]byte, textLen)
+	out.Data = make([]byte, dataLen)
+	out.BSSSize = bssLen
+	for i, o := range in.Objects {
+		copy(out.Text[places[i].text:], o.Text)
+		copy(out.Data[places[i].data:], o.Data)
+	}
+
+	globals := make(map[string]def)
+	for i, o := range in.Objects {
+		for _, s := range o.Symbols {
+			if !s.Global || s.Sec == obj.SecUndef {
+				continue
+			}
+			if prev, dup := globals[s.Name]; dup {
+				return nil, fmt.Errorf("link: %s: symbol %q defined in both %s and %s",
+					in.Name, s.Name, in.Objects[prev.objIdx].Name, o.Name)
+			}
+			globals[s.Name] = def{objIdx: i, sym: s}
+		}
+	}
+	// Library export interface, first definition wins (like ELF search
+	// order).
+	libExports := make(map[string]bool)
+	for _, l := range in.Libs {
+		for _, e := range l.Exports {
+			if !libExports[e.Name] {
+				libExports[e.Name] = true
+			}
+		}
+	}
+
+	// modAddr converts an (object, symbol) pair to a module-relative
+	// address. Section placement inside the image follows obj.File layout.
+	dataOff := out.DataOff()
+	bssOff := out.BSSOff()
+	modAddr := func(objIdx int, s obj.Symbol) (uint32, error) {
+		p := places[objIdx]
+		switch s.Sec {
+		case obj.SecText:
+			return p.text + s.Off, nil
+		case obj.SecData:
+			return dataOff + p.data + s.Off, nil
+		case obj.SecBSS:
+			return bssOff + p.bss + s.Off, nil
+		}
+		return 0, fmt.Errorf("link: %s: symbol %q has no address (section %s)", in.Name, s.Name, s.Sec)
+	}
+
+	// Pass 2: apply relocations.
+	for i, o := range in.Objects {
+		for _, r := range o.Relocs {
+			if err := applyReloc(in, out, places, globals, libExports, modAddr, i, o, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Exports.
+	seen := make(map[string]bool)
+	addExport := func(name string) error {
+		if seen[name] {
+			return nil
+		}
+		d, ok := globals[name]
+		if !ok {
+			return fmt.Errorf("link: %s: exported symbol %q undefined", in.Name, name)
+		}
+		if d.sym.Sec == obj.SecAbs {
+			return fmt.Errorf("link: %s: cannot export constant %q", in.Name, name)
+		}
+		addr, err := modAddr(d.objIdx, d.sym)
+		if err != nil {
+			return err
+		}
+		out.Exports = append(out.Exports, obj.Export{Name: name, Off: addr})
+		seen[name] = true
+		return nil
+	}
+	if in.Kind == obj.KindLib {
+		// Libraries export every global in deterministic object order.
+		for _, o := range in.Objects {
+			for _, s := range o.Symbols {
+				if s.Global && s.Sec != obj.SecUndef && s.Sec != obj.SecAbs {
+					if err := addExport(s.Name); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for _, name := range in.Exports {
+		if err := addExport(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Entry point.
+	if in.Kind == obj.KindExec {
+		entry := in.Entry
+		if entry == "" {
+			entry = "_start"
+		}
+		d, ok := globals[entry]
+		if !ok {
+			return nil, fmt.Errorf("link: %s: entry symbol %q undefined", in.Name, entry)
+		}
+		if d.sym.Sec != obj.SecText {
+			return nil, fmt.Errorf("link: %s: entry symbol %q not in .text", in.Name, entry)
+		}
+		addr, err := modAddr(d.objIdx, d.sym)
+		if err != nil {
+			return nil, err
+		}
+		out.Entry = addr
+	}
+
+	for _, l := range in.Libs {
+		out.Needed = append(out.Needed, l.Name)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func applyReloc(in Input, out *obj.File, places []placement,
+	globals map[string]def,
+	libExports map[string]bool,
+	modAddr func(int, obj.Symbol) (uint32, error),
+	objIdx int, o *obj.File, r obj.Reloc) error {
+
+	s := o.Symbols[r.Sym]
+	// Site's module-relative offset and backing buffer.
+	var siteMod uint32
+	var buf []byte
+	var bufOff uint32
+	switch r.Sec {
+	case obj.SecText:
+		siteMod = places[objIdx].text + r.Off
+		buf = out.Text
+		bufOff = siteMod
+	case obj.SecData:
+		bufOff = places[objIdx].data + r.Off
+		siteMod = out.DataOff() + bufOff
+		buf = out.Data
+	default:
+		return fmt.Errorf("link: %s: reloc in section %s", in.Name, r.Sec)
+	}
+	inText := r.Sec == obj.SecText
+
+	// Resolve the symbol to a definition in this module if possible:
+	// prefer the object's own local definition, then the global table.
+	var d def
+	defined := false
+	if s.Sec != obj.SecUndef {
+		d.objIdx, d.sym = objIdx, s
+		defined = true
+	} else if g, ok := globals[s.Name]; ok {
+		d = g
+		defined = true
+	}
+
+	if defined {
+		if d.sym.Sec == obj.SecAbs {
+			if r.Type == obj.RelPC32 {
+				return fmt.Errorf("link: %s: pc-relative reloc against constant %q", in.Name, s.Name)
+			}
+			patch(buf[bufOff:], r.Type, int64(d.sym.Off)+r.Addend)
+			return nil
+		}
+		target, err := modAddr(d.objIdx, d.sym)
+		if err != nil {
+			return err
+		}
+		if r.Type == obj.RelPC32 {
+			// P is the instruction address (field at P+4); both are
+			// module-relative here, so the displacement is final.
+			patch(buf[bufOff:], r.Type, int64(target)+r.Addend-int64(siteMod-4))
+			return nil
+		}
+		// Absolute address of a module-internal symbol: known only at
+		// load time. Emit a module-relative ("RELATIVE") dynamic reloc.
+		out.DynRelocs = append(out.DynRelocs, obj.DynReloc{
+			Off: siteMod, Type: r.Type, SymName: "", Addend: int64(target) + r.Addend, InText: inText,
+		})
+		return nil
+	}
+
+	// Undefined here: must come from a linked library.
+	if !libExports[s.Name] {
+		return fmt.Errorf("link: %s: undefined symbol %q (referenced from %s)", in.Name, s.Name, o.Name)
+	}
+	out.DynRelocs = append(out.DynRelocs, obj.DynReloc{
+		Off: siteMod, Type: r.Type, SymName: s.Name, Addend: r.Addend, InText: inText,
+	})
+	return nil
+}
+
+func patch(b []byte, t obj.RelocType, v int64) {
+	if t == obj.RelAbs64 {
+		binary.LittleEndian.PutUint64(b, uint64(v))
+		return
+	}
+	binary.LittleEndian.PutUint32(b, uint32(v))
+}
+
+func alignUp(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,256 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+func mustAsm(t *testing.T, name, src string) *obj.File {
+	t.Helper()
+	f, err := asm.Assemble(name, src)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	return f
+}
+
+func TestLinkExecBasic(t *testing.T) {
+	o1 := mustAsm(t, "a.o", `
+.text
+.global _start
+_start:
+	call helper
+	halt
+`)
+	o2 := mustAsm(t, "b.o", `
+.text
+.global helper
+helper:
+	ret
+`)
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{o1, o2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Entry != 0 {
+		t.Errorf("entry = %#x, want 0", exe.Entry)
+	}
+	// The call crosses objects but stays in-module: resolved statically.
+	if len(exe.DynRelocs) != 0 {
+		t.Errorf("unexpected dynrelocs: %+v", exe.DynRelocs)
+	}
+	in, err := isa.Decode(exe.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpJal || in.Imm != 16 {
+		t.Errorf("cross-object call not resolved: %v", in)
+	}
+}
+
+func TestLinkEmitsRelativeDynReloc(t *testing.T) {
+	o := mustAsm(t, "a.o", `
+.text
+.global _start
+_start:
+	la a0, val
+	halt
+.data
+val:	.word64 9
+ptr:	.word64 val
+`)
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{o}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exe.DynRelocs) != 2 {
+		t.Fatalf("want 2 dynrelocs, got %+v", exe.DynRelocs)
+	}
+	var inText, inData *obj.DynReloc
+	for i := range exe.DynRelocs {
+		d := &exe.DynRelocs[i]
+		if d.InText {
+			inText = d
+		} else {
+			inData = d
+		}
+	}
+	if inText == nil || inData == nil {
+		t.Fatalf("dynreloc InText flags wrong: %+v", exe.DynRelocs)
+	}
+	if inText.SymName != "" || inText.Type != obj.RelAbs32 || inText.Addend != int64(exe.DataOff()) {
+		t.Errorf("text dynreloc wrong: %+v", inText)
+	}
+	if inData.Type != obj.RelAbs64 || inData.Addend != int64(exe.DataOff()) {
+		t.Errorf("data dynreloc wrong: %+v", inData)
+	}
+}
+
+func TestLinkAgainstLibrary(t *testing.T) {
+	libObj := mustAsm(t, "m.o", `
+.text
+.global double_it
+double_it:
+	add a0, a0, a0
+	ret
+`)
+	lib, err := Link(Input{Name: "libm.so", Kind: obj.KindLib, Objects: []*obj.File{libObj}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Exports) != 1 || lib.Exports[0].Name != "double_it" {
+		t.Fatalf("lib exports wrong: %+v", lib.Exports)
+	}
+	exeObj := mustAsm(t, "a.o", `
+.text
+.global _start
+_start:
+	movi a0, 21
+	call double_it
+	halt
+`)
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{exeObj}, Libs: []*obj.File{lib}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exe.Needed) != 1 || exe.Needed[0] != "libm.so" {
+		t.Errorf("needed wrong: %v", exe.Needed)
+	}
+	if len(exe.DynRelocs) != 1 || exe.DynRelocs[0].SymName != "double_it" ||
+		exe.DynRelocs[0].Type != obj.RelPC32 || !exe.DynRelocs[0].InText {
+		t.Errorf("import dynreloc wrong: %+v", exe.DynRelocs)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	start := mustAsm(t, "s.o", ".text\n.global _start\n_start:\nhalt\n")
+	undef := mustAsm(t, "u.o", ".text\n.global _start\n_start:\ncall nowhere\n")
+	dup1 := mustAsm(t, "d1.o", ".text\n.global f\nf: halt\n")
+	dup2 := mustAsm(t, "d2.o", ".text\n.global f\nf: halt\n")
+
+	if _, err := Link(Input{Name: "x", Kind: obj.KindObject, Objects: []*obj.File{start}}); err == nil {
+		t.Error("bad output kind accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{undef}}); err == nil {
+		t.Error("undefined symbol accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{start, dup1, dup2}}); err == nil {
+		t.Error("duplicate global accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{dup1}}); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{start}, Libs: []*obj.File{start}}); err == nil {
+		t.Error("non-library in Libs accepted")
+	}
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{start}, Exports: []string{"zzz"}}); err == nil {
+		t.Error("undefined export accepted")
+	}
+	// Entry in data.
+	dataEntry := mustAsm(t, "de.o", ".data\n.global _start\n_start: .word64 0\n")
+	if _, err := Link(Input{Name: "x", Kind: obj.KindExec, Objects: []*obj.File{dataEntry}}); err == nil {
+		t.Error("data entry accepted")
+	}
+}
+
+func TestLinkSectionPlacement(t *testing.T) {
+	// Two objects with data and bss; symbol addresses must account for
+	// the merged layout.
+	o1 := mustAsm(t, "a.o", `
+.text
+.global _start
+_start:
+	la a0, d1
+	la a1, b1
+	halt
+.data
+.global d1
+d1:	.word64 1
+.bss
+.global b1
+b1:	.space 32
+`)
+	o2 := mustAsm(t, "b.o", `
+.text
+.global f2
+f2:	ret
+.data
+.global d2
+d2:	.word64 2
+.bss
+.global b2
+b2:	.space 8
+`)
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{o1, o2},
+		Exports: []string{"d1", "d2", "b1", "b2", "f2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) uint32 {
+		off, ok := exe.ExportAddr(name)
+		if !ok {
+			t.Fatalf("export %q missing", name)
+		}
+		return off
+	}
+	dataOff, bssOff := exe.DataOff(), exe.BSSOff()
+	if get("d1") != dataOff || get("d2") != dataOff+8 {
+		t.Errorf("data placement wrong: d1=%#x d2=%#x dataOff=%#x", get("d1"), get("d2"), dataOff)
+	}
+	if get("b1") != bssOff || get("b2") != bssOff+32 {
+		t.Errorf("bss placement wrong: b1=%#x b2=%#x bssOff=%#x", get("b1"), get("b2"), bssOff)
+	}
+	if get("f2") != uint32(len(o1.Text)) {
+		t.Errorf("f2 at %#x, want %#x", get("f2"), len(o1.Text))
+	}
+}
+
+func TestLinkCustomEntryAndExports(t *testing.T) {
+	o := mustAsm(t, "a.o", `
+.text
+.global main
+main:	halt
+`)
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{o}, Entry: "main", Exports: []string{"main", "main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Entry != 0 {
+		t.Errorf("entry = %#x", exe.Entry)
+	}
+	if len(exe.Exports) != 1 { // deduplicated
+		t.Errorf("exports not deduplicated: %+v", exe.Exports)
+	}
+}
+
+func TestLibImportChain(t *testing.T) {
+	// libA exports fa; libB calls fa and exports fb; exe calls fb.
+	oa := mustAsm(t, "a.o", ".text\n.global fa\nfa: ret\n")
+	libA, err := Link(Input{Name: "liba.so", Kind: obj.KindLib, Objects: []*obj.File{oa}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := mustAsm(t, "b.o", ".text\n.global fb\nfb: call fa\n\tret\n")
+	libB, err := Link(Input{Name: "libb.so", Kind: obj.KindLib, Objects: []*obj.File{ob}, Libs: []*obj.File{libA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(libB.Needed) != 1 || libB.Needed[0] != "liba.so" {
+		t.Errorf("libB needed: %v", libB.Needed)
+	}
+	oe := mustAsm(t, "e.o", ".text\n.global _start\n_start: call fb\n\thalt\n")
+	exe, err := Link(Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{oe}, Libs: []*obj.File{libB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(exe.Needed, ",") != "libb.so" {
+		t.Errorf("exe needed: %v", exe.Needed)
+	}
+}

@@ -1,0 +1,361 @@
+package loader
+
+import (
+	"errors"
+	"testing"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/isa"
+	"persistcc/internal/link"
+	"persistcc/internal/obj"
+)
+
+func mustLink(t *testing.T, in link.Input) *obj.File {
+	t.Helper()
+	f, err := link.Link(in)
+	if err != nil {
+		t.Fatalf("link %s: %v", in.Name, err)
+	}
+	return f
+}
+
+func mustAsm(t *testing.T, name, src string) *obj.File {
+	t.Helper()
+	f, err := asm.Assemble(name, src)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	return f
+}
+
+// buildWorld creates libm.so (with its own data reference) and an executable
+// that calls into it and holds an absolute jump-table entry.
+func buildWorld(t *testing.T) (exe, lib *obj.File) {
+	t.Helper()
+	libObj := mustAsm(t, "m.o", `
+.text
+.global double_it
+double_it:
+	add a0, a0, a0
+	ret
+.global ldat_addr
+ldat_addr:
+	la a0, ldat
+	ret
+.data
+ldat:	.word64 7
+`)
+	lib = mustLink(t, link.Input{Name: "libm.so", Kind: obj.KindLib, Objects: []*obj.File{libObj}})
+	exeObj := mustAsm(t, "a.o", `
+.text
+.global _start
+_start:
+	movi a0, 21
+	call double_it
+	la   t0, table
+	ld   t1, 0(t0)
+	halt
+.data
+table:	.word64 _start
+`)
+	exe = mustLink(t, link.Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{exeObj}, Libs: []*obj.File{lib}})
+	return exe, lib
+}
+
+func resolver(libs ...*obj.File) func(string) (*obj.File, int64, error) {
+	return func(name string) (*obj.File, int64, error) {
+		for _, l := range libs {
+			if l.Name == name {
+				return l, 1000, nil
+			}
+		}
+		return nil, 0, errors.New("not found: " + name)
+	}
+}
+
+func TestLoadAppliesRelocations(t *testing.T) {
+	exe, lib := buildWorld(t)
+	p, err := Load(exe, Config{Resolve: resolver(lib), MTime: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 2 {
+		t.Fatalf("want 2 modules, got %d", len(p.Modules))
+	}
+	em, lm := p.Modules[0], p.Modules[1]
+	if em.Base != DefaultExecBase {
+		t.Errorf("exec base %#x", em.Base)
+	}
+
+	// The call instruction (2nd inst) must target double_it in the lib.
+	var buf [8]byte
+	if err := p.AS.ReadBytes(em.Base+8, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	call, err := isa.Decode(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dblOff, _ := lib.ExportAddr("double_it")
+	wantImm := int64(lm.Base) + int64(dblOff) - int64(em.Base+8)
+	if call.Op != isa.OpJal || int64(call.Imm) != wantImm {
+		t.Errorf("call imm = %d, want %d", call.Imm, wantImm)
+	}
+
+	// The data-table word must hold the absolute address of _start.
+	tableAddr := em.Base + exe.DataOff()
+	v, err := p.AS.ReadUint(tableAddr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != uint64(p.Entry) {
+		t.Errorf("table word %#x, want entry %#x", v, p.Entry)
+	}
+
+	// Reloc sites recorded: exe has 3 (call PC32, la ABS32, table ABS64).
+	if len(em.Sites) != 3 {
+		t.Fatalf("exe sites: %+v", em.Sites)
+	}
+	var pcrel, abs32, abs64 int
+	for _, s := range em.Sites {
+		switch s.Type {
+		case obj.RelPC32:
+			pcrel++
+			if s.Target != 1 || !s.InText {
+				t.Errorf("PC32 site wrong: %+v", s)
+			}
+		case obj.RelAbs32:
+			abs32++
+			if s.Target != 0 || !s.InText {
+				t.Errorf("ABS32 site wrong: %+v", s)
+			}
+		case obj.RelAbs64:
+			abs64++
+			if s.Target != 0 || s.InText {
+				t.Errorf("ABS64 site wrong: %+v", s)
+			}
+		}
+	}
+	if pcrel != 1 || abs32 != 1 || abs64 != 1 {
+		t.Errorf("site mix wrong: %+v", em.Sites)
+	}
+	// Lib's own la site is module-relative.
+	if len(lm.Sites) != 1 || lm.Sites[0].Target != 1 || !lm.Sites[0].InText {
+		t.Errorf("lib sites wrong: %+v", lm.Sites)
+	}
+
+	// Mappings carry persistence key material.
+	mp, ok := p.AS.MappingAt(lm.Base)
+	if !ok || mp.Path != "libm.so" || mp.MTime != 1000 || !mp.FileBacked {
+		t.Errorf("lib mapping wrong: %+v", mp)
+	}
+	// Stack/heap/input are anonymous.
+	sp, ok := p.AS.MappingAt(p.SP)
+	if !ok || sp.FileBacked {
+		t.Errorf("stack mapping wrong: %+v", sp)
+	}
+	if p.ModuleAt(p.Entry) != 0 || p.ModuleAt(lm.Base+4) != 1 || p.ModuleAt(p.SP) != -1 {
+		t.Error("ModuleAt wrong")
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	exe, lib := buildWorld(t)
+	p1, err := Load(exe, Config{Resolve: resolver(lib)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(exe, Config{Resolve: resolver(lib)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Modules {
+		if p1.Modules[i].Base != p2.Modules[i].Base {
+			t.Errorf("module %d base differs: %#x vs %#x", i, p1.Modules[i].Base, p2.Modules[i].Base)
+		}
+	}
+}
+
+func TestLoadASLRChangesBases(t *testing.T) {
+	exe, lib := buildWorld(t)
+	p1, err := Load(exe, Config{Resolve: resolver(lib), Placement: PlaceASLR, ASLRSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(exe, Config{Resolve: resolver(lib), Placement: PlaceASLR, ASLRSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Modules[1].Base == p2.Modules[1].Base {
+		t.Error("different ASLR seeds produced identical lib bases")
+	}
+	// Same seed is reproducible.
+	p3, err := Load(exe, Config{Resolve: resolver(lib), Placement: PlaceASLR, ASLRSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Modules[1].Base != p3.Modules[1].Base {
+		t.Error("same ASLR seed produced different bases")
+	}
+}
+
+func TestLoadHashedPlacementStableAcrossApps(t *testing.T) {
+	exe, lib := buildWorld(t)
+	// A second app linking the same library plus another one.
+	extraObj := mustAsm(t, "x.o", ".text\n.global xf\nxf: ret\n")
+	extra := mustLink(t, link.Input{Name: "libx.so", Kind: obj.KindLib, Objects: []*obj.File{extraObj}})
+	exe2Obj := mustAsm(t, "b.o", `
+.text
+.global _start
+_start:
+	call xf
+	call double_it
+	halt
+`)
+	exe2 := mustLink(t, link.Input{Name: "prog2", Kind: obj.KindExec,
+		Objects: []*obj.File{exe2Obj}, Libs: []*obj.File{extra, lib}})
+
+	p1, err := Load(exe, Config{Resolve: resolver(lib, extra), Placement: PlaceHashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(exe2, Config{Resolve: resolver(lib, extra), Placement: PlaceHashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1 := moduleBase(p1, "libm.so")
+	base2 := moduleBase(p2, "libm.so")
+	if base1 == 0 || base1 != base2 {
+		t.Errorf("hashed placement differs across apps: %#x vs %#x", base1, base2)
+	}
+}
+
+func moduleBase(p *Process, name string) uint32 {
+	for _, m := range p.Modules {
+		if m.File.Name == name {
+			return m.Base
+		}
+	}
+	return 0
+}
+
+func TestLoadErrors(t *testing.T) {
+	exe, lib := buildWorld(t)
+	if _, err := Load(lib, Config{}); err == nil {
+		t.Error("loading a library as an executable succeeded")
+	}
+	if _, err := Load(exe, Config{}); err == nil {
+		t.Error("missing resolver accepted")
+	}
+	if _, err := Load(exe, Config{Resolve: resolver()}); err == nil {
+		t.Error("unresolvable dependency accepted")
+	}
+	// Resolver returning a mis-named module.
+	bad := func(name string) (*obj.File, int64, error) { return lib, 0, nil }
+	other := mustAsm(t, "o.o", ".text\n.global _start\n_start: halt\n")
+	exeNeedsX := mustLink(t, link.Input{Name: "p", Kind: obj.KindExec, Objects: []*obj.File{other}})
+	exeNeedsX.Needed = []string{"libz.so"}
+	if _, err := Load(exeNeedsX, Config{Resolve: bad}); err == nil {
+		t.Error("mis-named resolver result accepted")
+	}
+	// Resolver returning an executable.
+	badKind := func(name string) (*obj.File, int64, error) {
+		e := *exe
+		e.Name = name
+		return &e, 0, nil
+	}
+	if _, err := Load(exeNeedsX, Config{Resolve: badKind}); err == nil {
+		t.Error("non-library dependency accepted")
+	}
+}
+
+func TestSitesIn(t *testing.T) {
+	exe, lib := buildWorld(t)
+	p, err := Load(exe, Config{Resolve: resolver(lib)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := p.Modules[0]
+	all := em.SitesIn(0, exe.ImageSize())
+	if len(all) != 3 {
+		t.Fatalf("SitesIn(all) = %d sites", len(all))
+	}
+	// Text-only window excludes the data-table site.
+	text := em.SitesIn(0, uint32(len(exe.Text)))
+	if len(text) != 2 {
+		t.Errorf("SitesIn(text) = %d sites, want 2", len(text))
+	}
+	none := em.SitesIn(exe.ImageSize()-4, exe.ImageSize())
+	if len(none) != 0 {
+		t.Errorf("SitesIn(tail) = %+v", none)
+	}
+	// Overlap at boundaries: a site's last byte inside the window counts.
+	s0 := all[0]
+	win := em.SitesIn(s0.Off+uint32(s0.Type.Size())-1, s0.Off+uint32(s0.Type.Size()))
+	if len(win) == 0 {
+		t.Error("boundary overlap not detected")
+	}
+}
+
+func TestDedupNeeded(t *testing.T) {
+	// Exe needs libA twice via a diamond: exe->libB->libA, exe->libA.
+	oa := mustAsm(t, "a.o", ".text\n.global fa\nfa: ret\n")
+	libA := mustLink(t, link.Input{Name: "liba.so", Kind: obj.KindLib, Objects: []*obj.File{oa}})
+	ob := mustAsm(t, "b.o", ".text\n.global fb\nfb: call fa\n\tret\n")
+	libB := mustLink(t, link.Input{Name: "libb.so", Kind: obj.KindLib, Objects: []*obj.File{ob}, Libs: []*obj.File{libA}})
+	oe := mustAsm(t, "e.o", ".text\n.global _start\n_start:\n\tcall fa\n\tcall fb\n\thalt\n")
+	exe := mustLink(t, link.Input{Name: "prog", Kind: obj.KindExec, Objects: []*obj.File{oe}, Libs: []*obj.File{libA, libB}})
+	p, err := Load(exe, Config{Resolve: resolver(libA, libB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 3 {
+		t.Fatalf("want 3 modules (deduped), got %d", len(p.Modules))
+	}
+}
+
+func TestCustomGeometry(t *testing.T) {
+	exe, lib := buildWorld(t)
+	cfg := Config{
+		Resolve:   resolver(lib),
+		ExecBase:  0x0100_0000,
+		LibBase:   0x5000_0000,
+		HeapBase:  0x3000_0000,
+		HeapSize:  1 << 20,
+		StackTop:  0xE000_0000,
+		StackSize: 64 << 10,
+		InputBase: 0x0900_0000,
+		InputSize: 4 << 10,
+	}
+	p, err := Load(exe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Modules[0].Base != 0x0100_0000 {
+		t.Errorf("exec base %#x", p.Modules[0].Base)
+	}
+	if p.Modules[1].Base != 0x5000_0000 {
+		t.Errorf("lib base %#x", p.Modules[1].Base)
+	}
+	if p.HeapBase != 0x3000_0000 || p.InputBase != 0x0900_0000 {
+		t.Error("geometry not honored")
+	}
+	if p.SP >= 0xE000_0000 || p.SP < 0xE000_0000-(64<<10) {
+		t.Errorf("sp %#x outside stack", p.SP)
+	}
+	// All five regions mapped.
+	for _, addr := range []uint32{0x0100_0000, 0x5000_0000, 0x3000_0000, 0xE000_0000 - 4096, 0x0900_0000} {
+		if _, ok := p.AS.MappingAt(addr); !ok {
+			t.Errorf("nothing mapped at %#x", addr)
+		}
+	}
+}
+
+func TestOverlappingGeometryFails(t *testing.T) {
+	exe, lib := buildWorld(t)
+	// Heap placed on top of the executable must be rejected loudly.
+	_, err := Load(exe, Config{Resolve: resolver(lib), HeapBase: DefaultExecBase, HeapSize: 1 << 20})
+	if err == nil {
+		t.Fatal("overlapping heap accepted")
+	}
+}

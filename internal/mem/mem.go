@@ -1,0 +1,250 @@
+// Package mem implements the guest address space used by the VR64 virtual
+// machine: a sparse, page-granular 32-bit memory with explicit mappings.
+//
+// Mappings carry the provenance metadata (path, base, size, modification
+// time, content digest) that the persistent cache manager in internal/core
+// hashes into its validation keys, exactly as the paper's keys cover "the
+// base address, mapping size, binary path, program header, and modification
+// timestamps".
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of guest memory allocation.
+const PageSize = 4096
+
+const pageShift = 12
+
+// Fault describes an invalid guest memory access.
+type Fault struct {
+	Addr  uint32
+	Size  int
+	Write bool
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: fault: %d-byte %s at %#x (unmapped)", f.Size, kind, f.Addr)
+}
+
+// Mapping records one region of the guest address space and where its
+// contents came from. File-backed mappings (executables and libraries) are
+// the only regions whose translations may be persisted.
+type Mapping struct {
+	Path       string   // identity of the backing binary ("" for anonymous)
+	Base       uint32   // guest base address
+	Size       uint32   // length in bytes (page-rounded)
+	MTime      int64    // modification timestamp of the backing binary
+	Digest     [32]byte // content digest of the backing binary (its "program header")
+	FileBacked bool     // whether translations of this region may persist
+}
+
+// Contains reports whether the guest address lies inside the mapping.
+func (m Mapping) Contains(addr uint32) bool {
+	return addr >= m.Base && addr-m.Base < m.Size
+}
+
+// AddressSpace is a sparse 32-bit guest memory.
+// The zero value is not usable; call NewAddressSpace.
+type AddressSpace struct {
+	pages    map[uint32]*[PageSize]byte
+	mappings []Mapping // sorted by Base
+
+	// One-entry translation cache for the hot interpreter path.
+	lastPage *[PageSize]byte
+	lastNum  uint32
+	haveLast bool
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+// Map establishes a mapping. Base and size are rounded out to page
+// boundaries. Overlapping an existing mapping is an error.
+func (as *AddressSpace) Map(m Mapping) error {
+	if m.Size == 0 {
+		return fmt.Errorf("mem: empty mapping %q", m.Path)
+	}
+	end64 := uint64(m.Base) + uint64(m.Size)
+	if end64 > 1<<32 {
+		return fmt.Errorf("mem: mapping %q [%#x,%#x) exceeds address space", m.Path, m.Base, end64)
+	}
+	start := m.Base &^ (PageSize - 1)
+	end := uint32((end64 + PageSize - 1) &^ (PageSize - 1))
+	m.Base, m.Size = start, end-start
+	for _, ex := range as.mappings {
+		if start < ex.Base+ex.Size && ex.Base < end {
+			return fmt.Errorf("mem: mapping %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				m.Path, start, end, ex.Path, ex.Base, ex.Base+ex.Size)
+		}
+	}
+	for p := start; p != end; p += PageSize {
+		as.pages[p>>pageShift] = new([PageSize]byte)
+	}
+	as.mappings = append(as.mappings, m)
+	sort.Slice(as.mappings, func(i, j int) bool { return as.mappings[i].Base < as.mappings[j].Base })
+	return nil
+}
+
+// Unmap removes the mapping with the given base address and releases its
+// pages.
+func (as *AddressSpace) Unmap(base uint32) error {
+	for i, m := range as.mappings {
+		if m.Base == base {
+			for p := m.Base; p != m.Base+m.Size; p += PageSize {
+				delete(as.pages, p>>pageShift)
+			}
+			as.mappings = append(as.mappings[:i], as.mappings[i+1:]...)
+			as.haveLast = false
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: no mapping at %#x", base)
+}
+
+// Mappings returns a copy of the current mapping table, sorted by base.
+func (as *AddressSpace) Mappings() []Mapping {
+	out := make([]Mapping, len(as.mappings))
+	copy(out, as.mappings)
+	return out
+}
+
+// MappingAt returns the mapping containing addr, if any.
+func (as *AddressSpace) MappingAt(addr uint32) (Mapping, bool) {
+	i := sort.Search(len(as.mappings), func(i int) bool { return as.mappings[i].Base+as.mappings[i].Size > addr })
+	if i < len(as.mappings) && as.mappings[i].Contains(addr) {
+		return as.mappings[i], true
+	}
+	return Mapping{}, false
+}
+
+func (as *AddressSpace) page(addr uint32) *[PageSize]byte {
+	num := addr >> pageShift
+	if as.haveLast && as.lastNum == num {
+		return as.lastPage
+	}
+	p := as.pages[num]
+	if p != nil {
+		as.lastPage, as.lastNum, as.haveLast = p, num, true
+	}
+	return p
+}
+
+// ReadU8 loads one byte.
+func (as *AddressSpace) ReadU8(addr uint32) (byte, error) {
+	p := as.page(addr)
+	if p == nil {
+		return 0, &Fault{Addr: addr, Size: 1}
+	}
+	return p[addr&(PageSize-1)], nil
+}
+
+// WriteU8 stores one byte.
+func (as *AddressSpace) WriteU8(addr uint32, v byte) error {
+	p := as.page(addr)
+	if p == nil {
+		return &Fault{Addr: addr, Size: 1, Write: true}
+	}
+	p[addr&(PageSize-1)] = v
+	return nil
+}
+
+// ReadUint loads a size-byte little-endian unsigned integer
+// (size must be 1, 2, 4 or 8). Accesses may be unaligned and may cross
+// page boundaries.
+func (as *AddressSpace) ReadUint(addr uint32, size int) (uint64, error) {
+	off := addr & (PageSize - 1)
+	p := as.page(addr)
+	if p == nil {
+		return 0, &Fault{Addr: addr, Size: size}
+	}
+	if int(off)+size <= PageSize {
+		switch size {
+		case 1:
+			return uint64(p[off]), nil
+		case 2:
+			return uint64(p[off]) | uint64(p[off+1])<<8, nil
+		case 4:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24, nil
+		case 8:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+				uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56, nil
+		default:
+			return 0, fmt.Errorf("mem: bad access size %d", size)
+		}
+	}
+	// Page-crossing slow path.
+	var v uint64
+	for i := 0; i < size; i++ {
+		b, err := as.ReadU8(addr + uint32(i))
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteUint stores a size-byte little-endian unsigned integer.
+func (as *AddressSpace) WriteUint(addr uint32, size int, v uint64) error {
+	off := addr & (PageSize - 1)
+	p := as.page(addr)
+	if p == nil {
+		return &Fault{Addr: addr, Size: size, Write: true}
+	}
+	if int(off)+size <= PageSize {
+		switch size {
+		case 1, 2, 4, 8:
+			for i := 0; i < size; i++ {
+				p[off+uint32(i)] = byte(v >> (8 * i))
+			}
+			return nil
+		default:
+			return fmt.Errorf("mem: bad access size %d", size)
+		}
+	}
+	for i := 0; i < size; i++ {
+		if err := as.WriteU8(addr+uint32(i), byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (as *AddressSpace) ReadBytes(addr uint32, dst []byte) error {
+	for len(dst) > 0 {
+		p := as.page(addr)
+		if p == nil {
+			return &Fault{Addr: addr, Size: len(dst)}
+		}
+		off := addr & (PageSize - 1)
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint32(n)
+	}
+	return nil
+}
+
+// WriteBytes copies src into guest memory starting at addr.
+func (as *AddressSpace) WriteBytes(addr uint32, src []byte) error {
+	for len(src) > 0 {
+		p := as.page(addr)
+		if p == nil {
+			return &Fault{Addr: addr, Size: len(src), Write: true}
+		}
+		off := addr & (PageSize - 1)
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint32(n)
+	}
+	return nil
+}

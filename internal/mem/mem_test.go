@@ -1,0 +1,232 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustMap(t *testing.T, as *AddressSpace, base, size uint32) {
+	t.Helper()
+	if err := as.Map(Mapping{Path: "test", Base: base, Size: size}); err != nil {
+		t.Fatalf("Map(%#x, %d): %v", base, size, err)
+	}
+}
+
+func TestMapRounding(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(Mapping{Path: "x", Base: 0x1010, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ms := as.Mappings()
+	if len(ms) != 1 || ms[0].Base != 0x1000 || ms[0].Size != PageSize {
+		t.Fatalf("mapping not page rounded: %+v", ms)
+	}
+	// Rounded region is fully accessible.
+	if err := as.WriteU8(0x1fff, 1); err != nil {
+		t.Fatalf("write at end of rounded page: %v", err)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(Mapping{Path: "x", Base: 0, Size: 0}); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	if err := as.Map(Mapping{Path: "x", Base: 0xffffe000, Size: 0x3000}); err == nil {
+		t.Error("mapping past end of address space accepted")
+	}
+	mustMap(t, as, 0x10000, 0x2000)
+	if err := as.Map(Mapping{Path: "y", Base: 0x11000, Size: 0x1000}); err == nil {
+		t.Error("overlapping mapping accepted")
+	}
+	if err := as.Map(Mapping{Path: "y", Base: 0x12000, Size: 0x1000}); err != nil {
+		t.Errorf("adjacent mapping rejected: %v", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x10000, 0x1000)
+	if err := as.WriteU8(0x10000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.ReadU8(0x10000); err == nil {
+		t.Error("read from unmapped region succeeded")
+	}
+	if err := as.Unmap(0x10000); err == nil {
+		t.Error("double unmap succeeded")
+	}
+	if len(as.Mappings()) != 0 {
+		t.Error("mapping table not empty after unmap")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	as := NewAddressSpace()
+	_, err := as.ReadUint(0x5000, 8)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if f.Addr != 0x5000 || f.Write {
+		t.Errorf("fault fields wrong: %+v", f)
+	}
+	err = as.WriteUint(0x5000, 4, 1)
+	if !errors.As(err, &f) || !f.Write {
+		t.Errorf("write fault wrong: %v", err)
+	}
+	if f.Error() == "" {
+		t.Error("empty fault message")
+	}
+}
+
+func TestReadWriteSizes(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 0x1000)
+	for _, size := range []int{1, 2, 4, 8} {
+		v := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if size == 8 {
+			v = 0x1122334455667788
+		}
+		if err := as.WriteUint(0x1100, size, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := as.ReadUint(0x1100, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("size %d: got %#x want %#x", size, got, v)
+		}
+	}
+	if _, err := as.ReadUint(0x1100, 3); err == nil {
+		t.Error("odd size accepted")
+	}
+	if err := as.WriteUint(0x1100, 5, 0); err == nil {
+		t.Error("odd size accepted for write")
+	}
+}
+
+func TestPageCrossingAccess(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 0x2000)
+	addr := uint32(0x1ffc) // crosses the 0x2000 page boundary for 8-byte access
+	want := uint64(0xdeadbeefcafef00d)
+	if err := as.WriteUint(addr, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadUint(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("page-crossing round trip: got %#x want %#x", got, want)
+	}
+	// Crossing into an unmapped page faults.
+	as2 := NewAddressSpace()
+	mustMap(t, as2, 0x1000, 0x1000)
+	if err := as2.WriteUint(0x1ffc, 8, 1); err == nil {
+		t.Error("write crossing into unmapped page succeeded")
+	}
+	if _, err := as2.ReadUint(0x1ffc, 8); err == nil {
+		t.Error("read crossing into unmapped page succeeded")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 0x3000)
+	src := make([]byte, 5000) // spans multiple pages
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := as.WriteBytes(0x1800, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := as.ReadBytes(0x1800, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("bytes round trip mismatch")
+	}
+	if err := as.WriteBytes(0x3f00, make([]byte, 1000)); err == nil {
+		t.Error("WriteBytes past mapping succeeded")
+	}
+}
+
+func TestMappingAt(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x10000, 0x1000)
+	if err := as.Map(Mapping{Path: "lib", Base: 0x20000, Size: 0x2000}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := as.MappingAt(0x10800)
+	if !ok || m.Path != "test" {
+		t.Errorf("MappingAt(0x10800) = %+v, %v", m, ok)
+	}
+	m, ok = as.MappingAt(0x21fff)
+	if !ok || m.Path != "lib" {
+		t.Errorf("MappingAt(0x21fff) = %+v, %v", m, ok)
+	}
+	if _, ok := as.MappingAt(0x22000); ok {
+		t.Error("MappingAt past end found a mapping")
+	}
+	if _, ok := as.MappingAt(0x5000); ok {
+		t.Error("MappingAt in hole found a mapping")
+	}
+}
+
+// Property: for any sequence of writes followed by reads at the same
+// addresses/sizes inside a mapped region, reads observe the last write.
+func TestReadAfterWriteProperty(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x8000, 0x4000)
+	f := func(offsets []uint16, vals []uint64) bool {
+		n := len(offsets)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		type access struct {
+			addr uint32
+			size int
+			val  uint64
+		}
+		var accs []access
+		for i := 0; i < n; i++ {
+			size := []int{1, 2, 4, 8}[i%4]
+			addr := 0x8000 + uint32(offsets[i])%(0x4000-8)
+			val := vals[i] & (1<<(8*size) - 1)
+			if size == 8 {
+				val = vals[i]
+			}
+			if err := as.WriteUint(addr, size, val); err != nil {
+				return false
+			}
+			// Evict previously recorded accesses this write overlaps:
+			// their bytes are now stale.
+			kept := accs[:0]
+			for _, a := range accs {
+				if !(addr < a.addr+uint32(a.size) && a.addr < addr+uint32(size)) {
+					kept = append(kept, a)
+				}
+			}
+			accs = append(kept, access{addr, size, val})
+		}
+		for _, a := range accs {
+			got, err := as.ReadUint(a.addr, a.size)
+			if err != nil || got != a.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package obj
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleObject() *File {
+	return &File{
+		Kind: KindObject,
+		Name: "sample.o",
+		Text: make([]byte, 64),
+		Data: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Symbols: []Symbol{
+			{Name: "_start", Sec: SecText, Off: 0, Global: true},
+			{Name: "local", Sec: SecText, Off: 16},
+			{Name: "buf", Sec: SecBSS, Off: 0, Global: true},
+			{Name: "ext", Sec: SecUndef, Global: true},
+			{Name: "konst", Sec: SecAbs, Off: 42},
+		},
+		Relocs: []Reloc{
+			{Sec: SecText, Off: 12, Type: RelPC32, Sym: 3, Addend: -8},
+			{Sec: SecData, Off: 0, Type: RelAbs64, Sym: 0, Addend: 4},
+		},
+		BSSSize: 128,
+	}
+}
+
+func sampleExec() *File {
+	return &File{
+		Kind:    KindExec,
+		Name:    "prog",
+		Text:    make([]byte, 128),
+		Data:    make([]byte, 24),
+		BSSSize: 4096,
+		Entry:   8,
+		Needed:  []string{"libc.so", "libgui.so"},
+		Exports: []Export{{Name: "main", Off: 8}},
+		DynRelocs: []DynReloc{
+			{Off: 4, Type: RelPC32, SymName: "draw", Addend: 0, InText: true},
+			{Off: 4096, Type: RelAbs64, SymName: "", Addend: 16},
+		},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, f := range []*File{sampleObject(), sampleExec()} {
+		b, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", f.Name, err)
+		}
+		var g File
+		if err := g.UnmarshalBinary(b); err != nil {
+			t.Fatalf("%s: unmarshal: %v", f.Name, err)
+		}
+		if !reflect.DeepEqual(*f, g) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", f.Name, g, *f)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.vxo")
+	f := sampleExec()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, g) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("ReadFile of missing file succeeded")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	good, err := sampleExec().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad version":  append(append([]byte{}, good[:4]...), append([]byte{9, 0, 0, 0}, good[8:]...)...),
+		"truncated":    good[:len(good)/2],
+		"trailing":     append(append([]byte{}, good...), 0),
+		"short header": good[:6],
+	}
+	for name, b := range cases {
+		var f File
+		if err := f.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s: UnmarshalBinary accepted corrupt input", name)
+		}
+	}
+	// Random single-byte flips must never panic, and only rarely decode
+	// (if they do decode, validation has accepted a structurally sound
+	// variant, which is fine).
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		b := append([]byte{}, good...)
+		b[r.Intn(len(b))] ^= byte(1 + r.Intn(255))
+		var f File
+		_ = f.UnmarshalBinary(b) // must not panic
+	}
+}
+
+func TestUnmarshalRejectsHugeLengths(t *testing.T) {
+	good, _ := sampleExec().MarshalBinary()
+	// The text length field lives right after magic+version+kind+name:
+	// 4 (magic) + 4 (version) + 1 (kind) + 4+len("prog") (name).
+	off := 4 + 4 + 1 + 4 + len("prog")
+	b := append([]byte{}, good...)
+	b[off] = 0xff
+	b[off+1] = 0xff
+	b[off+2] = 0xff
+	b[off+3] = 0x7f
+	var f File
+	if err := f.UnmarshalBinary(b); err == nil {
+		t.Error("huge section length accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := sampleObject()
+	bad.Relocs[0].Sym = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range reloc symbol accepted")
+	}
+	bad = sampleObject()
+	bad.Relocs[0].Off = uint32(len(bad.Text)) - 2
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-bounds reloc accepted")
+	}
+	bad = sampleObject()
+	bad.Text = make([]byte, 12) // not a multiple of 8
+	if err := bad.Validate(); err == nil {
+		t.Error("odd text size accepted")
+	}
+	bad = sampleExec()
+	bad.Entry = 4096
+	if err := bad.Validate(); err == nil {
+		t.Error("entry outside text accepted")
+	}
+	bad = sampleExec()
+	bad.DynRelocs[0].Off = bad.ImageSize()
+	if err := bad.Validate(); err == nil {
+		t.Error("dynreloc outside image accepted")
+	}
+	bad = sampleExec()
+	bad.Exports[0].Off = bad.ImageSize() + 4
+	if err := bad.Validate(); err == nil {
+		t.Error("export outside image accepted")
+	}
+	bad = sampleExec()
+	bad.Kind = Kind(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	f := &File{Kind: KindLib, Name: "l", Text: make([]byte, 8200), Data: make([]byte, 10), BSSSize: 100}
+	if got := f.DataOff(); got != 12288 {
+		t.Errorf("DataOff = %d, want 12288", got)
+	}
+	if got := f.BSSOff(); got != 12288+16 {
+		t.Errorf("BSSOff = %d, want %d", got, 12288+16)
+	}
+	if got := f.ImageSize(); got != 16384 {
+		t.Errorf("ImageSize = %d, want 16384", got)
+	}
+	img := f.Image()
+	if len(img) != int(f.ImageSize()) {
+		t.Errorf("Image length %d != ImageSize %d", len(img), f.ImageSize())
+	}
+}
+
+func TestImagePlacesSections(t *testing.T) {
+	f := &File{Kind: KindLib, Name: "l", Text: bytes.Repeat([]byte{0xAA}, 16), Data: []byte{1, 2, 3}, BSSSize: 8}
+	img := f.Image()
+	if img[0] != 0xAA || img[15] != 0xAA {
+		t.Error("text not at image start")
+	}
+	d := f.DataOff()
+	if img[d] != 1 || img[d+2] != 3 {
+		t.Error("data not at DataOff")
+	}
+	for _, b := range img[f.BSSOff() : f.BSSOff()+f.BSSSize] {
+		if b != 0 {
+			t.Fatal("bss not zeroed")
+		}
+	}
+}
+
+func TestExportAddr(t *testing.T) {
+	f := sampleExec()
+	off, ok := f.ExportAddr("main")
+	if !ok || off != 8 {
+		t.Errorf("ExportAddr(main) = %d, %v", off, ok)
+	}
+	if _, ok := f.ExportAddr("nope"); ok {
+		t.Error("ExportAddr found missing symbol")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a := sampleExec()
+	b := sampleExec()
+	if a.Digest() != b.Digest() {
+		t.Error("identical files have different digests")
+	}
+	b.Text[0] ^= 1
+	if a.Digest() == b.Digest() {
+		t.Error("modified text has same digest")
+	}
+	c := sampleExec()
+	c.Needed = append(c.Needed, "libx.so")
+	if a.Digest() == c.Digest() {
+		t.Error("modified needed list has same digest")
+	}
+}

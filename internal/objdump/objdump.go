@@ -1,0 +1,213 @@
+// Package objdump renders VXO files (relocatable objects, executables,
+// shared libraries) as human-readable listings: a header summary,
+// symbolized disassembly of the text section, a data hexdump, and the
+// relocation/export/import tables. It backs cmd/pcc-objdump.
+package objdump
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+// Options selects which sections to print. The zero value prints all.
+type Options struct {
+	NoText   bool
+	NoData   bool
+	NoRelocs bool
+}
+
+// Dump writes the listing for f to w.
+func Dump(w io.Writer, f *obj.File, o Options) error {
+	fmt.Fprintf(w, "%s: %s\n", f.Name, f.Kind)
+	fmt.Fprintf(w, "  text %d bytes, data %d bytes, bss %d bytes", len(f.Text), len(f.Data), f.BSSSize)
+	if f.Kind != obj.KindObject {
+		fmt.Fprintf(w, ", image %d bytes", f.ImageSize())
+	}
+	fmt.Fprintln(w)
+	if f.Kind == obj.KindExec {
+		fmt.Fprintf(w, "  entry %#x\n", f.Entry)
+	}
+	if len(f.Needed) > 0 {
+		fmt.Fprintf(w, "  needs %v\n", f.Needed)
+	}
+
+	symAt := symbolIndex(f)
+
+	if !o.NoText && len(f.Text) > 0 {
+		fmt.Fprintln(w, "\n.text:")
+		if err := dumpText(w, f, symAt); err != nil {
+			return err
+		}
+	}
+	if !o.NoData && len(f.Data) > 0 {
+		fmt.Fprintln(w, "\n.data:")
+		dumpData(w, f)
+	}
+	if !o.NoRelocs {
+		dumpRelocs(w, f)
+	}
+	return nil
+}
+
+// symbolIndex maps text offsets to symbol names (object symbol table or
+// module export table).
+func symbolIndex(f *obj.File) map[uint32][]string {
+	out := make(map[uint32][]string)
+	if f.Kind == obj.KindObject {
+		for _, s := range f.Symbols {
+			if s.Sec == obj.SecText {
+				out[s.Off] = append(out[s.Off], s.Name)
+			}
+		}
+	} else {
+		for _, e := range f.Exports {
+			if e.Off < uint32(len(f.Text)) {
+				out[e.Off] = append(out[e.Off], e.Name)
+			}
+		}
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+func dumpText(w io.Writer, f *obj.File, symAt map[uint32][]string) error {
+	// Secondary index: sorted symbol offsets for target annotation.
+	var symOffs []uint32
+	for off := range symAt {
+		symOffs = append(symOffs, off)
+	}
+	sort.Slice(symOffs, func(i, j int) bool { return symOffs[i] < symOffs[j] })
+	nameFor := func(off uint32) string {
+		if names, ok := symAt[off]; ok {
+			return names[0]
+		}
+		// Nearest preceding symbol, with displacement.
+		i := sort.Search(len(symOffs), func(i int) bool { return symOffs[i] > off }) - 1
+		if i >= 0 {
+			return fmt.Sprintf("%s+%d", symAt[symOffs[i]][0], off-symOffs[i])
+		}
+		return ""
+	}
+
+	// Loader-patched fields inside instructions (field at instruction
+	// offset + 4).
+	patched := make(map[uint32]*obj.DynReloc)
+	for i := range f.DynRelocs {
+		d := &f.DynRelocs[i]
+		if d.InText && d.Off >= 4 {
+			patched[d.Off-4] = d
+		}
+	}
+
+	for off := uint32(0); off < uint32(len(f.Text)); off += isa.InstSize {
+		if names, ok := symAt[off]; ok {
+			for _, n := range names {
+				fmt.Fprintf(w, "%08x <%s>:\n", off, n)
+			}
+		}
+		in, err := isa.Decode(f.Text[off:])
+		if err != nil {
+			return fmt.Errorf("objdump: at %#x: %w", off, err)
+		}
+		line := in.String()
+		switch {
+		case patched[off] != nil:
+			d := patched[off]
+			target := d.SymName
+			if target == "" {
+				target = fmt.Sprintf("<module%+d>", d.Addend)
+			}
+			line += fmt.Sprintf("\t; loader-patched %s -> %s", d.Type, target)
+		case in.IsDirectJump() || in.IsCondBranch() || in.Op == isa.OpLdPC:
+			// Annotate pc-relative transfers with their target symbol.
+			target := off + uint32(in.Imm)
+			if target < uint32(len(f.Text)) {
+				if n := nameFor(target); n != "" {
+					line += fmt.Sprintf("\t; -> %s (%#x)", n, target)
+				} else {
+					line += fmt.Sprintf("\t; -> %#x", target)
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %06x:  %s\n", off, line)
+	}
+	return nil
+}
+
+func dumpData(w io.Writer, f *obj.File) {
+	const width = 16
+	for off := 0; off < len(f.Data); off += width {
+		end := off + width
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		chunk := f.Data[off:end]
+		fmt.Fprintf(w, "  %06x: ", off)
+		for i := 0; i < width; i++ {
+			if i < len(chunk) {
+				fmt.Fprintf(w, "%02x ", chunk[i])
+			} else {
+				fmt.Fprint(w, "   ")
+			}
+		}
+		fmt.Fprint(w, " |")
+		for _, b := range chunk {
+			if b >= 0x20 && b < 0x7f {
+				fmt.Fprintf(w, "%c", b)
+			} else {
+				fmt.Fprint(w, ".")
+			}
+		}
+		fmt.Fprintln(w, "|")
+	}
+}
+
+func dumpRelocs(w io.Writer, f *obj.File) {
+	if f.Kind == obj.KindObject {
+		if len(f.Relocs) > 0 {
+			fmt.Fprintln(w, "\nrelocations:")
+			for _, r := range f.Relocs {
+				fmt.Fprintf(w, "  %-6s %06x %-6s %s%+d\n", r.Sec, r.Off, r.Type, f.Symbols[r.Sym].Name, r.Addend)
+			}
+		}
+		if len(f.Symbols) > 0 {
+			fmt.Fprintln(w, "\nsymbols:")
+			for _, s := range f.Symbols {
+				vis := "local "
+				if s.Global {
+					vis = "global"
+				}
+				fmt.Fprintf(w, "  %s %-6s %06x %s\n", vis, s.Sec, s.Off, s.Name)
+			}
+		}
+		return
+	}
+	if len(f.DynRelocs) > 0 {
+		fmt.Fprintln(w, "\ndynamic relocations:")
+		for _, d := range f.DynRelocs {
+			where := "data"
+			if d.InText {
+				where = "text"
+			}
+			target := d.SymName
+			if target == "" {
+				target = fmt.Sprintf("<module%+d>", d.Addend)
+			} else {
+				target = fmt.Sprintf("%s%+d", target, d.Addend)
+			}
+			fmt.Fprintf(w, "  %06x %-6s %-4s %s\n", d.Off, d.Type, where, target)
+		}
+	}
+	if len(f.Exports) > 0 {
+		fmt.Fprintln(w, "\nexports:")
+		for _, e := range f.Exports {
+			fmt.Fprintf(w, "  %06x %s\n", e.Off, e.Name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package objdump_test
+
+import (
+	"strings"
+	"testing"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/link"
+	"persistcc/internal/obj"
+	"persistcc/internal/objdump"
+)
+
+func buildSample(t *testing.T) (*obj.File, *obj.File) {
+	t.Helper()
+	o, err := asm.Assemble("s.o", `
+.text
+.global _start
+_start:
+	movi a0, 42
+	call helper
+	beqz a0, _start
+	la   t0, msg
+	halt
+.global helper
+helper:
+	addi a0, a0, -1
+	ret
+.data
+msg:	.ascii "Hi!"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := link.Link(link.Input{Name: "prog", Kind: obj.KindExec,
+		Objects: []*obj.File{o}, Exports: []string{"_start", "helper"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, exe
+}
+
+func dump(t *testing.T, f *obj.File, opts objdump.Options) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := objdump.Dump(&sb, f, opts); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestDumpObject(t *testing.T) {
+	o, _ := buildSample(t)
+	out := dump(t, o, objdump.Options{})
+	for _, want := range []string{
+		"s.o: object",
+		"<_start>:",
+		"<helper>:",
+		"movi a0, 42",
+		"; -> helper",  // call annotated with its target symbol
+		"; -> _start",  // backward branch annotated
+		"relocations:", // the la reloc
+		"ABS32",
+		"symbols:",
+		"global .text",
+		"|Hi!|", // hexdump ASCII gutter
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("object dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpExecutable(t *testing.T) {
+	_, exe := buildSample(t)
+	out := dump(t, exe, objdump.Options{})
+	for _, want := range []string{
+		"prog: executable",
+		"entry 0x0",
+		"dynamic relocations:",
+		"<module+", // the la lowered to a relative dynreloc
+		"exports:",
+		"helper",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exe dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpOptions(t *testing.T) {
+	o, _ := buildSample(t)
+	out := dump(t, o, objdump.Options{NoText: true, NoData: true, NoRelocs: true})
+	if strings.Contains(out, "movi") || strings.Contains(out, "|Hi!|") || strings.Contains(out, "relocations:") {
+		t.Errorf("options not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "s.o: object") {
+		t.Error("header missing")
+	}
+}
+
+func TestDumpMidFunctionTarget(t *testing.T) {
+	o, err := asm.Assemble("m.o", `
+.text
+.global f
+f:
+	nop
+	nop
+	beqz a0, f+8
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dump(t, o, objdump.Options{})
+	if !strings.Contains(out, "; -> f+8") {
+		t.Errorf("mid-function target not annotated with displacement:\n%s", out)
+	}
+}

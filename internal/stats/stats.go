@@ -1,0 +1,144 @@
+// Package stats provides the small formatting toolkit the experiment
+// harness uses to render paper-style tables, bar breakdowns and timelines
+// as plain text.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with padded columns.
+func (t *Table) Render() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Pct formats a 0..1 fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Ms formats ticks as virtual milliseconds.
+func Ms(ticks uint64) string { return fmt.Sprintf("%.3fms", float64(ticks)/1e6) }
+
+// Ratio formats a multiplier ("12.3x").
+func Ratio(r float64) string { return fmt.Sprintf("%.1fx", r) }
+
+// Bytes formats a byte count with a binary unit.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Improvement returns (base-new)/base, the paper's "% improvement".
+func Improvement(base, new uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (float64(base) - float64(new)) / float64(base)
+}
+
+// Timeline renders event ticks as a fixed-width strip: '|' for buckets
+// containing at least one event, '.' otherwise (Figure 2(a)'s vertical
+// lines).
+func Timeline(events []uint64, total uint64, cols int) string {
+	if cols <= 0 {
+		cols = 60
+	}
+	buf := make([]byte, cols)
+	for i := range buf {
+		buf[i] = '.'
+	}
+	if total == 0 {
+		return string(buf)
+	}
+	for _, e := range events {
+		i := int(uint64(cols) * e / (total + 1))
+		if i >= cols {
+			i = cols - 1
+		}
+		buf[i] = '|'
+	}
+	return string(buf)
+}
+
+// BucketFill returns the fraction of timeline buckets containing events —
+// a scalar proxy for "translation requests occur throughout the run".
+func BucketFill(events []uint64, total uint64, cols int) float64 {
+	strip := Timeline(events, total, cols)
+	n := 0
+	for i := 0; i < len(strip); i++ {
+		if strip[i] == '|' {
+			n++
+		}
+	}
+	return float64(n) / float64(len(strip))
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "longer-name") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: both rows' second column starts at the same offset.
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if r1 != r2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra", "cells")
+	out := tb.Render()
+	if !strings.Contains(out, "cells") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.256) != "25.6%" {
+		t.Error(Pct(0.256))
+	}
+	if Ms(1_500_000) != "1.500ms" {
+		t.Error(Ms(1_500_000))
+	}
+	if Ratio(12.34) != "12.3x" {
+		t.Error(Ratio(12.34))
+	}
+	if Bytes(512) != "512B" || Bytes(2048) != "2.0KiB" || Bytes(3<<20) != "3.0MiB" {
+		t.Error(Bytes(512), Bytes(2048), Bytes(3<<20))
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if Improvement(100, 10) != 0.9 {
+		t.Error("improvement wrong")
+	}
+	if Improvement(0, 10) != 0 {
+		t.Error("zero base not handled")
+	}
+	if Improvement(100, 150) != -0.5 {
+		t.Error("regression not negative")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	events := []uint64{0, 50, 99}
+	strip := Timeline(events, 100, 10)
+	if len(strip) != 10 {
+		t.Fatalf("strip %q", strip)
+	}
+	if strip[0] != '|' || strip[4] != '|' || strip[9] != '|' {
+		t.Errorf("strip %q", strip)
+	}
+	if strings.Count(strip, "|") != 3 {
+		t.Errorf("strip %q", strip)
+	}
+	if got := BucketFill(events, 100, 10); got != 0.3 {
+		t.Errorf("BucketFill = %v", got)
+	}
+	if Timeline(nil, 0, 5) != "....." {
+		t.Error("empty timeline wrong")
+	}
+	// Events at/past total clamp into the last bucket rather than panic.
+	if s := Timeline([]uint64{200}, 100, 10); s[9] != '|' {
+		t.Errorf("clamping failed: %q", s)
+	}
+}

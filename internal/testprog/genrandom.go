@@ -1,0 +1,100 @@
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenRandom emits a random but always-terminating guest program with counted
+// loops, forward conditional branches, direct and indirect calls, and
+// memory traffic to a scratch region. Everything is derived from the seed.
+func GenRandom(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	regs := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	label := 0
+
+	emitALU := func() {
+		ops := []string{"add", "sub", "mul", "xor", "and", "or", "slt", "sltu", "div", "rem"}
+		fmt.Fprintf(&sb, "\t%s %s, %s, %s\n",
+			ops[r.Intn(len(ops))], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))])
+	}
+	emitMem := func() {
+		slot := r.Intn(8) * 8
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&sb, "\tsd %s, %d(s2)\n", regs[r.Intn(len(regs))], slot)
+		} else {
+			fmt.Fprintf(&sb, "\tld %s, %d(s2)\n", regs[r.Intn(len(regs))], slot)
+		}
+	}
+	emitFwdBranch := func() {
+		l := label
+		label++
+		ops := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+		fmt.Fprintf(&sb, "\t%s %s, %s, fwd%d\n", ops[r.Intn(6)], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], l)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			emitALU()
+		}
+		fmt.Fprintf(&sb, "fwd%d:\n", l)
+	}
+
+	// Leaf functions, some reachable only indirectly through a table.
+	nfuncs := 2 + r.Intn(3)
+	sb.WriteString(".text\n")
+	for f := 0; f < nfuncs; f++ {
+		fmt.Fprintf(&sb, "leaf%d:\n", f)
+		for k := 0; k < 2+r.Intn(5); k++ {
+			fmt.Fprintf(&sb, "\taddi a0, a0, %d\n", r.Intn(100)-50)
+			if r.Intn(3) == 0 {
+				fmt.Fprintf(&sb, "\txori a0, a0, %d\n", r.Intn(1<<16))
+			}
+		}
+		sb.WriteString("\tret\n")
+	}
+
+	sb.WriteString(".global _start\n_start:\n")
+	fmt.Fprintf(&sb, "\tla s2, scratch\n")
+	for i, reg := range regs {
+		fmt.Fprintf(&sb, "\tmovi %s, %d\n", reg, r.Int31()-1<<30+int32(i*7)+1)
+	}
+	sb.WriteString("\tmovi a0, 1\n")
+
+	// Body: nested counted loops with random contents.
+	nloops := 1 + r.Intn(3)
+	for l := 0; l < nloops; l++ {
+		counter := fmt.Sprintf("s%d", 3+l) // s3..s5 untouched by leaves
+		iters := 1 + r.Intn(12)
+		fmt.Fprintf(&sb, "\tmovi %s, %d\nloop%d:\n", counter, iters, l)
+		stmts := 3 + r.Intn(8)
+		for k := 0; k < stmts; k++ {
+			switch r.Intn(5) {
+			case 0:
+				emitMem()
+			case 1:
+				emitFwdBranch()
+			case 2:
+				fmt.Fprintf(&sb, "\tcall leaf%d\n", r.Intn(nfuncs))
+			case 3:
+				// Indirect call through the function table.
+				fmt.Fprintf(&sb, "\tla t6, ftab\n\tmovi t7, %d\n\tslli t7, t7, 3\n\tadd t6, t6, t7\n\tld t6, 0(t6)\n\tcallr t6\n", r.Intn(nfuncs))
+			default:
+				emitALU()
+			}
+		}
+		fmt.Fprintf(&sb, "\taddi %s, %s, -1\n\tbnez %s, loop%d\n", counter, counter, counter, l)
+	}
+
+	// Fold state into the exit code.
+	for _, reg := range regs {
+		fmt.Fprintf(&sb, "\txor a0, a0, %s\n", reg)
+	}
+	sb.WriteString("\tandi a1, a0, 0xffff\n\tmovi a0, 1\n\tsys\n\thalt\n")
+
+	sb.WriteString(".data\nftab:\n")
+	for f := 0; f < nfuncs; f++ {
+		fmt.Fprintf(&sb, "\t.word64 leaf%d\n", f)
+	}
+	sb.WriteString(".bss\n.global scratch\nscratch: .space 64\n")
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package vm
+
+// The virtual clock. All durations in this system are deterministic tick
+// counts; TicksPerSecond converts them to reported "seconds". One native
+// guest cycle is modeled as 10 ticks so that sub-cycle ratios (e.g. the
+// 1.2x translated-code overhead) stay integral.
+const (
+	TicksPerSecond = 1_000_000_000 // 100 MHz at 10 ticks/cycle
+)
+
+// CostModel holds the deterministic cycle accounting that stands in for the
+// paper's wall-clock measurements. The ratios — translation two to three
+// orders of magnitude more expensive per instruction than execution — are
+// what produce the paper's cold-code economics: code executed once costs
+// ~TransPerInst, code executed n times amortizes to TransPerInst/n + CacheExec.
+type CostModel struct {
+	NativeExec     uint64 // per instruction, original (uninstrumented) execution
+	CacheExec      uint64 // per instruction executed from the code cache
+	TransFetch     uint64 // translation: per instruction fetched+decoded
+	TransPerInst   uint64 // translation: per instruction compiled
+	TransPerOp     uint64 // translation: per analysis op injected
+	TransFixed     uint64 // translation: fixed per-trace cost
+	Dispatch       uint64 // full VM dispatch (translation-map lookup on VM entry)
+	IndirectLookup uint64 // inline indirect-branch lookup that hits
+	LinkPatch      uint64 // patching a direct exit to a translated target
+	SyscallBase    uint64 // emulation-unit entry/exit
+	SyscallSignal  uint64 // extra cost of emulated signal machinery (sigaction/raise)
+	SpillPenalty   uint64 // extra per-execution cost of an analysis op with no dead register
+
+	// Persistent cache costs (charged by internal/core through the VM).
+	PersistLoadFixed uint64 // opening + mapping a persistent cache file
+	PersistKeyCheck  uint64 // validating one mapping key
+	PersistInstall   uint64 // installing one reused trace into the code cache
+	PersistSaveFixed uint64 // writing the cache back (charged to the run that saves)
+	PersistSaveTrace uint64 // per trace written
+}
+
+// DefaultCostModel returns the calibrated model used throughout the
+// evaluation. EXPERIMENTS.md documents the calibration against the paper's
+// reported overheads.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		NativeExec:     10,
+		CacheExec:      12,
+		TransFetch:     150,
+		TransPerInst:   600,
+		TransPerOp:     250,
+		TransFixed:     3000,
+		Dispatch:       600,
+		IndirectLookup: 40,
+		LinkPatch:      120,
+		SyscallBase:    400,
+		SyscallSignal:  60000,
+		SpillPenalty:   6,
+
+		PersistLoadFixed: 400_000,
+		PersistKeyCheck:  8_000,
+		PersistInstall:   90,
+		PersistSaveFixed: 600_000,
+		PersistSaveTrace: 150,
+	}
+}
+
+// Seconds converts ticks to virtual seconds.
+func Seconds(ticks uint64) float64 {
+	return float64(ticks) / TicksPerSecond
+}

@@ -1,0 +1,52 @@
+package vm_test
+
+import (
+	"testing"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+// TestRandomControlFlowEquivalence is the central differential property:
+// for arbitrary (terminating) guest programs, the interpreter and the
+// trace-based code cache produce identical results and output.
+func TestRandomControlFlowEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := testprog.GenRandom(seed)
+		exe, libs, err := testprog.Build("fuzz", src, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		load := func() *vm.VM {
+			p, err := testprog.Load(exe, libs, loader.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vm.New(p, vm.WithMaxInsts(5_000_000))
+		}
+		nat, err := load().RunNative()
+		if err != nil {
+			t.Fatalf("seed %d native: %v\n%s", seed, err, src)
+		}
+		cached, err := load().Run()
+		if err != nil {
+			t.Fatalf("seed %d cached: %v\n%s", seed, err, src)
+		}
+		if nat.ExitCode != cached.ExitCode {
+			t.Fatalf("seed %d: native %d != cached %d\n%s", seed, nat.ExitCode, cached.ExitCode, src)
+		}
+		// Small trace limits must not change semantics either.
+		p, err := testprog.Load(exe, libs, loader.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiny, err := vm.New(p, vm.WithMaxTrace(3), vm.WithMaxInsts(5_000_000)).Run()
+		if err != nil {
+			t.Fatalf("seed %d tiny traces: %v", seed, err)
+		}
+		if tiny.ExitCode != nat.ExitCode {
+			t.Fatalf("seed %d: tiny-trace exit %d != native %d", seed, tiny.ExitCode, nat.ExitCode)
+		}
+	}
+}

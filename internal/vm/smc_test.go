@@ -1,0 +1,161 @@
+package vm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/vm"
+)
+
+// smcSrc generates code at run time, executes it, rewrites it in place and
+// executes it again. The two generated versions return 1 and 2; a coherent
+// execution exits with 1*10+2 = 12.
+func smcSrc(t *testing.T) string {
+	t.Helper()
+	enc := func(in isa.Inst) string { return fmt.Sprintf("%d", in.EncodeWord()) }
+	v1 := enc(isa.Inst{Op: isa.OpMovI, Rd: isa.RegA0, Imm: 1})
+	v2 := enc(isa.Inst{Op: isa.OpMovI, Rd: isa.RegA0, Imm: 2})
+	ret := enc(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+	return `
+.text
+.global _start
+_start:
+	movi s2, 0x20000000  ; generated-code buffer on the heap
+	; emit version 1: movi a0, 1 ; ret
+	la   t0, words
+	ld   t1, 0(t0)
+	sd   t1, 0(s2)
+	ld   t1, 16(t0)
+	sd   t1, 8(s2)
+	callr s2
+	muli s1, a0, 10
+	; rewrite in place: movi a0, 2 ; ret
+	la   t0, words
+	ld   t1, 8(t0)
+	sd   t1, 0(s2)
+	callr s2
+	add  s1, s1, a0
+	mv   a1, s1
+	movi a0, 1
+	sys
+	halt
+.data
+words:
+	.word64 ` + v1 + `
+	.word64 ` + v2 + `
+	.word64 ` + ret + `
+`
+}
+
+func TestSelfModifyingCode(t *testing.T) {
+	src := smcSrc(t)
+
+	// The interpreter always reads current memory: coherent by nature.
+	nat, err := vm.New(buildProc(t, src, nil)).RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != 12 {
+		t.Fatalf("native exit = %d, want 12", nat.ExitCode)
+	}
+
+	// Without detection the code cache keeps executing the stale first
+	// version: the documented (paper-matching) limitation.
+	stale, err := vm.New(buildProc(t, src, nil)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.ExitCode != 11 {
+		t.Fatalf("without SMC detection: exit = %d, want stale 11", stale.ExitCode)
+	}
+
+	// With detection the rewrite flushes the cache and the second call
+	// re-translates the new code.
+	v := vm.New(buildProc(t, src, nil), vm.WithSMCDetection())
+	coherent, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coherent.ExitCode != 12 {
+		t.Fatalf("with SMC detection: exit = %d, want 12", coherent.ExitCode)
+	}
+	if coherent.Stats.SMCFlushes == 0 {
+		t.Error("no SMC flush recorded")
+	}
+}
+
+func TestSMCDetectionNoFalsePositives(t *testing.T) {
+	// Ordinary data traffic (stack, heap away from code, module data)
+	// must not trigger flushes.
+	p := buildProc(t, fibSrc, nil)
+	v := vm.New(p, vm.WithInput([]uint64{200}), vm.WithSMCDetection())
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SMCFlushes != 0 {
+		t.Errorf("%d spurious SMC flushes", res.Stats.SMCFlushes)
+	}
+	if res.ExitCode == 0 {
+		t.Error("fib(200) returned 0")
+	}
+}
+
+func TestSMCFlushKillsStaleLinks(t *testing.T) {
+	// A loop whose body rewrites generated code every iteration: with
+	// detection, every iteration re-translates; results must match the
+	// interpreter exactly.
+	enc := func(in isa.Inst) string { return fmt.Sprintf("%d", in.EncodeWord()) }
+	ret := enc(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+	// Template: movi a0, <k>; patched per iteration by the guest itself.
+	base := enc(isa.Inst{Op: isa.OpMovI, Rd: isa.RegA0})
+	src := `
+.text
+.global _start
+_start:
+	movi s2, 0x20000000
+	la   t0, tmpl
+	ld   t1, 8(t0)
+	sd   t1, 8(s2)       ; ret
+	movi s0, 6           ; iterations
+	movi s1, 0           ; sum
+loop:
+	; emit "movi a0, s0" by patching the immediate field
+	la   t0, tmpl
+	ld   t1, 0(t0)
+	slli t2, s0, 32      ; imm field occupies the high 4 bytes
+	or   t1, t1, t2
+	sd   t1, 0(s2)
+	callr s2
+	add  s1, s1, a0
+	addi s0, s0, -1
+	bnez s0, loop
+	mv   a1, s1
+	movi a0, 1
+	sys
+	halt
+.data
+tmpl:
+	.word64 ` + base + `
+	.word64 ` + ret + `
+`
+	nat, err := vm.New(buildProc(t, src, nil)).RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != 6+5+4+3+2+1 {
+		t.Fatalf("native exit = %d", nat.ExitCode)
+	}
+	v := vm.New(buildProc(t, src, nil), vm.WithSMCDetection())
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != nat.ExitCode {
+		t.Fatalf("SMC loop: cached %d != native %d", res.ExitCode, nat.ExitCode)
+	}
+	if res.Stats.SMCFlushes < 5 {
+		t.Errorf("expected a flush per rewrite, got %d", res.Stats.SMCFlushes)
+	}
+}

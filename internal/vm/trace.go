@@ -1,0 +1,346 @@
+package vm
+
+import (
+	"fmt"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+)
+
+// MaxTraceInsts is the default trace-length limit ("a linear sequence of
+// instructions fetched from a starting address until a fixed instruction
+// count is reached or an unconditional branch instruction is encountered").
+const MaxTraceInsts = 32
+
+// ExitKind classifies how control leaves a trace.
+type ExitKind uint8
+
+const (
+	ExitCond     ExitKind = iota + 1 // taken side of a conditional branch
+	ExitDirect                       // unconditional direct jump/call (jal)
+	ExitIndirect                     // register-indirect jump/call (jalr)
+	ExitSyscall                      // control returns to the VM's emulation unit
+	ExitHalt                         // guest machine stop
+	ExitFall                         // trace-length limit reached; fall through
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitCond:
+		return "cond"
+	case ExitDirect:
+		return "direct"
+	case ExitIndirect:
+		return "indirect"
+	case ExitSyscall:
+		return "syscall"
+	case ExitHalt:
+		return "halt"
+	case ExitFall:
+		return "fall"
+	}
+	return fmt.Sprintf("exit(%d)", uint8(k))
+}
+
+// Exit describes one static exit of a trace. Index is the instruction index
+// the exit belongs to (len(Insts) for ExitFall). Target is the static guest
+// target address where known (ExitCond taken-target, ExitDirect, ExitFall,
+// and the resume address for ExitSyscall).
+type Exit struct {
+	Kind   ExitKind
+	Index  uint16
+	Target uint32
+}
+
+// RelocNote records that an instruction inside the trace was patched by the
+// dynamic loader: its immediate holds an address (or displacement to an
+// address) inside the Target module. The persisted translation is therefore
+// only valid while both the containing and the target module keep the base
+// addresses they had at translation time — unless the relocatable-
+// translation extension rewrites the immediate (internal/core).
+type RelocNote struct {
+	InstIdx   uint16
+	Type      obj.RelocType
+	Target    int32  // module index at translation time
+	TargetOff uint32 // module-relative target offset
+}
+
+// Trace is a translated code-cache unit: a linear instruction sequence with
+// side exits, injected analysis ops, per-instruction liveness, and the
+// metadata that makes it persistable.
+type Trace struct {
+	Start  uint32 // guest address of the head; entry only at the head
+	Module int32  // index into the process module table; -1 if not file-backed
+	ModOff uint32 // Start - module base (valid when Module >= 0)
+
+	Insts   []isa.Inst
+	Exits   []Exit
+	Ops     []AnalysisOp  // sorted by Pos
+	LiveIn  []isa.RegMask // live registers immediately before each instruction
+	LiveOut []isa.RegMask // live registers immediately after each instruction
+	Notes   []RelocNote
+
+	Persisted bool // installed from a persistent cache (not re-translated)
+
+	// Runtime state (never persisted).
+	links []*Trace // per-instruction taken-target links; links[len(Insts)] is the fall-through link
+	execs uint64
+}
+
+// CodeBytes returns the modeled size of the trace in the code pool:
+// re-encoded instructions, exit stubs and inline analysis-op thunks.
+func (t *Trace) CodeBytes() uint64 {
+	return uint64(len(t.Insts))*isa.InstSize + uint64(len(t.Exits))*16 + uint64(len(t.Ops))*8
+}
+
+// DataBytes returns the modeled size of the trace's supporting data
+// structures: the translation-map entry, incoming/outgoing link records,
+// liveness vectors, the source map and relocation notes. As in the paper's
+// Figure 9, this regularly exceeds CodeBytes.
+func (t *Trace) DataBytes() uint64 {
+	return 48 +
+		uint64(len(t.Exits))*24 +
+		uint64(len(t.Insts))*(4+8) + // liveness + source map
+		uint64(len(t.Notes))*16 +
+		uint64(len(t.Ops))*8
+}
+
+// Execs returns how many times the trace has run in this VM instance.
+func (t *Trace) Execs() uint64 { return t.execs }
+
+// RecomputeStatic derives the trace's static metadata — exits and liveness
+// vectors — from Insts and Start. It is called after translation and again
+// by the persistence layer when a trace is rebased under the relocatable-
+// translation extension (rebasing changes Start and pc-relative immediates,
+// and therefore every static exit target).
+func (t *Trace) RecomputeStatic() {
+	t.Exits = t.Exits[:0]
+	for i, in := range t.Insts {
+		pc := t.Start + uint32(i)*isa.InstSize
+		idx := uint16(i)
+		if in.IsCondBranch() {
+			t.Exits = append(t.Exits, Exit{Kind: ExitCond, Index: idx, Target: pc + uint32(in.Imm)})
+		}
+		if in.IsTerminator() {
+			switch in.Op {
+			case isa.OpJal:
+				t.Exits = append(t.Exits, Exit{Kind: ExitDirect, Index: idx, Target: pc + uint32(in.Imm)})
+			case isa.OpJalr:
+				t.Exits = append(t.Exits, Exit{Kind: ExitIndirect, Index: idx})
+			case isa.OpSys:
+				t.Exits = append(t.Exits, Exit{Kind: ExitSyscall, Index: idx, Target: pc + isa.InstSize})
+			case isa.OpHalt:
+				t.Exits = append(t.Exits, Exit{Kind: ExitHalt, Index: idx})
+			}
+		}
+	}
+	last := t.Insts[len(t.Insts)-1]
+	if !last.IsTerminator() {
+		t.Exits = append(t.Exits, Exit{
+			Kind: ExitFall, Index: uint16(len(t.Insts)),
+			Target: t.Start + uint32(len(t.Insts))*isa.InstSize,
+		})
+	}
+	t.computeLiveness()
+}
+
+// computeLiveness runs the backward dataflow pass. Live-out at the trace
+// end is conservatively all-registers (successor traces are unknown).
+func (t *Trace) computeLiveness() {
+	n := len(t.Insts)
+	t.LiveIn = make([]isa.RegMask, n)
+	t.LiveOut = make([]isa.RegMask, n)
+	live := isa.RegMask(0xFFFFFFFE) // everything but r0
+	for i := n - 1; i >= 0; i-- {
+		t.LiveOut[i] = live
+		in := t.Insts[i]
+		live = (live &^ in.Defs()) | in.Uses()
+		// A potential side exit makes everything live-out again on the
+		// taken path; merge it in so scratch decisions stay safe.
+		if in.IsCondBranch() {
+			live = 0xFFFFFFFE
+		}
+		t.LiveIn[i] = live
+	}
+}
+
+// CodeCache is the software code cache plus translation map: translated
+// traces indexed by original start address, with a byte budget split evenly
+// between the code pool and the data-structure pool (as the paper divides
+// its reserved memory). Exceeding either pool triggers a full flush.
+type CodeCache struct {
+	limit     uint64 // total budget; each pool gets limit/2
+	codeBytes uint64
+	dataBytes uint64
+	byAddr    map[uint32]*Trace
+	all       []*Trace
+	flushes   int
+	// codePages counts, per guest page, how many traces were fetched from
+	// it — the write-monitor index for self-modifying-code detection.
+	codePages map[uint32]int
+}
+
+// NewCodeCache returns a cache with the given total byte budget.
+func NewCodeCache(limit uint64) *CodeCache {
+	return &CodeCache{limit: limit, byAddr: make(map[uint32]*Trace), codePages: make(map[uint32]int)}
+}
+
+// PageHasCode reports whether any cached trace was fetched from the guest
+// page containing addr.
+func (c *CodeCache) PageHasCode(addr uint32) bool {
+	return c.codePages[addr>>12] > 0
+}
+
+func (c *CodeCache) trackPages(t *Trace, delta int) {
+	end := t.Start + uint32(len(t.Insts))*isa.InstSize - 1
+	for p := t.Start >> 12; p <= end>>12; p++ {
+		c.codePages[p] += delta
+		if c.codePages[p] <= 0 {
+			delete(c.codePages, p)
+		}
+	}
+}
+
+// Lookup consults the translation map.
+func (c *CodeCache) Lookup(addr uint32) (*Trace, bool) {
+	t, ok := c.byAddr[addr]
+	return t, ok
+}
+
+// WouldOverflow reports whether adding the trace would exceed either pool.
+func (c *CodeCache) WouldOverflow(t *Trace) bool {
+	half := c.limit / 2
+	return c.codeBytes+t.CodeBytes() > half || c.dataBytes+t.DataBytes() > half
+}
+
+// Insert adds a trace to the cache and translation map. The caller is
+// responsible for flushing first if WouldOverflow reports true.
+func (c *CodeCache) Insert(t *Trace) {
+	if old, ok := c.byAddr[t.Start]; ok {
+		// Re-translation of a flushed-and-reinstalled address: replace.
+		c.codeBytes -= old.CodeBytes()
+		c.dataBytes -= old.DataBytes()
+		c.trackPages(old, -1)
+		for i := range c.all {
+			if c.all[i] == old {
+				c.all[i] = c.all[len(c.all)-1]
+				c.all = c.all[:len(c.all)-1]
+				break
+			}
+		}
+	}
+	t.links = make([]*Trace, len(t.Insts)+1)
+	c.byAddr[t.Start] = t
+	c.all = append(c.all, t)
+	c.codeBytes += t.CodeBytes()
+	c.dataBytes += t.DataBytes()
+	c.trackPages(t, 1)
+}
+
+// Flush discards all translated code and data structures. Dropped traces'
+// link slots are cleared so a trace still executing on the Go stack cannot
+// chain into stale translations: its next exit falls back to the dispatcher.
+func (c *CodeCache) Flush() {
+	for _, t := range c.all {
+		t.links = make([]*Trace, len(t.Insts)+1)
+	}
+	c.byAddr = make(map[uint32]*Trace)
+	c.all = nil
+	c.codePages = make(map[uint32]int)
+	c.codeBytes, c.dataBytes = 0, 0
+	c.flushes++
+}
+
+// Traces returns the cache contents (shared slice; do not mutate).
+func (c *CodeCache) Traces() []*Trace { return c.all }
+
+// CodeBytes returns the code pool occupancy.
+func (c *CodeCache) CodeBytes() uint64 { return c.codeBytes }
+
+// DataBytes returns the data-structure pool occupancy.
+func (c *CodeCache) DataBytes() uint64 { return c.dataBytes }
+
+// Flushes returns how many times the cache has been flushed.
+func (c *CodeCache) Flushes() int { return c.flushes }
+
+// translate fetches and compiles the trace starting at pc, charging
+// translation cost and recording the translation-request timeline event.
+func (v *VM) translate(pc uint32) (*Trace, error) {
+	t := &Trace{Start: pc, Module: -1}
+	if v.proc != nil {
+		if mi := v.proc.ModuleAt(pc); mi >= 0 {
+			t.Module = int32(mi)
+			t.ModOff = pc - v.proc.Modules[mi].Base
+		}
+	}
+	var buf [isa.InstSize]byte
+	cur := pc
+	for len(t.Insts) < v.maxTrace {
+		if err := v.as.ReadBytes(cur, buf[:]); err != nil {
+			return nil, fmt.Errorf("vm: fetch at %#x: %w", cur, err)
+		}
+		in, err := isa.Decode(buf[:])
+		if err != nil {
+			return nil, fmt.Errorf("vm: decode at %#x: %w", cur, err)
+		}
+		t.Insts = append(t.Insts, in)
+		if in.IsTerminator() {
+			break
+		}
+		cur += isa.InstSize
+	}
+	t.RecomputeStatic()
+
+	// Relocation notes: which instructions contain loader-patched fields.
+	if t.Module >= 0 && v.proc != nil {
+		m := v.proc.Modules[t.Module]
+		hi := t.ModOff + uint32(len(t.Insts))*isa.InstSize
+		for _, s := range m.SitesIn(t.ModOff, hi) {
+			if !s.InText {
+				continue
+			}
+			t.Notes = append(t.Notes, RelocNote{
+				InstIdx:   uint16((s.Off - t.ModOff) / isa.InstSize),
+				Type:      s.Type,
+				Target:    int32(s.Target),
+				TargetOff: s.TargetOff,
+			})
+		}
+	}
+
+	// Instrumentation.
+	if v.tool != nil {
+		tc := &TraceContext{vmCost: &v.cost, trace: t}
+		v.tool.Instrument(tc)
+		t.Ops = tc.ops
+		sortOps(t.Ops)
+	}
+
+	// Cost accounting and bookkeeping.
+	ticks := v.cost.TransFixed +
+		(v.cost.TransFetch+v.cost.TransPerInst)*uint64(len(t.Insts)) +
+		v.cost.TransPerOp*uint64(len(t.Ops))
+	v.clock += ticks
+	v.stats.TransTicks += ticks
+	v.stats.TracesTranslated++
+	v.stats.InstsTranslated += uint64(len(t.Insts))
+	if v.recordTimeline {
+		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
+	}
+	v.recordCoverage(t)
+
+	if v.cache.WouldOverflow(t) {
+		v.cache.Flush()
+		v.stats.Flushes++
+	}
+	v.cache.Insert(t)
+	return t, nil
+}
+
+func sortOps(ops []AnalysisOp) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j-1].Pos > ops[j].Pos; j-- {
+			ops[j-1], ops[j] = ops[j], ops[j-1]
+		}
+	}
+}

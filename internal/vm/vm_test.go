@@ -1,0 +1,551 @@
+package vm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+func buildProc(t testing.TB, src string, libs map[string]string) *loader.Process {
+	t.Helper()
+	exe, libFiles, err := testprog.Build("prog", src, libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := testprog.Load(exe, libFiles, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const fibSrc = `
+; computes fib(n) iteratively, n from the input block, writes the result
+; via exit code.
+.text
+.global _start
+_start:
+	movi t1, 0x08000000 ; input base
+	ld   a0, 0(t1)      ; n
+	movi t2, 0          ; fib(0)
+	movi t3, 1          ; fib(1)
+loop:
+	beqz a0, done
+	add  t4, t2, t3
+	mv   t2, t3
+	mv   t3, t4
+	addi a0, a0, -1
+	j    loop
+done:
+	movi a0, 1          ; sys exit
+	mv   a1, t2
+	sys
+	halt
+`
+
+func TestFibBothModes(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, fib := range want {
+		for _, mode := range []string{"native", "cached"} {
+			p := buildProc(t, fibSrc, nil)
+			v := vm.New(p, vm.WithInput([]uint64{uint64(n)}))
+			var res *vm.Result
+			var err error
+			if mode == "native" {
+				res, err = v.RunNative()
+			} else {
+				res, err = v.Run()
+			}
+			if err != nil {
+				t.Fatalf("fib(%d) %s: %v", n, mode, err)
+			}
+			if res.ExitCode != fib {
+				t.Errorf("fib(%d) %s = %d, want %d", n, mode, res.ExitCode, fib)
+			}
+		}
+	}
+}
+
+const helloSrc = `
+.text
+.global _start
+_start:
+	movi a0, 2          ; sys write
+	movi a1, 1          ; fd 1
+	la   a2, msg
+	movi a3, 6
+	sys
+	movi a0, 1
+	movi a1, 0
+	sys
+	halt
+.data
+msg:	.ascii "hello\n"
+`
+
+func TestWriteSyscall(t *testing.T) {
+	for _, mode := range []string{"native", "cached"} {
+		p := buildProc(t, helloSrc, nil)
+		v := vm.New(p)
+		var res *vm.Result
+		var err error
+		if mode == "native" {
+			res, err = v.RunNative()
+		} else {
+			res, err = v.Run()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Output) != "hello\n" {
+			t.Errorf("%s output = %q", mode, res.Output)
+		}
+	}
+}
+
+func TestLibraryCall(t *testing.T) {
+	libs := map[string]string{
+		"libm.so": `
+.text
+.global triple
+triple:
+	add  t0, a0, a0
+	add  a0, t0, a0
+	ret
+`,
+	}
+	src := `
+.text
+.global _start
+_start:
+	movi a0, 14
+	call triple
+	mv   a1, a0
+	movi a0, 1
+	sys
+	halt
+`
+	p := buildProc(t, src, libs)
+	res, err := vm.New(p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+}
+
+func TestIndirectJumpTable(t *testing.T) {
+	// Calls through an in-data jump table (abs64 dynrelocs), exercising
+	// the indirect-branch dispatcher path.
+	src := `
+.text
+.global _start
+_start:
+	movi t1, 0x08000000
+	ld   t2, 0(t1)       ; selector 0..2
+	la   t0, table
+	slli t2, t2, 3
+	add  t0, t0, t2
+	ld   t3, 0(t0)
+	callr t3
+	mv   a1, a0
+	movi a0, 1
+	sys
+	halt
+f0:	movi a0, 10
+	ret
+f1:	movi a0, 20
+	ret
+f2:	movi a0, 30
+	ret
+.data
+table:	.word64 f0
+	.word64 f1
+	.word64 f2
+`
+	for sel, want := range []uint64{10, 20, 30} {
+		p := buildProc(t, src, nil)
+		res, err := vm.New(p, vm.WithInput([]uint64{uint64(sel)})).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != want {
+			t.Errorf("selector %d: exit = %d, want %d", sel, res.ExitCode, want)
+		}
+		if res.Stats.IndirectHits+res.Stats.IndirectMisses == 0 {
+			t.Error("no indirect transfers recorded")
+		}
+	}
+}
+
+func TestTraceFormationAndLinking(t *testing.T) {
+	p := buildProc(t, fibSrc, nil)
+	v := vm.New(p, vm.WithInput([]uint64{30}), vm.WithTimeline())
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &res.Stats
+	// The loop body is re-executed 30 times but translated once: trace
+	// count must be small and constant, not proportional to iterations.
+	if st.TracesTranslated > 6 {
+		t.Errorf("too many traces: %d", st.TracesTranslated)
+	}
+	// After linking, repeated loop iterations stay in the code cache:
+	// dispatches must be far fewer than trace executions.
+	if st.Dispatches*3 > st.TraceExecs {
+		t.Errorf("dispatches %d vs trace execs %d: linking not effective", st.Dispatches, st.TraceExecs)
+	}
+	if st.LinksPatched == 0 {
+		t.Error("no links patched")
+	}
+	if len(st.Timeline) != int(st.TracesTranslated) {
+		t.Errorf("timeline has %d events, want %d", len(st.Timeline), st.TracesTranslated)
+	}
+	// Timeline ticks must be nondecreasing.
+	for i := 1; i < len(st.Timeline); i++ {
+		if st.Timeline[i].Tick < st.Timeline[i-1].Tick {
+			t.Error("timeline not monotone")
+		}
+	}
+}
+
+func TestVMOverheadAccounting(t *testing.T) {
+	p := buildProc(t, fibSrc, nil)
+	v := vm.New(p, vm.WithInput([]uint64{1000}))
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &res.Stats
+	cm := vm.DefaultCostModel()
+	wantTrans := st.TracesTranslated*cm.TransFixed + st.InstsTranslated*(cm.TransFetch+cm.TransPerInst)
+	if st.TransTicks != wantTrans {
+		t.Errorf("TransTicks = %d, want %d", st.TransTicks, wantTrans)
+	}
+	sum := st.TransTicks + st.DispatchTicks + st.IndirectTicks + st.LinkTicks +
+		st.ExecTicks + st.EmulTicks + st.OpTicks + st.PersistTicks
+	if sum != st.Ticks {
+		t.Errorf("tick breakdown %d != total %d", sum, st.Ticks)
+	}
+	if st.ExecTicks != st.InstsExecuted*cm.CacheExec {
+		t.Errorf("ExecTicks = %d, want %d", st.ExecTicks, st.InstsExecuted*cm.CacheExec)
+	}
+
+	// A long-running program amortizes translation: VM overhead fraction
+	// must drop as input grows.
+	short := runFib(t, 10)
+	long := runFib(t, 100000)
+	fShort := float64(short.Stats.TransTicks) / float64(short.Stats.Ticks)
+	fLong := float64(long.Stats.TransTicks) / float64(long.Stats.Ticks)
+	if fLong >= fShort {
+		t.Errorf("VM overhead fraction did not amortize: short %.3f, long %.3f", fShort, fLong)
+	}
+}
+
+func runFib(t *testing.T, n uint64) *vm.Result {
+	t.Helper()
+	p := buildProc(t, fibSrc, nil)
+	res, err := vm.New(p, vm.WithInput([]uint64{n})).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNativeCheaperThanVMForColdCode(t *testing.T) {
+	// Cold code (single pass): the VM pays translation for every
+	// instruction; native must win by a wide margin.
+	p := buildProc(t, helloSrc, nil)
+	nat, err := vm.New(p).RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := buildProc(t, helloSrc, nil)
+	cached, err := vm.New(p2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats.Ticks < nat.Stats.Ticks*10 {
+		t.Errorf("cold-code VM run (%d ticks) should be >> native (%d ticks)", cached.Stats.Ticks, nat.Stats.Ticks)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	// A tiny cache budget forces flushes; execution must stay correct.
+	p := buildProc(t, fibSrc, nil)
+	v := vm.New(p, vm.WithInput([]uint64{20}), vm.WithCacheLimit(700))
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 6765 {
+		t.Errorf("exit = %d, want 6765", res.ExitCode)
+	}
+	if res.Stats.Flushes == 0 {
+		t.Error("expected at least one flush with a 700-byte cache")
+	}
+}
+
+func TestMarksCyclesPidInput(t *testing.T) {
+	src := `
+.text
+.global _start
+_start:
+	movi a0, 6          ; mark
+	movi a1, 77
+	sys
+	movi a0, 5          ; cycles
+	sys
+	mv   s0, a0         ; save cycle count
+	movi a0, 7          ; getpid
+	sys
+	mv   s1, a0
+	movi a0, 10         ; input(1)
+	movi a1, 1
+	sys
+	mv   a1, a0
+	movi a0, 1          ; exit(input[1])
+	sys
+	halt
+`
+	p := buildProc(t, src, nil)
+	v := vm.New(p, vm.WithInput([]uint64{11, 22}), vm.WithPID(9))
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 22 {
+		t.Errorf("input syscall: exit = %d, want 22", res.ExitCode)
+	}
+	if len(res.Stats.Marks) != 1 || res.Stats.Marks[0].ID != 77 {
+		t.Errorf("marks = %+v", res.Stats.Marks)
+	}
+	if v.Reg(22) == 0 { // s0: cycles must be nonzero
+		t.Error("cycles syscall returned 0")
+	}
+	if v.Reg(23) != 9 { // s1: pid
+		t.Errorf("getpid = %d, want 9", v.Reg(23))
+	}
+}
+
+func TestSignalEmulationExpensive(t *testing.T) {
+	sigSrc := `
+.text
+.global _start
+_start:
+	movi t0, 50
+loop:
+	movi a0, 8          ; sigaction
+	movi a1, 2
+	sys
+	addi t0, t0, -1
+	bnez t0, loop
+	movi a0, 1
+	movi a1, 0
+	sys
+	halt
+`
+	p := buildProc(t, sigSrc, nil)
+	res, err := vm.New(p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := vm.DefaultCostModel()
+	if res.Stats.EmulTicks < 50*cm.SyscallSignal {
+		t.Errorf("EmulTicks = %d, want >= %d", res.Stats.EmulTicks, 50*cm.SyscallSignal)
+	}
+}
+
+func TestUnknownSyscallErrors(t *testing.T) {
+	src := ".text\n.global _start\n_start:\n\tmovi a0, 99\n\tsys\n\thalt\n"
+	p := buildProc(t, src, nil)
+	if _, err := vm.New(p).Run(); err == nil {
+		t.Error("unknown syscall did not error")
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	src := ".text\n.global _start\n_start:\nloop:\tj loop\n"
+	p := buildProc(t, src, nil)
+	if _, err := vm.New(p, vm.WithMaxInsts(10000)).Run(); err == nil {
+		t.Error("infinite loop did not hit the budget")
+	}
+	p2 := buildProc(t, src, nil)
+	if _, err := vm.New(p2, vm.WithMaxInsts(10000)).RunNative(); err == nil {
+		t.Error("infinite loop did not hit the budget (native)")
+	}
+}
+
+func TestVMRunsOnce(t *testing.T) {
+	p := buildProc(t, helloSrc, nil)
+	v := vm.New(p)
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestFaultReporting(t *testing.T) {
+	src := ".text\n.global _start\n_start:\n\tmovi t0, 0x123\n\tld t1, 0(t0)\n\thalt\n"
+	p := buildProc(t, src, nil)
+	_, err := vm.New(p).Run()
+	if err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Errorf("want fault error, got %v", err)
+	}
+	// Jump to unmapped memory is a fetch fault.
+	src2 := ".text\n.global _start\n_start:\n\tmovi t0, 0x123000\n\tjr t0\n"
+	p2 := buildProc(t, src2, nil)
+	if _, err := vm.New(p2).Run(); err == nil {
+		t.Error("wild jump did not fault")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	p := buildProc(t, fibSrc, nil)
+	v := vm.New(p, vm.WithInput([]uint64{5}), vm.WithCoverage())
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cov := v.Coverage()
+	if len(cov) == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	// All of fib's code is in module 0; keys must say so.
+	for k := range cov {
+		if k>>32 != 0 {
+			t.Fatalf("coverage key %x not in module 0", k)
+		}
+	}
+	// Larger input covers at least as much.
+	p2 := buildProc(t, fibSrc, nil)
+	v2 := vm.New(p2, vm.WithInput([]uint64{0}), vm.WithCoverage())
+	if _, err := v2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.Coverage()) > len(cov) {
+		t.Error("n=0 covers more than n=5")
+	}
+}
+
+// Differential property: random straight-line ALU programs produce identical
+// exit codes under the interpreter and the code cache.
+func TestRandomProgramEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	regs := []string{"t0", "t1", "t2", "t3", "t4", "s0", "s1", "s2"}
+	ops3 := []string{"add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "div", "divu", "rem", "remu"}
+	ops2i := []string{"addi", "muli", "andi", "ori", "xori", "slti"}
+	for trial := 0; trial < 60; trial++ {
+		var sb strings.Builder
+		sb.WriteString(".text\n.global _start\n_start:\n")
+		for i, reg := range regs {
+			fmt.Fprintf(&sb, "\tmovi %s, %d\n", reg, r.Int31()-1<<30+int32(i))
+		}
+		n := 20 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			if r.Intn(4) == 0 {
+				fmt.Fprintf(&sb, "\t%s %s, %s, %d\n", ops2i[r.Intn(len(ops2i))],
+					regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], r.Int31()-1<<30)
+			} else {
+				fmt.Fprintf(&sb, "\t%s %s, %s, %s\n", ops3[r.Intn(len(ops3))],
+					regs[r.Intn(len(regs))], regs[r.Intn(len(regs))], regs[r.Intn(len(regs))])
+			}
+		}
+		// Fold everything into the exit code.
+		sb.WriteString("\tmovi a1, 0\n")
+		for _, reg := range regs {
+			fmt.Fprintf(&sb, "\txor a1, a1, %s\n", reg)
+		}
+		sb.WriteString("\tandi a1, a1, 0xffff\n\tmovi a0, 1\n\tsys\n\thalt\n")
+		src := sb.String()
+
+		p1 := buildProc(t, src, nil)
+		nat, err := vm.New(p1).RunNative()
+		if err != nil {
+			t.Fatalf("trial %d native: %v", trial, err)
+		}
+		p2 := buildProc(t, src, nil)
+		cached, err := vm.New(p2).Run()
+		if err != nil {
+			t.Fatalf("trial %d cached: %v", trial, err)
+		}
+		if nat.ExitCode != cached.ExitCode {
+			t.Fatalf("trial %d: native exit %d != cached exit %d\n%s", trial, nat.ExitCode, cached.ExitCode, src)
+		}
+	}
+}
+
+func TestTraceLengthLimit(t *testing.T) {
+	// 100 straight-line instructions with a tiny trace limit: many traces,
+	// fall-through exits, still correct.
+	var sb strings.Builder
+	sb.WriteString(".text\n.global _start\n_start:\n\tmovi t0, 0\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("\taddi t0, t0, 1\n")
+	}
+	sb.WriteString("\tmv a1, t0\n\tmovi a0, 1\n\tsys\n\thalt\n")
+	p := buildProc(t, sb.String(), nil)
+	v := vm.New(p, vm.WithMaxTrace(8))
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 100 {
+		t.Errorf("exit = %d, want 100", res.ExitCode)
+	}
+	if res.Stats.TracesTranslated < 10 {
+		t.Errorf("trace limit not honored: %d traces", res.Stats.TracesTranslated)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *vm.Result {
+		p := buildProc(t, fibSrc, nil)
+		res, err := vm.New(p, vm.WithInput([]uint64{500})).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats.Ticks != b.Stats.Ticks || a.ExitCode != b.ExitCode ||
+		a.Stats.TracesTranslated != b.Stats.TracesTranslated {
+		t.Error("identical runs diverged")
+	}
+}
+
+func TestExecLog(t *testing.T) {
+	p := buildProc(t, helloSrc, nil)
+	var log strings.Builder
+	v := vm.New(p, vm.WithExecLog(&log, 5))
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(log.String(), "\n"), "\n")
+	if len(lines) != 6 { // 5 instructions + the limit marker
+		t.Fatalf("log has %d lines:\n%s", len(lines), log.String())
+	}
+	if !strings.Contains(lines[0], "movi a0, 2") {
+		t.Errorf("first line %q", lines[0])
+	}
+	if !strings.Contains(lines[5], "limit reached") {
+		t.Errorf("limit marker missing: %q", lines[5])
+	}
+	// Native mode logs identically for identical programs.
+	p2 := buildProc(t, helloSrc, nil)
+	var log2 strings.Builder
+	if _, err := vm.New(p2, vm.WithExecLog(&log2, 5)).RunNative(); err != nil {
+		t.Fatal(err)
+	}
+	if log.String() != log2.String() {
+		t.Error("native and cached execution logs differ")
+	}
+}

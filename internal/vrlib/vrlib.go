@@ -1,0 +1,244 @@
+// Package vrlib ships libvr.so, a small runtime library for VR64 guest
+// programs written in this repository's assembly language: memory and
+// string routines, decimal formatting, console output, a PRNG and an
+// in-place sort. Examples and tests link against it the way the paper's
+// GUI applications link against glib — it is ordinary file-backed library
+// code whose translations persist and are shared across applications.
+package vrlib
+
+import (
+	"fmt"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/link"
+	"persistcc/internal/obj"
+)
+
+// Name is the library's module name.
+const Name = "libvr.so"
+
+// Source is the complete assembly source of libvr.so.
+//
+// Calling convention: arguments in a0..a5, result in a0; t0..t9 are
+// caller-saved scratch; s registers are preserved (the library never
+// touches them).
+const Source = `
+; libvr.so — VR64 runtime support routines.
+.text
+
+; memset(dst, c, n) -> dst
+.global memset
+memset:
+	mv   t0, a0
+vr_ms_loop:
+	beqz a2, vr_ms_done
+	sb   a1, 0(t0)
+	addi t0, t0, 1
+	addi a2, a2, -1
+	j    vr_ms_loop
+vr_ms_done:
+	ret
+
+; memcpy(dst, src, n) -> dst (regions must not overlap)
+.global memcpy
+memcpy:
+	mv   t0, a0
+	mv   t1, a1
+vr_mc_loop:
+	beqz a2, vr_mc_done
+	lbu  t2, 0(t1)
+	sb   t2, 0(t0)
+	addi t0, t0, 1
+	addi t1, t1, 1
+	addi a2, a2, -1
+	j    vr_mc_loop
+vr_mc_done:
+	ret
+
+; strlen(s) -> length
+.global strlen
+strlen:
+	mv   t0, a0
+	movi a0, 0
+vr_sl_loop:
+	lbu  t1, 0(t0)
+	beqz t1, vr_sl_done
+	addi t0, t0, 1
+	addi a0, a0, 1
+	j    vr_sl_loop
+vr_sl_done:
+	ret
+
+; strcmp(a, b) -> -1 / 0 / 1 (unsigned byte order)
+.global strcmp
+strcmp:
+vr_sc_loop:
+	lbu  t0, 0(a0)
+	lbu  t1, 0(a1)
+	bne  t0, t1, vr_sc_diff
+	beqz t0, vr_sc_eq
+	addi a0, a0, 1
+	addi a1, a1, 1
+	j    vr_sc_loop
+vr_sc_diff:
+	bltu t0, t1, vr_sc_lt
+	movi a0, 1
+	ret
+vr_sc_lt:
+	movi a0, -1
+	ret
+vr_sc_eq:
+	movi a0, 0
+	ret
+
+; utoa(value, buf) -> length; writes decimal digits (no terminator)
+.global utoa
+utoa:
+	mv   t0, a0          ; remaining value
+	mv   t1, a1          ; buffer
+	movi t2, 0           ; length
+	movi t3, 10
+vr_ua_loop:
+	remu t4, t0, t3
+	addi t4, t4, '0'
+	add  t5, t1, t2
+	sb   t4, 0(t5)
+	addi t2, t2, 1
+	divu t0, t0, t3
+	bnez t0, vr_ua_loop
+	; reverse buf[0..length)
+	movi t3, 0           ; i
+	addi t4, t2, -1      ; j
+vr_ua_rev:
+	bge  t3, t4, vr_ua_done
+	add  t5, t1, t3
+	add  t6, t1, t4
+	lbu  t7, 0(t5)
+	lbu  t8, 0(t6)
+	sb   t8, 0(t5)
+	sb   t7, 0(t6)
+	addi t3, t3, 1
+	addi t4, t4, -1
+	j    vr_ua_rev
+vr_ua_done:
+	mv   a0, t2
+	ret
+
+; puts(s): write the NUL-terminated string to fd 1 -> bytes written
+.global puts
+puts:
+	addi sp, sp, -16
+	sd   ra, 0(sp)
+	sd   a0, 8(sp)
+	call strlen
+	mv   a3, a0          ; len
+	ld   a2, 8(sp)       ; addr
+	movi a0, 2           ; sys write
+	movi a1, 1
+	sys
+	ld   ra, 0(sp)
+	addi sp, sp, 16
+	ret
+
+; print_u64(v): write v in decimal plus a newline to fd 1
+.global print_u64
+print_u64:
+	addi sp, sp, -48
+	sd   ra, 0(sp)
+	addi a1, sp, 8
+	call utoa            ; digits at sp+8, a0 = len
+	mv   a3, a0
+	addi t0, sp, 8
+	add  t0, t0, a3
+	movi t1, '\n'
+	sb   t1, 0(t0)
+	addi a3, a3, 1
+	addi a2, sp, 8
+	movi a0, 2           ; sys write
+	movi a1, 1
+	sys
+	ld   ra, 0(sp)
+	addi sp, sp, 48
+	ret
+
+; xorshift64(x) -> next state (x must be nonzero)
+.global xorshift64
+xorshift64:
+	slli t0, a0, 13
+	xor  a0, a0, t0
+	srli t0, a0, 7
+	xor  a0, a0, t0
+	slli t0, a0, 17
+	xor  a0, a0, t0
+	ret
+
+; sort_u64(base, n): in-place unsigned insertion sort of 64-bit words
+.global sort_u64
+sort_u64:
+	movi t0, 1           ; i
+vr_so_outer:
+	bgeu t0, a1, vr_so_done
+	slli t1, t0, 3
+	add  t1, a0, t1
+	ld   t2, 0(t1)       ; key
+	mv   t3, t0          ; j
+vr_so_inner:
+	beqz t3, vr_so_insert
+	addi t4, t3, -1
+	slli t5, t4, 3
+	add  t5, a0, t5
+	ld   t6, 0(t5)
+	bleu t6, t2, vr_so_insert
+	slli t7, t3, 3
+	add  t7, a0, t7
+	sd   t6, 0(t7)       ; shift right
+	mv   t3, t4
+	j    vr_so_inner
+vr_so_insert:
+	slli t7, t3, 3
+	add  t7, a0, t7
+	sd   t2, 0(t7)
+	addi t0, t0, 1
+	j    vr_so_outer
+vr_so_done:
+	ret
+
+; bsearch_u64(base, n, key) -> index of key, or n if absent (array sorted)
+.global bsearch_u64
+bsearch_u64:
+	movi t0, 0           ; lo
+	mv   t1, a1          ; hi
+vr_bs_loop:
+	bgeu t0, t1, vr_bs_miss
+	add  t2, t0, t1
+	srli t2, t2, 1       ; mid
+	slli t3, t2, 3
+	add  t3, a0, t3
+	ld   t4, 0(t3)
+	beq  t4, a2, vr_bs_hit
+	bltu t4, a2, vr_bs_right
+	mv   t1, t2
+	j    vr_bs_loop
+vr_bs_right:
+	addi t0, t2, 1
+	j    vr_bs_loop
+vr_bs_hit:
+	mv   a0, t2
+	ret
+vr_bs_miss:
+	mv   a0, a1
+	ret
+`
+
+// Build assembles and links libvr.so.
+func Build() (*obj.File, error) {
+	o, err := asm.Assemble("libvr.o", Source)
+	if err != nil {
+		return nil, fmt.Errorf("vrlib: %w", err)
+	}
+	lib, err := link.Link(link.Input{Name: Name, Kind: obj.KindLib, Objects: []*obj.File{o}})
+	if err != nil {
+		return nil, fmt.Errorf("vrlib: %w", err)
+	}
+	return lib, nil
+}

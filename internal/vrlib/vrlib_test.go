@@ -1,0 +1,297 @@
+package vrlib_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/link"
+	"persistcc/internal/loader"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+	"persistcc/internal/vrlib"
+)
+
+// harness builds an executable from src linked against libvr.so, runs it
+// (both natively and under the VM, asserting agreement) and returns the
+// cached-mode result.
+func harness(t *testing.T, src string, input []uint64) *vm.Result {
+	t.Helper()
+	lib, err := vrlib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := asm.Assemble("t.o", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := link.Link(link.Input{Name: "t", Kind: obj.KindExec, Objects: []*obj.File{o}, Libs: []*obj.File{lib}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *vm.VM {
+		p, err := loader.Load(exe, loader.Config{Resolve: func(name string) (*obj.File, int64, error) {
+			if name == vrlib.Name {
+				return lib, 1, nil
+			}
+			return nil, 0, fmt.Errorf("no %s", name)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vm.New(p, vm.WithInput(input))
+	}
+	nat, err := load().RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != res.ExitCode || !bytes.Equal(nat.Output, res.Output) {
+		t.Fatalf("native/cached divergence: exit %d/%d output %q/%q",
+			nat.ExitCode, res.ExitCode, nat.Output, res.Output)
+	}
+	return res
+}
+
+func TestPutsAndPrintU64(t *testing.T) {
+	res := harness(t, `
+.text
+.global _start
+_start:
+	la   a0, greeting
+	call puts
+	movi a0, 0
+	call print_u64
+	li   a0, 1234567890123
+	call print_u64
+	movi a0, 1
+	movi a1, 0
+	sys
+	halt
+.data
+greeting: .asciz "hi there\n"
+`, nil)
+	want := "hi there\n0\n1234567890123\n"
+	if string(res.Output) != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestMemRoutines(t *testing.T) {
+	res := harness(t, `
+.text
+.global _start
+_start:
+	; memset heap[0..16) = '.'; memcpy "abcdef" over the front; print
+	movi a0, 0x20000000
+	movi a1, '.'
+	movi a2, 16
+	call memset
+	movi a0, 0x20000000
+	la   a1, src
+	movi a2, 6
+	call memcpy
+	movi t0, 0x20000000
+	movi t1, 0
+	sb   t1, 16(t0)      ; terminate
+	mv   a0, t0
+	call puts
+	; strlen of the result -> exit code
+	movi a0, 0x20000000
+	call strlen
+	mv   a1, a0
+	movi a0, 1
+	sys
+	halt
+.data
+src: .ascii "abcdef"
+`, nil)
+	if string(res.Output) != "abcdef.........." {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.ExitCode != 16 {
+		t.Errorf("strlen = %d, want 16", res.ExitCode)
+	}
+}
+
+func TestStrcmp(t *testing.T) {
+	res := harness(t, `
+.text
+.global _start
+_start:
+	la   a0, s1
+	la   a1, s2
+	call strcmp          ; "apple" vs "apply" -> -1
+	mv   s0, a0
+	la   a0, s2
+	la   a1, s1
+	call strcmp          ; 1
+	mv   s1, a0
+	la   a0, s1
+	la   a1, s3
+	call strcmp          ; 0
+	mv   s2, a0
+	; pack results: (s0+1)*100 + (s1+1)*10 + (s2+1) = 0*100+2*10+1 = 21
+	addi t0, s0, 1
+	muli t0, t0, 100
+	addi t1, s1, 1
+	muli t1, t1, 10
+	add  t0, t0, t1
+	addi t1, s2, 1
+	add  a1, t0, t1
+	movi a0, 1
+	sys
+	halt
+.data
+s1: .asciz "apple"
+s2: .asciz "apply"
+s3: .asciz "apple"
+`, nil)
+	if res.ExitCode != 21 {
+		t.Errorf("strcmp pack = %d, want 21", res.ExitCode)
+	}
+}
+
+// sortProg copies n input words onto the heap, sorts them, writes the raw
+// sorted array to fd 1 and exits with the result of bsearch for input[n+1].
+const sortProg = `
+.text
+.global _start
+_start:
+	movi t1, 0x08000000
+	ld   s0, 0(t1)       ; n
+	movi s2, 0x20000000  ; heap array
+	movi t2, 0           ; i
+cp:
+	bgeu t2, s0, cpdone
+	slli t3, t2, 3
+	addi t4, t3, 8       ; input word i+1
+	add  t4, t1, t4
+	ld   t5, 0(t4)
+	add  t6, s2, t3
+	sd   t5, 0(t6)
+	addi t2, t2, 1
+	j    cp
+cpdone:
+	mv   a0, s2
+	mv   a1, s0
+	call sort_u64
+	; write the sorted words
+	movi a0, 2
+	movi a1, 1
+	mv   a2, s2
+	slli a3, s0, 3
+	sys
+	; bsearch for input[n+1]
+	movi t1, 0x08000000
+	addi t2, s0, 1
+	slli t2, t2, 3
+	add  t2, t1, t2
+	ld   a2, 0(t2)
+	mv   a0, s2
+	mv   a1, s0
+	call bsearch_u64
+	mv   a1, a0
+	movi a0, 1
+	sys
+	halt
+`
+
+func TestSortAndBsearchProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(120)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(1000)) // duplicates likely
+		}
+		// Search key: half the time present, half absent.
+		var key uint64
+		if r.Intn(2) == 0 {
+			key = vals[r.Intn(n)]
+		} else {
+			key = 5000 + uint64(r.Intn(1000))
+		}
+		input := append([]uint64{uint64(n)}, vals...)
+		input = append(input, key)
+
+		res := harness(t, sortProg, input)
+		if len(res.Output) != 8*n {
+			t.Fatalf("trial %d: output %d bytes, want %d", trial, len(res.Output), 8*n)
+		}
+		got := make([]uint64, n)
+		for i := range got {
+			got[i] = binary.LittleEndian.Uint64(res.Output[8*i:])
+		}
+		want := append([]uint64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sorted[%d] = %d, want %d (in %v)", trial, i, got[i], want[i], vals)
+			}
+		}
+		// bsearch contract: an index holding the key, or n when absent.
+		idx := res.ExitCode & 0xffff // exit codes are masked by nothing here, but stay safe
+		if idx == uint64(n)&0xffff {
+			for _, v := range want {
+				if v == key {
+					t.Fatalf("trial %d: bsearch missed present key %d", trial, key)
+				}
+			}
+		} else if int(idx) >= n || want[idx] != key {
+			t.Fatalf("trial %d: bsearch(%d) = %d, array %v", trial, key, idx, want)
+		}
+	}
+}
+
+func TestXorshiftMatchesGo(t *testing.T) {
+	res := harness(t, `
+.text
+.global _start
+_start:
+	li   a0, 88172645463325252
+	movi s0, 5
+xs:
+	call xorshift64
+	addi s0, s0, -1
+	bnez s0, xs
+	mv   a1, a0
+	andi a1, a1, 0xffff
+	movi a0, 1
+	sys
+	halt
+`, nil)
+	x := uint64(88172645463325252)
+	for i := 0; i < 5; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	if res.ExitCode != x&0xffff {
+		t.Errorf("xorshift = %#x, want %#x", res.ExitCode, x&0xffff)
+	}
+}
+
+func TestLibraryAssembles(t *testing.T) {
+	lib, err := vrlib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"memset", "memcpy", "strlen", "strcmp", "utoa",
+		"puts", "print_u64", "xorshift64", "sort_u64", "bsearch_u64"} {
+		if _, ok := lib.ExportAddr(sym); !ok {
+			t.Errorf("libvr.so does not export %s", sym)
+		}
+	}
+	if !strings.Contains(vrlib.Source, ".global") {
+		t.Error("source sanity check failed")
+	}
+}

@@ -1,0 +1,206 @@
+// Package workload generates the synthetic applications that stand in for
+// the paper's SPEC2K INT suite, GNOME GUI applications and the Oracle
+// database: guest programs (built with the repository's own assembler and
+// linker) whose static footprints, shared-library structure, hot/cold
+// behaviour and inter-input code-coverage matrices are shaped to the
+// paper's reported numbers.
+package workload
+
+import "math"
+
+// A signature is a bit set over inputs: code in region T is executed by
+// exactly the inputs in T. Pairwise code coverage is then
+//
+//	coverage(i by j) = Σ_{T ∋ i,j} w_T / Σ_{T ∋ i} w_T
+//
+// FitCoverage finds nonnegative signature weights w_T approximating a
+// target coverage matrix and per-input footprints.
+type FitResult struct {
+	Weights []float64 // indexed by signature bitmask (1..2^n-1)
+	Err     float64   // root-mean-square error over the matrix entries
+}
+
+// FitCoverage fits signature weights for n inputs. target[i][j] is the
+// desired coverage of input i's code by input j (diagonal entries are
+// ignored; they are 1 by construction). footprint[i] is the desired total
+// weight of input i's code (any consistent unit).
+//
+// The fit minimizes squared error on the pairwise overlaps
+// s_ij = Σ_{T ⊇ {i,j}} w_T against ŝ_ij = (C_ij·F_i + C_ji·F_j)/2 and
+// s_ii against F_i, by projected gradient descent. Published matrices are
+// only approximately consistent (C_ij·F_i ≠ C_ji·F_j in general), so the
+// solver targets the symmetrized overlap and reports the residual.
+func FitCoverage(target [][]float64, footprint []float64) FitResult {
+	n := len(footprint)
+	nsig := 1 << n
+
+	// Desired overlaps.
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, n)
+		want[i][i] = footprint[i]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			want[i][j] = (target[i][j]*footprint[i] + target[j][i]*footprint[j]) / 2
+		}
+	}
+
+	// Initialize: spread each input's footprint uniformly over its
+	// signatures.
+	w := make([]float64, nsig)
+	for t := 1; t < nsig; t++ {
+		w[t] = 1
+	}
+	scaleToFootprints(w, footprint, n)
+
+	// Coordinate descent with the closed-form per-signature update:
+	// adding δ to w_T shifts s_ij by δ for every pair {i,j} ⊆ T, so the
+	// least-squares-optimal δ is the mean residual over those pairs,
+	// clamped to keep w_T nonnegative. Overlaps are maintained
+	// incrementally; this is monotone in the loss and cannot oscillate.
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+	}
+	for t := 1; t < nsig; t++ {
+		forPairs(t, n, func(i, j int) { s[i][j] += w[t] })
+	}
+	for pass := 0; pass < 600; pass++ {
+		var moved float64
+		for t := 1; t < nsig; t++ {
+			sum, cnt := 0.0, 0
+			forPairs(t, n, func(i, j int) {
+				sum += want[i][j] - s[i][j]
+				cnt++
+			})
+			delta := sum / float64(cnt)
+			if delta < -w[t] {
+				delta = -w[t]
+			}
+			if delta == 0 {
+				continue
+			}
+			w[t] += delta
+			forPairs(t, n, func(i, j int) { s[i][j] += delta })
+			moved += math.Abs(delta)
+		}
+		if moved < 1e-9 {
+			break
+		}
+	}
+
+	// Residual RMS over coverage entries.
+	res := FitResult{Weights: w}
+	res.Err = coverageRMS(w, target, n)
+	return res
+}
+
+// forPairs visits every unordered pair {i,j} (including i==j) contained in
+// signature t.
+func forPairs(t, n int, f func(i, j int)) {
+	for i := 0; i < n; i++ {
+		if t&(1<<i) == 0 {
+			continue
+		}
+		for j := i; j < n; j++ {
+			if t&(1<<j) != 0 {
+				f(i, j)
+			}
+		}
+	}
+}
+
+func scaleToFootprints(w []float64, footprint []float64, n int) {
+	total := make([]float64, n)
+	for t := 1; t < len(w); t++ {
+		for i := 0; i < n; i++ {
+			if t&(1<<i) != 0 {
+				total[i] += w[t]
+			}
+		}
+	}
+	// One multiplicative pass per input (iterative proportional fitting
+	// seed).
+	for i := 0; i < n; i++ {
+		if total[i] == 0 {
+			continue
+		}
+		f := footprint[i] / total[i]
+		for t := 1; t < len(w); t++ {
+			if t&(1<<i) != 0 {
+				w[t] *= math.Sqrt(f)
+			}
+		}
+	}
+}
+
+// CoverageFromWeights computes the coverage matrix implied by signature
+// weights.
+func CoverageFromWeights(w []float64, n int) [][]float64 {
+	f := make([]float64, n)
+	ov := make([][]float64, n)
+	for i := range ov {
+		ov[i] = make([]float64, n)
+	}
+	for t := 1; t < len(w); t++ {
+		for i := 0; i < n; i++ {
+			if t&(1<<i) == 0 {
+				continue
+			}
+			f[i] += w[t]
+			for j := 0; j < n; j++ {
+				if t&(1<<j) != 0 {
+					ov[i][j] += w[t]
+				}
+			}
+		}
+	}
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if f[i] > 0 {
+				c[i][j] = ov[i][j] / f[i]
+			}
+		}
+	}
+	return c
+}
+
+func coverageRMS(w []float64, target [][]float64, n int) float64 {
+	c := CoverageFromWeights(w, n)
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := c[i][j] - target[i][j]
+			sum += d * d
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// QuantizeWeights converts signature weights to integer function counts,
+// scaling so the total is close to totalFuncs and dropping dust regions.
+func QuantizeWeights(w []float64, totalFuncs int) []int {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	out := make([]int, len(w))
+	if sum == 0 {
+		return out
+	}
+	for t, v := range w {
+		out[t] = int(v/sum*float64(totalFuncs) + 0.5)
+	}
+	return out
+}

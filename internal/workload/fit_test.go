@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitTwoInputExact(t *testing.T) {
+	// Two inputs sharing 80% of equal footprints: analytic solution is
+	// w{0,1} = 0.8, w{0} = w{1} = 0.2.
+	target := [][]float64{{1, 0.8}, {0.8, 1}}
+	fit := FitCoverage(target, []float64{1, 1})
+	if fit.Err > 0.01 {
+		t.Fatalf("fit error %.4f too high", fit.Err)
+	}
+	c := CoverageFromWeights(fit.Weights, 2)
+	if math.Abs(c[0][1]-0.8) > 0.02 || math.Abs(c[1][0]-0.8) > 0.02 {
+		t.Errorf("fit coverage %.3f/%.3f, want 0.8", c[0][1], c[1][0])
+	}
+}
+
+func TestFitGCCTable(t *testing.T) {
+	fit := FitCoverage(GCCCoverageTable, []float64{1, 1, 1, 1, 1})
+	if fit.Err > 0.05 {
+		t.Fatalf("gcc table fit RMS error %.4f > 0.05", fit.Err)
+	}
+	c := CoverageFromWeights(fit.Weights, 5)
+	// All off-diagonals must land in the table's broad band (84-98%).
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			if c[i][j] < 0.78 || c[i][j] > 1.0 {
+				t.Errorf("c[%d][%d] = %.3f outside plausible band", i, j, c[i][j])
+			}
+		}
+	}
+}
+
+func TestFitOracleTable(t *testing.T) {
+	foot := []float64{1.0, 2.14, 2.61, 1.83, 1.58}
+	fit := FitCoverage(OracleCoverageTable, foot)
+	if fit.Err > 0.08 {
+		t.Fatalf("oracle table fit RMS error %.4f > 0.08", fit.Err)
+	}
+	c := CoverageFromWeights(fit.Weights, 5)
+	// Key qualitative facts from Table 3(b): Start is poorly covered by
+	// nobody-covers-Start (column 0 low), Open covers Close highly.
+	if c[1][0] > 0.4 || c[2][0] > 0.4 {
+		t.Errorf("Start covers too much: M by S %.2f, O by S %.2f", c[1][0], c[2][0])
+	}
+	if c[4][2] < 0.75 {
+		t.Errorf("Close by Open = %.2f, want high (paper 0.91)", c[4][2])
+	}
+}
+
+func TestFitWeightsNonNegative(t *testing.T) {
+	fit := FitCoverage(OracleCoverageTable, []float64{1, 2, 3, 2, 1.5})
+	for sig, w := range fit.Weights {
+		if w < 0 {
+			t.Fatalf("negative weight %f at signature %b", w, sig)
+		}
+	}
+}
+
+func TestQuantizeWeights(t *testing.T) {
+	w := []float64{0, 1, 1, 2}
+	q := QuantizeWeights(w, 400)
+	total := 0
+	for _, v := range q {
+		total += v
+	}
+	if total < 380 || total > 420 {
+		t.Errorf("quantized total %d far from 400", total)
+	}
+	if q[3] != 2*q[1] {
+		t.Errorf("proportions lost: %v", q)
+	}
+	if out := QuantizeWeights([]float64{0, 0}, 100); out[0] != 0 || out[1] != 0 {
+		t.Error("zero weights mishandled")
+	}
+}

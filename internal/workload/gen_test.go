@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/vm"
+)
+
+func TestBuildProgramRuns(t *testing.T) {
+	prog, err := BuildProgram(ProgSpec{
+		Name: "toy",
+		Seed: 1,
+		Regions: []RegionSpec{
+			{Funcs: 5, Module: 0},
+			{Funcs: 3, Module: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Name: "a", Units: []Unit{{Entry: 0, Iters: 1}, {Entry: 1, Iters: 10}}}
+	v, err := prog.NewVM(loader.Config{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic checksum across execution modes.
+	v2, err := prog.NewVM(loader.Config{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := v2.RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != res2.ExitCode {
+		t.Fatalf("cached %d != native %d", res.ExitCode, res2.ExitCode)
+	}
+	// Marks: startup (1) and completion (2).
+	if len(res.Stats.Marks) != 2 || res.Stats.Marks[0].ID != 1 || res.Stats.Marks[1].ID != 2 {
+		t.Errorf("marks wrong: %+v", res.Stats.Marks)
+	}
+}
+
+func TestBuildProgramErrors(t *testing.T) {
+	if _, err := BuildProgram(ProgSpec{Name: "x", Regions: []RegionSpec{{Funcs: 1, Module: 3}}}); err == nil {
+		t.Error("bad module accepted")
+	}
+	if _, err := BuildProgram(ProgSpec{Name: "x", Regions: []RegionSpec{{Funcs: 0, Module: 0}}}); err == nil {
+		t.Error("empty region accepted")
+	}
+	lib, err := BuildSharedLib("libt.so", 3, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildProgram(ProgSpec{Name: "x",
+		Regions:  []RegionSpec{{Funcs: 1, Module: 0}},
+		Services: []SvcRef{{Lib: lib, Svc: 9}}}); err == nil {
+		t.Error("bad service index accepted")
+	}
+}
+
+func TestPrivateLibsAndServices(t *testing.T) {
+	lib, err := BuildSharedLib("libshared.so", 7, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Services) != 3 {
+		t.Fatalf("services: %v", lib.Services)
+	}
+	prog, err := BuildProgram(ProgSpec{
+		Name:        "app",
+		Seed:        2,
+		PrivateLibs: []string{"libpriv.so"},
+		Regions: []RegionSpec{
+			{Funcs: 4, Module: 0},
+			{Funcs: 6, Module: 1}, // chain in the private library
+		},
+		Services: []SvcRef{{Lib: lib, Svc: 0}, {Lib: lib, Svc: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", prog.Entries)
+	}
+	in := Input{Name: "all", Units: []Unit{
+		{Entry: 0, Iters: 1}, {Entry: 1, Iters: 2}, {Entry: 2, Iters: 1}, {Entry: 3, Iters: 3},
+	}}
+	v, err := prog.NewVM(loader.Config{}, in, vm.WithCoverage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode == 0 {
+		t.Error("zero checksum is suspicious")
+	}
+	// Coverage must span 3 modules: exe (0), libpriv (1), libshared (2).
+	mods := map[uint64]bool{}
+	for k := range v.Coverage() {
+		mods[k>>32] = true
+	}
+	if len(mods) != 3 {
+		t.Errorf("coverage spans %d modules, want 3", len(mods))
+	}
+}
+
+func TestCoverageMatrixMatchesConstruction(t *testing.T) {
+	// Two inputs sharing the hot+cold regions with one private each:
+	// measured coverage must match the analytic value.
+	shared, priv := 30, 10
+	prog, err := BuildProgram(ProgSpec{
+		Name: "covtest",
+		Seed: 3,
+		Regions: []RegionSpec{
+			{Funcs: shared, Module: 0},
+			{Funcs: priv, Module: 0},
+			{Funcs: priv, Module: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Input{
+		{Name: "a", Units: []Unit{{Entry: 0, Iters: 1}, {Entry: 1, Iters: 1}}},
+		{Name: "b", Units: []Unit{{Entry: 0, Iters: 1}, {Entry: 2, Iters: 1}}},
+	}
+	m, err := prog.CoverageMatrix(loader.Config{}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Error("self coverage != 1")
+	}
+	// The driver code is shared too, so measured coverage is slightly
+	// above the region-only analytic value shared/(shared+priv) = 0.75.
+	want := float64(shared) / float64(shared+priv)
+	if m[0][1] < want-0.02 || m[0][1] > want+0.08 {
+		t.Errorf("coverage %.3f, want about %.2f", m[0][1], want)
+	}
+	if math.Abs(m[0][1]-m[1][0]) > 0.02 {
+		t.Errorf("asymmetry too large: %.3f vs %.3f", m[0][1], m[1][0])
+	}
+}
+
+func TestSignalStormCost(t *testing.T) {
+	quiet, err := BuildProgram(ProgSpec{Name: "q", Seed: 4, Regions: []RegionSpec{{Funcs: 3, Module: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := BuildProgram(ProgSpec{Name: "n", Seed: 4, Regions: []RegionSpec{{Funcs: 3, Module: 0}}, SignalCalls: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Units: []Unit{{Entry: 0, Iters: 1}}}
+	run := func(p *Program) *vm.Result {
+		v, err := p.NewVM(loader.Config{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rq, rn := run(quiet), run(noisy)
+	if rn.Stats.EmulTicks < rq.Stats.EmulTicks+100*50000 {
+		t.Errorf("signal storm too cheap: %d vs %d", rn.Stats.EmulTicks, rq.Stats.EmulTicks)
+	}
+}
+
+func TestInputWords(t *testing.T) {
+	in := Input{Units: []Unit{{Entry: 2, Iters: 7}, {Entry: 0, Iters: 1}}}
+	w := in.Words()
+	want := []uint64{2, 2, 7, 0, 1}
+	if len(w) != len(want) {
+		t.Fatalf("words = %v", w)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("words = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	spec := ProgSpec{Name: "det", Seed: 9, Regions: []RegionSpec{{Funcs: 8, Module: 0}}}
+	a, err := BuildProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exe.Digest() != b.Exe.Digest() {
+		t.Error("identical specs produced different binaries")
+	}
+	spec.Seed = 10
+	c, err := BuildProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exe.Digest() == c.Exe.Digest() {
+		t.Error("different seeds produced identical binaries")
+	}
+}

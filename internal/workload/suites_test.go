@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"persistcc/internal/loader"
+)
+
+func TestSpecNamesAndBuild(t *testing.T) {
+	names := SpecNames()
+	if len(names) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (252.eon omitted)", len(names))
+	}
+	if _, err := BuildSpecBenchmark("999.nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSpecBenchmarkShape(t *testing.T) {
+	b, err := BuildSpecBenchmark("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ref) != 2 || len(b.Train) != 2 {
+		t.Fatalf("gzip inputs: %d ref, %d train", len(b.Ref), len(b.Train))
+	}
+	// Train runs ~6x shorter.
+	refIters := b.Ref[0].Units[1].Iters
+	trainIters := b.Train[0].Units[1].Iters
+	ratio := float64(refIters) / float64(trainIters)
+	if ratio < 5 || ratio > 7 {
+		t.Errorf("ref/train iteration ratio %.1f, want ~6", ratio)
+	}
+	// VM overhead fraction on ref input near the calibration target (5%).
+	v, err := b.Prog.NewVM(loader.Config{}, b.Ref[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := float64(res.Stats.TransTicks) / float64(res.Stats.Ticks)
+	if f < 0.02 || f > 0.10 {
+		t.Errorf("gzip VM overhead fraction %.3f, want near 0.05", f)
+	}
+}
+
+func TestGCCCoverageMatchesTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full gcc model")
+	}
+	b, err := BuildSpecBenchmark("176.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ref) != 5 {
+		t.Fatalf("gcc has %d inputs, want 5", len(b.Ref))
+	}
+	m, err := b.Prog.CoverageMatrix(loader.Config{}, b.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			d := math.Abs(m[i][j] - GCCCoverageTable[i][j])
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.06 {
+		t.Errorf("worst coverage deviation from Table 3(a): %.3f\nmeasured: %v", worst, m)
+	}
+	// gcc must spend a large share of its run translating (Fig 2a).
+	v, err := b.Prog.NewVM(loader.Config{}, b.Ref[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := float64(res.Stats.TransTicks) / float64(res.Stats.Ticks)
+	if f < 0.30 {
+		t.Errorf("gcc VM overhead fraction %.3f, want >= 0.30", f)
+	}
+}
+
+func TestOracleCoverageMatchesTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full oracle model")
+	}
+	suite, err := BuildOracleSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Phases) != 5 {
+		t.Fatalf("phases: %d", len(suite.Phases))
+	}
+	m, err := suite.Prog.CoverageMatrix(loader.Config{}, suite.Phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			d := math.Abs(m[i][j] - OracleCoverageTable[i][j])
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	// The Oracle table is less self-consistent than gcc's; allow more
+	// slack but demand the qualitative structure.
+	if worst > 0.12 {
+		t.Errorf("worst coverage deviation from Table 3(b): %.3f\nmeasured: %v", worst, m)
+	}
+	if m[4][2] < m[4][0] {
+		t.Error("Close should be covered far better by Open than by Start")
+	}
+}
+
+func TestGUISuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full GUI suite")
+	}
+	suite, err := BuildGUISuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Apps) != 5 || len(suite.Libs) != 12 {
+		t.Fatalf("suite shape: %d apps, %d libs", len(suite.Apps), len(suite.Libs))
+	}
+	cfg := loader.Config{Placement: loader.PlaceHashed}
+	for _, app := range suite.Apps {
+		cov, err := app.Prog.CoverageSet(cfg, app.Startup)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		libFrac := LibCodeFraction(cov)
+		if math.Abs(libFrac-app.PaperLibPct) > 0.08 {
+			t.Errorf("%s: lib code fraction %.2f, paper %.2f", app.Name, libFrac, app.PaperLibPct)
+		}
+	}
+	// Apps share libraries pairwise (Table 2's point).
+	common := 0
+	for _, l := range suite.Apps[0].Prog.Libs {
+		for _, l2 := range suite.Apps[1].Prog.Libs {
+			if l.Name == l2.Name {
+				common++
+			}
+		}
+	}
+	if common < 4 {
+		t.Errorf("gftp/gvim share only %d libraries", common)
+	}
+}
+
+func TestSpecSuiteBuildsAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all 11 benchmarks")
+	}
+	suite, err := BuildSpecSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range suite {
+		if len(b.Ref) == 0 || len(b.Train) == 0 {
+			t.Errorf("%s: missing inputs", b.Name)
+		}
+		v, err := b.Prog.NewVM(loader.Config{}, b.Train[0])
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, err := v.Run(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package persistcc is the public facade of the persistent code caching
+// reproduction (Connors, Janapa Reddi, Cohn, Smith — "Persistent Code
+// Caching: Exploiting Code Reuse Across Executions and Applications",
+// CGO 2007).
+//
+// The package wraps the layered implementation:
+//
+//   - internal/isa, internal/asm, internal/obj, internal/link,
+//     internal/loader — the VR64 toolchain (assembler → objects →
+//     executables/shared libraries → loaded guest processes);
+//   - internal/vm — the Pin-like run-time compilation system (trace
+//     translation, software code cache, dispatcher, emulation, cost model);
+//   - internal/instr — the instrumentation (Pintool) API and stock tools;
+//   - internal/core — the paper's contribution: persistent code caches with
+//     key-based validation, accumulation and inter-application reuse;
+//   - internal/workload, internal/experiments — the paper's evaluation.
+//
+// Quick start:
+//
+//	exe, libs, _ := persistcc.BuildExecutable("prog", src, nil)
+//	res, _ := persistcc.Run(exe, libs, persistcc.RunOptions{
+//	        CacheDir: "/tmp/pcc-db", Persist: true,
+//	})
+//	fmt.Println(res.ExitCode, res.Seconds())
+package persistcc
+
+import (
+	"errors"
+	"fmt"
+
+	"persistcc/internal/asm"
+	"persistcc/internal/core"
+	"persistcc/internal/instr"
+	"persistcc/internal/link"
+	"persistcc/internal/loader"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+)
+
+// Re-exported types: the facade's vocabulary.
+type (
+	// Object is a VXO file: relocatable object, executable or library.
+	Object = obj.File
+	// Process is a loaded guest program.
+	Process = loader.Process
+	// Result is the outcome of one run.
+	Result = vm.Result
+	// Tool is an instrumentation client (a Pintool analog).
+	Tool = vm.Tool
+	// PrimeReport summarizes persistent-cache reuse at startup.
+	PrimeReport = core.PrimeReport
+	// CommitReport summarizes persistent-cache generation at exit.
+	CommitReport = core.CommitReport
+	// LoaderConfig controls address-space layout and library placement.
+	LoaderConfig = loader.Config
+)
+
+// Library placement policies (see loader.Placement).
+const (
+	PlaceSequential = loader.PlaceSequential
+	PlaceHashed     = loader.PlaceHashed
+	PlaceASLR       = loader.PlaceASLR
+)
+
+// Assemble assembles VR64 assembly source into a relocatable object.
+func Assemble(name, src string) (*Object, error) {
+	return asm.Assemble(name, src)
+}
+
+// LinkExecutable links objects (and library dependencies) into an
+// executable. The entry symbol is "_start".
+func LinkExecutable(name string, objects []*Object, libs []*Object) (*Object, error) {
+	return link.Link(link.Input{Name: name, Kind: obj.KindExec, Objects: objects, Libs: libs})
+}
+
+// LinkLibrary links objects into a shared library exporting its globals.
+func LinkLibrary(name string, objects []*Object, libs []*Object) (*Object, error) {
+	return link.Link(link.Input{Name: name, Kind: obj.KindLib, Objects: objects, Libs: libs})
+}
+
+// BuildExecutable assembles one source file per library (libSrcs keys are
+// library names) and the executable source, then links everything.
+func BuildExecutable(name, src string, libSrcs map[string]string) (*Object, []*Object, error) {
+	var libs []*Object
+	for _, e := range entryList(libSrcs) {
+		o, err := Assemble(e.name+".o", e.src)
+		if err != nil {
+			return nil, nil, err
+		}
+		lib, err := LinkLibrary(e.name, []*Object{o}, libs)
+		if err != nil {
+			return nil, nil, err
+		}
+		libs = append(libs, lib)
+	}
+	o, err := Assemble(name+".o", src)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := LinkExecutable(name, []*Object{o}, libs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exe, libs, nil
+}
+
+// ToolByName returns a stock instrumentation tool ("bbcount",
+// "bbcount-inst", "memtrace", "opcodemix"), or nil for "".
+func ToolByName(name string) (Tool, error) {
+	if name == "" {
+		return nil, nil
+	}
+	t := instr.ByName(name)
+	if t == nil {
+		return nil, fmt.Errorf("persistcc: unknown tool %q", name)
+	}
+	return t, nil
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// Input words made visible to the guest's input block.
+	Input []uint64
+	// Tool attaches instrumentation.
+	Tool Tool
+	// Native runs the original program (no translation machinery).
+	Native bool
+
+	// Persist enables the persistent cache manager over CacheDir:
+	// translations are reused at startup and committed (accumulated) at
+	// exit.
+	Persist bool
+	// InterApp additionally falls back to another application's cache
+	// when none exists for this application.
+	InterApp bool
+	// Relocatable enables the relocatable-translation extension.
+	Relocatable bool
+	// CacheDir is the cache database directory (required with Persist).
+	CacheDir string
+
+	// Loader controls placement/ASLR; zero value = defaults.
+	Loader LoaderConfig
+	// MaxInsts bounds execution (0 = default budget).
+	MaxInsts uint64
+}
+
+// RunOutcome bundles the run result with the persistence reports.
+type RunOutcome struct {
+	*Result
+	Prime  *PrimeReport  // nil without Persist
+	Commit *CommitReport // nil without Persist
+}
+
+// Run loads and executes an executable with its libraries.
+func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
+	cfg := o.Loader
+	if cfg.Resolve == nil {
+		all := libs
+		cfg.Resolve = func(name string) (*Object, int64, error) {
+			for _, l := range all {
+				if l.Name == name {
+					return l, 1, nil
+				}
+			}
+			return nil, 0, fmt.Errorf("persistcc: library %s not found", name)
+		}
+	}
+	proc, err := loader.Load(exe, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var opts []vm.Option
+	if o.Input != nil {
+		opts = append(opts, vm.WithInput(o.Input))
+	}
+	if o.Tool != nil {
+		opts = append(opts, vm.WithTool(o.Tool))
+	}
+	if o.MaxInsts > 0 {
+		opts = append(opts, vm.WithMaxInsts(o.MaxInsts))
+	}
+	v := vm.New(proc, opts...)
+
+	out := &RunOutcome{}
+	var mgr *core.Manager
+	if o.Persist {
+		if o.CacheDir == "" {
+			return nil, errors.New("persistcc: Persist requires CacheDir")
+		}
+		var mopts []core.ManagerOption
+		if o.Relocatable {
+			mopts = append(mopts, core.WithRelocatable())
+		}
+		mgr, err = core.NewManager(o.CacheDir, mopts...)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := mgr.Prime(v)
+		if errors.Is(err, core.ErrNoCache) && o.InterApp {
+			rep, err = mgr.PrimeInterApp(v)
+		}
+		if err != nil && !errors.Is(err, core.ErrNoCache) {
+			return nil, err
+		}
+		out.Prime = rep
+	}
+
+	if o.Native {
+		out.Result, err = v.RunNative()
+	} else {
+		out.Result, err = v.Run()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if mgr != nil && !o.Native {
+		crep, err := mgr.Commit(v)
+		if err != nil {
+			return nil, err
+		}
+		out.Commit = crep
+		out.Result.Stats.PersistTicks += crep.Ticks
+		out.Result.Stats.Ticks += crep.Ticks
+	}
+	return out, nil
+}
+
+type srcEntry struct {
+	name string
+	src  string
+}
+
+func entryList(m map[string]string) []srcEntry {
+	var out []srcEntry
+	for k, v := range m {
+		out = append(out, srcEntry{k, v})
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].name > out[j].name; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

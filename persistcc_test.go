@@ -1,0 +1,136 @@
+package persistcc_test
+
+import (
+	"strings"
+	"testing"
+
+	"persistcc"
+)
+
+const facadeProg = `
+.text
+.global _start
+_start:
+	movi s0, 20
+	movi s1, 0
+loop:
+	beqz s0, done
+	sd   s1, -8(sp)     ; spill through memory so memtrace sees traffic
+	ld   a0, -8(sp)
+	call bump
+	mv   s1, a0
+	addi s0, s0, -1
+	j    loop
+done:
+	mv   a1, s1
+	movi a0, 1
+	sys
+	halt
+`
+
+const facadeLib = `
+.text
+.global bump
+bump:
+	addi a0, a0, 3
+	ret
+`
+
+func build(t *testing.T) (*persistcc.Object, []*persistcc.Object) {
+	t.Helper()
+	exe, libs, err := persistcc.BuildExecutable("demo", facadeProg, map[string]string{"libbump.so": facadeLib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe, libs
+}
+
+func TestFacadeRun(t *testing.T) {
+	exe, libs := build(t)
+	out, err := persistcc.Run(exe, libs, persistcc.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitCode != 60 {
+		t.Errorf("exit = %d, want 60", out.ExitCode)
+	}
+	nat, err := persistcc.Run(exe, libs, persistcc.RunOptions{Native: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != 60 {
+		t.Errorf("native exit = %d", nat.ExitCode)
+	}
+	if nat.Stats.Ticks >= out.Stats.Ticks {
+		t.Error("native should be cheaper than cold translation")
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	exe, libs := build(t)
+	dir := t.TempDir()
+	first, err := persistcc.Run(exe, libs, persistcc.RunOptions{Persist: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Commit == nil || first.Commit.Traces == 0 {
+		t.Fatalf("first run committed nothing: %+v", first.Commit)
+	}
+	second, err := persistcc.Run(exe, libs, persistcc.RunOptions{Persist: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Prime == nil || second.Prime.Installed == 0 {
+		t.Fatalf("second run reused nothing: %+v", second.Prime)
+	}
+	if second.Stats.TransTicks != 0 {
+		t.Errorf("second run still translated (%d ticks)", second.Stats.TransTicks)
+	}
+	if second.ExitCode != first.ExitCode {
+		t.Error("results diverged")
+	}
+}
+
+func TestFacadePersistRequiresDir(t *testing.T) {
+	exe, libs := build(t)
+	if _, err := persistcc.Run(exe, libs, persistcc.RunOptions{Persist: true}); err == nil {
+		t.Error("Persist without CacheDir accepted")
+	}
+}
+
+func TestFacadeTools(t *testing.T) {
+	for _, name := range []string{"bbcount", "bbcount-inst", "memtrace", "opcodemix"} {
+		tool, err := persistcc.ToolByName(name)
+		if err != nil || tool == nil {
+			t.Errorf("ToolByName(%q): %v", name, err)
+		}
+	}
+	if tool, err := persistcc.ToolByName(""); err != nil || tool != nil {
+		t.Error("empty tool name should be nil, nil")
+	}
+	if _, err := persistcc.ToolByName("bogus"); err == nil {
+		t.Error("bogus tool accepted")
+	}
+	exe, libs := build(t)
+	tool, _ := persistcc.ToolByName("memtrace")
+	out, err := persistcc.Run(exe, libs, persistcc.RunOptions{Tool: tool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.MemRefs == 0 {
+		t.Error("memtrace recorded nothing")
+	}
+}
+
+func TestFacadeAssembleErrors(t *testing.T) {
+	if _, err := persistcc.Assemble("bad.o", "bogus instruction\n"); err == nil || !strings.Contains(err.Error(), "line") {
+		t.Errorf("expected line-numbered assembly error, got %v", err)
+	}
+	if _, _, err := persistcc.BuildExecutable("x", "nolabel\n", nil); err == nil {
+		t.Error("bad executable source accepted")
+	}
+	if _, _, err := persistcc.BuildExecutable("x", ".text\n.global _start\n_start: halt\n",
+		map[string]string{"l.so": "junk\n"}); err == nil {
+		t.Error("bad library source accepted")
+	}
+}

@@ -1,0 +1,28 @@
+# Development entry points. `make check` is the gate every change must pass:
+# vet, build, and the full test suite under the race detector (the cache
+# server and the concurrent-commit paths are only meaningfully tested with
+# -race).
+
+GO ?= go
+
+.PHONY: check build vet test test-race bench clean
+
+check: vet build test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -239,6 +239,8 @@ func BenchmarkAssembler(b *testing.B) {
 
 func BenchmarkWarmupCurve(b *testing.B) { benchExperiment(b, "warmup") }
 
+func BenchmarkMultiProcWarmup(b *testing.B) { benchExperiment(b, "multiproc") }
+
 func BenchmarkSpecInstrumented(b *testing.B) { benchExperiment(b, "spec-instr") }
 
 func BenchmarkShellTools(b *testing.B) { benchExperiment(b, "shelltools") }

@@ -6,9 +6,11 @@
 //	pcc-bench                       # run the full evaluation
 //	pcc-bench -run fig5a,table3a    # run selected experiments
 //	pcc-bench -out results.txt      # additionally write the reports
+//	pcc-bench -json                 # machine-readable reports on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("out", "", "also write the reports to this file")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of rendered tables")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +49,7 @@ func main() {
 	}
 
 	var sb strings.Builder
+	enc := json.NewEncoder(os.Stdout)
 	for _, e := range entries {
 		start := time.Now()
 		rep, err := e.Run()
@@ -53,10 +57,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pcc-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		text := rep.String()
-		fmt.Print(text)
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		sb.WriteString(text)
+		elapsed := time.Since(start).Seconds()
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				ID      string   `json:"id"`
+				Title   string   `json:"title"`
+				Body    string   `json:"body"`
+				Notes   []string `json:"notes,omitempty"`
+				Seconds float64  `json:"seconds"`
+			}{rep.ID, rep.Title, rep.Body, rep.Notes, elapsed}); err != nil {
+				fmt.Fprintln(os.Stderr, "pcc-bench:", err)
+				os.Exit(1)
+			}
+		} else {
+			text := rep.String()
+			fmt.Print(text)
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, elapsed)
+		}
+		sb.WriteString(rep.String())
 		sb.WriteString("\n")
 	}
 	if *out != "" {

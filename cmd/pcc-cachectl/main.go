@@ -5,8 +5,10 @@
 //
 //	pcc-cachectl -dir DB list            # list cache entries
 //	pcc-cachectl -dir DB show FILE       # per-module/trace detail
+//	pcc-cachectl -dir DB stats           # per-database totals and key classes
 //	pcc-cachectl -dir DB verify          # integrity-check every cache file
 //	pcc-cachectl -dir DB prune           # drop entries whose files are gone
+//	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
 package main
 
 import (
@@ -15,20 +17,28 @@ import (
 	"os"
 	"path/filepath"
 
+	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
 	"persistcc/internal/stats"
 )
 
 func main() {
-	dir := flag.String("dir", "", "cache database directory (required)")
+	dir := flag.String("dir", "", "cache database directory")
+	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
 	flag.Parse()
-	if *dir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl -dir DB {list|show FILE|verify|prune}")
+	if (*dir == "" && *server == "") || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|verify|prune}")
 		os.Exit(2)
 	}
-	mgr, err := core.NewManager(*dir)
-	if err != nil {
-		fatal(err)
+	var mgr *core.Manager
+	if *dir != "" {
+		var err error
+		mgr, err = core.NewManager(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	} else if flag.Arg(0) != "stats" {
+		fatal(fmt.Errorf("%s needs -dir (only stats works over -server)", flag.Arg(0)))
 	}
 	switch flag.Arg(0) {
 	case "list":
@@ -69,6 +79,26 @@ func main() {
 		for mi, n := range perModule {
 			fmt.Printf("  %-24s %d traces\n", cf.Modules[mi].Path, n)
 		}
+	case "stats":
+		var st *core.DBStats
+		var err error
+		if *server != "" {
+			c := cacheserver.NewClient(*server)
+			defer c.Close()
+			st, err = c.Stats()
+		} else {
+			st, err = mgr.Stats()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cache files: %d\ntraces: %d\ncode pool: %s\ndata pool: %s\n",
+			st.Files, st.Traces, stats.Bytes(st.CodePool), stats.Bytes(st.DataPool))
+		tb := stats.NewTable("key classes", "VM key", "tool key", "entries", "traces")
+		for _, c := range st.Classes {
+			tb.AddRow(c.VM[:8], c.Tool[:8], fmt.Sprintf("%d", c.Entries), fmt.Sprintf("%d", c.Traces))
+		}
+		fmt.Print(tb.Render())
 	case "verify":
 		entries, err := mgr.Entries()
 		if err != nil {

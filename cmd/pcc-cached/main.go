@@ -1,0 +1,83 @@
+// Command pcc-cached is the shared persistent-cache daemon: it serves one
+// cache database (internal/core) to many concurrently running VM processes
+// over the internal/cacheserver wire protocol, so translations published by
+// one process are reusable by every other — across executions and across
+// applications.
+//
+// Usage:
+//
+//	pcc-cached -dir DB [-listen 127.0.0.1:7433] [-shards 16] [-reloc] [-v]
+//	pcc-cached -dir DB -listen unix:/tmp/pcc.sock
+//
+// Clients point pcc-run (or the persistcc façade) at the same address with
+// -cache-server; they fall back to their local database if this daemon is
+// unreachable, so it can be restarted at any time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "cache database directory to serve (required)")
+	listen := flag.String("listen", "127.0.0.1:7433", `listen address: "host:port" or "unix:/path.sock"`)
+	shards := flag.Int("shards", 0, "in-memory index shard count (0 = default)")
+	reloc := flag.Bool("reloc", false, "enable relocatable translations when merging")
+	verbose := flag.Bool("v", false, "log every publish")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: pcc-cached -dir DB [-listen ADDR]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var mopts []core.ManagerOption
+	if *reloc {
+		mopts = append(mopts, core.WithRelocatable())
+	}
+	mgr, err := core.NewManager(*dir, mopts...)
+	if err != nil {
+		fatal(err)
+	}
+	var sopts []cacheserver.Option
+	if *shards > 0 {
+		sopts = append(sopts, cacheserver.WithShards(*shards))
+	}
+	if *verbose {
+		sopts = append(sopts, cacheserver.WithLog(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}))
+	}
+	srv, err := cacheserver.New(mgr, sopts...)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := cacheserver.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pcc-cached: serving %s on %s\n", *dir, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "pcc-cached: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != cacheserver.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc-cached:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/loader"
@@ -32,6 +33,7 @@ func main() {
 	native := flag.Bool("native", false, "interpret the original program (no translation)")
 	toolName := flag.String("tool", "", "instrumentation tool: bbcount, bbcount-inst, memtrace, opcodemix, codecov, codecov-inst")
 	persistDir := flag.String("persist", "", "persistent cache database directory (enables persistence)")
+	cacheServer := flag.String("cache-server", "", `shared cache daemon address ("host:port" or "unix:/path.sock"); -persist becomes the local fallback database`)
 	interApp := flag.Bool("interapp", false, "fall back to another application's cache")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations")
 	inputStr := flag.String("input", "", "comma-separated input words for the guest input block")
@@ -114,15 +116,22 @@ func main() {
 	}
 	v := vm.New(proc, opts...)
 
-	var mgr *core.Manager
+	var mgr cacheserver.Manager
+	if *cacheServer != "" && *persistDir == "" {
+		fatal(fmt.Errorf("-cache-server needs -persist for the local fallback database"))
+	}
 	if *persistDir != "" {
 		var mopts []core.ManagerOption
 		if *reloc {
 			mopts = append(mopts, core.WithRelocatable())
 		}
-		mgr, err = core.NewManager(*persistDir, mopts...)
+		local, err := core.NewManager(*persistDir, mopts...)
 		if err != nil {
 			fatal(err)
+		}
+		mgr = local
+		if *cacheServer != "" {
+			mgr = cacheserver.NewFallback(cacheserver.NewClient(*cacheServer), local)
 		}
 		rep, err := mgr.Prime(v)
 		if err == core.ErrNoCache && *interApp {
@@ -132,8 +141,8 @@ func main() {
 			fatal(err)
 		}
 		if rep.Found {
-			fmt.Fprintf(os.Stderr, "pcc-run: persistent cache: %d traces installed (%d rebased, %d invalidated)\n",
-				rep.Installed, rep.Rebased, rep.Invalidated())
+			fmt.Fprintf(os.Stderr, "pcc-run: persistent cache: %d traces installed (%d rebased, %d invalidated, %d remote)\n",
+				rep.Installed, rep.Rebased, rep.Invalidated(), v.Stats().RemoteHits)
 		}
 	}
 

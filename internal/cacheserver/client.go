@@ -1,0 +1,284 @@
+package cacheserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"persistcc/internal/binenc"
+	"persistcc/internal/core"
+	"persistcc/internal/vm"
+)
+
+// Client talks the cache-server protocol over one connection, redialing
+// transparently. Safe for concurrent use; requests are serialized on the
+// connection.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	retries     int           // additional attempts after the first
+	backoff     time.Duration // doubled per retry
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithDialTimeout bounds each connection attempt.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithRetry sets the bounded retry policy: attempts beyond the first, and
+// the initial backoff (doubled per retry).
+func WithRetry(retries int, backoff time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// NewClient prepares a client for addr ("unix:/path" or TCP "host:port").
+// The connection is dialed lazily on the first request.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		dialTimeout: 2 * time.Second,
+		retries:     2,
+		backoff:     10 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close drops the connection; a later request redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) dialLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	network, address := "tcp", c.addr
+	if path, ok := strings.CutPrefix(c.addr, "unix:"); ok {
+		network, address = "unix", path
+	}
+	conn, err := net.DialTimeout(network, address, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// remoteError is a failure the server reported; retrying the same request
+// would just fail again, unlike a transport error.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "cacheserver: server: " + e.msg }
+
+// do performs one request with bounded retry+backoff on transport errors.
+func (c *Client) do(op uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err := c.dialLocked(); err != nil {
+			lastErr = err
+			continue
+		}
+		status, resp, err := c.roundTripLocked(op, payload)
+		if err != nil {
+			// Transport failure mid-request: the stream position is
+			// unknown, so sever and redial before retrying.
+			c.conn.Close()
+			c.conn = nil
+			lastErr = err
+			continue
+		}
+		switch status {
+		case StatusOK:
+			return resp, nil
+		case StatusNotFound:
+			return nil, core.ErrNoCache
+		case StatusError:
+			r := &binenc.Reader{Buf: resp}
+			return nil, &remoteError{msg: r.Str(maxErrLen)}
+		default:
+			return nil, fmt.Errorf("cacheserver: unknown status %d", status)
+		}
+	}
+	return nil, fmt.Errorf("cacheserver: %s unreachable: %w", c.addr, lastErr)
+}
+
+func (c *Client) roundTripLocked(op uint8, payload []byte) (uint8, []byte, error) {
+	if err := writeFrame(c.conn, op, payload); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.conn)
+}
+
+// Lookup asks whether the server holds a cache for the key set, without
+// transferring it.
+func (c *Client) Lookup(ks core.KeySet, interApp bool) (*LookupInfo, error) {
+	resp, err := c.do(OpLookup, encodeKeyRequest(ks, interApp))
+	if err != nil {
+		return nil, err
+	}
+	return decodeLookupInfo(resp)
+}
+
+// Fetch retrieves and decodes the cache file for the key set. The decode
+// re-verifies the file's integrity trailer, so a corrupt or truncated frame
+// surfaces as an error here rather than as bad translations.
+func (c *Client) Fetch(ks core.KeySet, interApp bool) (*core.CacheFile, error) {
+	resp, err := c.do(OpFetch, encodeKeyRequest(ks, interApp))
+	if err != nil {
+		return nil, err
+	}
+	cf := new(core.CacheFile)
+	if err := cf.UnmarshalBinary(resp); err != nil {
+		return nil, err
+	}
+	return cf, nil
+}
+
+// Publish sends a serialized cache file for server-side merge.
+func (c *Client) Publish(cf *core.CacheFile) (*core.CommitReport, error) {
+	b, err := cf.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(OpPublish, b)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCommitReport(resp)
+}
+
+// Stats fetches the server's per-database totals.
+func (c *Client) Stats() (*core.DBStats, error) {
+	resp, err := c.do(OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDBStats(resp)
+}
+
+// Prune asks the server to reconcile its index with the directory.
+func (c *Client) Prune() (*core.PruneReport, error) {
+	resp, err := c.do(OpPrune, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodePruneReport(resp)
+}
+
+// Manager is the persistence surface a run needs; *core.Manager (local
+// database) and *Fallback (shared server with local degradation) both
+// satisfy it.
+type Manager interface {
+	Prime(v *vm.VM) (*core.PrimeReport, error)
+	PrimeInterApp(v *vm.VM) (*core.PrimeReport, error)
+	Commit(v *vm.VM) (*core.CommitReport, error)
+}
+
+var (
+	_ Manager = (*core.Manager)(nil)
+	_ Manager = (*Fallback)(nil)
+)
+
+// Fallback fronts a shared cache server with a local database: every
+// operation tries the server first and degrades to the local core.Manager
+// on connect/IO error, corrupt payloads, or server-side failure — a dead
+// daemon never breaks a run. Cache misses also consult the local database,
+// so translations committed while the server was down stay reachable.
+type Fallback struct {
+	client *Client
+	local  *core.Manager
+}
+
+// NewFallback combines a client and the local fallback manager.
+func NewFallback(client *Client, local *core.Manager) *Fallback {
+	return &Fallback{client: client, local: local}
+}
+
+// Local returns the fallback database manager.
+func (f *Fallback) Local() *core.Manager { return f.local }
+
+// prime fetches from the server and installs via the local manager's
+// validation path, falling back per the policy above.
+func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
+	ks := core.KeysFor(v)
+	cf, err := f.client.Fetch(ks, interApp)
+	switch {
+	case err == nil:
+		rep, err := f.local.PrimeFrom(v, cf)
+		if err != nil {
+			// The served file failed key validation; the local database
+			// is still authoritative for this run.
+			v.RecordRemote(1, 0, 1)
+			return f.localPrime(v, interApp)
+		}
+		v.RecordRemote(1, uint64(rep.Installed), 0)
+		return rep, nil
+	case errors.Is(err, core.ErrNoCache):
+		// Server is healthy but cold for this key set; a local cache from
+		// a previous degraded run may still exist.
+		v.RecordRemote(1, 0, 0)
+		return f.localPrime(v, interApp)
+	default:
+		v.RecordRemote(1, 0, 1)
+		return f.localPrime(v, interApp)
+	}
+}
+
+func (f *Fallback) localPrime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
+	if interApp {
+		return f.local.PrimeInterApp(v)
+	}
+	return f.local.Prime(v)
+}
+
+// Prime implements Manager.
+func (f *Fallback) Prime(v *vm.VM) (*core.PrimeReport, error) { return f.prime(v, false) }
+
+// PrimeInterApp implements Manager.
+func (f *Fallback) PrimeInterApp(v *vm.VM) (*core.PrimeReport, error) { return f.prime(v, true) }
+
+// Commit publishes the run's traces to the server, or accumulates into the
+// local database when the server cannot take them.
+func (f *Fallback) Commit(v *vm.VM) (*core.CommitReport, error) {
+	cf, ks := core.BuildCacheFile(v)
+	rep, err := f.client.Publish(cf)
+	if err != nil {
+		v.RecordRemote(0, 0, 1)
+		crep, lerr := f.local.CommitFile(ks, cf)
+		if lerr != nil {
+			return nil, fmt.Errorf("cacheserver: publish failed (%v) and local fallback failed: %w", err, lerr)
+		}
+		rep = crep
+	}
+	if !rep.Skipped {
+		cost := v.Cost()
+		rep.Ticks = cost.PersistSaveFixed + cost.PersistSaveTrace*uint64(rep.Traces)
+	}
+	return rep, nil
+}

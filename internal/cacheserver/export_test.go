@@ -1,0 +1,7 @@
+package cacheserver
+
+// Frame-layer hooks for the black-box protocol tests' fake servers.
+var (
+	ReadFrameForTest  = readFrame
+	WriteFrameForTest = writeFrame
+)

@@ -1,0 +1,208 @@
+// Package cacheserver shares one persistent code cache database between
+// many concurrently running VM processes: a daemon (cmd/pcc-cached) serves
+// the database from internal/core over a length-prefixed binary protocol on
+// TCP or unix sockets, and the client library lets a run fetch translations
+// published by other processes — the ShareJIT-shaped step past the paper's
+// one-process-at-a-time on-disk sharing.
+//
+// The protocol is a strict request/response sequence per connection. Every
+// frame is
+//
+//	[u32 length][u8 op/status][payload ...]
+//
+// with the length covering the op byte plus the payload, little-endian, and
+// bounded by MaxFrame. Requests carry one of the Op* codes; responses carry
+// a Status* code, with StatusError followed by a length-prefixed message.
+// Payloads reuse internal/binenc, and FETCH/PUBLISH move whole serialized
+// core.CacheFile images, so the cache file's own integrity trailer also
+// protects the wire transfer end to end.
+package cacheserver
+
+import (
+	"fmt"
+	"io"
+
+	"persistcc/internal/binenc"
+	"persistcc/internal/core"
+)
+
+// Op codes (client → server).
+const (
+	OpLookup  = 1 // key set + mode → cache metadata, no payload transfer
+	OpFetch   = 2 // key set + mode → serialized CacheFile
+	OpPublish = 3 // serialized CacheFile → server-side merge, CommitReport
+	OpStats   = 4 // → per-database totals (core.DBStats)
+	OpPrune   = 5 // → reconcile index and files (core.PruneReport)
+)
+
+// Status codes (server → client).
+const (
+	StatusOK       = 0
+	StatusNotFound = 1 // no cache for the key set (maps to core.ErrNoCache)
+	StatusError    = 2 // payload is a length-prefixed error string
+)
+
+// MaxFrame bounds one frame (a serialized cache database entry fits well
+// within this; anything larger is a corrupt or hostile length field).
+const MaxFrame = 256 << 20
+
+const maxErrLen = 4096
+
+// writeFrame sends one [length][tag][payload] frame.
+func writeFrame(w io.Writer, tag uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("cacheserver: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	hdr := &binenc.Writer{}
+	hdr.U32(uint32(len(payload) + 1))
+	hdr.U8(tag)
+	if _, err := w.Write(hdr.Buf); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its tag byte and payload.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("cacheserver: bad frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// encodeKeyRequest builds the LOOKUP/FETCH payload: the three keys plus the
+// inter-application mode flag.
+func encodeKeyRequest(ks core.KeySet, interApp bool) []byte {
+	w := &binenc.Writer{}
+	w.Raw(ks.App[:])
+	w.Raw(ks.VM[:])
+	w.Raw(ks.Tool[:])
+	w.Bool(interApp)
+	return w.Buf
+}
+
+func decodeKeyRequest(b []byte) (core.KeySet, bool, error) {
+	r := &binenc.Reader{Buf: b}
+	var ks core.KeySet
+	copy(ks.App[:], r.Raw(32))
+	copy(ks.VM[:], r.Raw(32))
+	copy(ks.Tool[:], r.Raw(32))
+	interApp := r.Bool()
+	return ks, interApp, r.Done()
+}
+
+// LookupInfo is the metadata LOOKUP returns without transferring traces.
+type LookupInfo struct {
+	File     string
+	AppPath  string
+	Traces   int
+	CodePool uint64
+	DataPool uint64
+}
+
+func encodeLookupInfo(li *LookupInfo) []byte {
+	w := &binenc.Writer{}
+	w.Str(li.File)
+	w.Str(li.AppPath)
+	w.U32(uint32(li.Traces))
+	w.U64(li.CodePool)
+	w.U64(li.DataPool)
+	return w.Buf
+}
+
+func decodeLookupInfo(b []byte) (*LookupInfo, error) {
+	r := &binenc.Reader{Buf: b}
+	li := &LookupInfo{}
+	li.File = r.Str(4096)
+	li.AppPath = r.Str(4096)
+	li.Traces = int(r.U32())
+	li.CodePool = r.U64()
+	li.DataPool = r.U64()
+	return li, r.Done()
+}
+
+func encodeCommitReport(rep *core.CommitReport) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(rep.Traces))
+	w.U32(uint32(rep.NewTraces))
+	w.U32(uint32(rep.Dropped))
+	w.U64(rep.CodePool)
+	w.U64(rep.DataPool)
+	w.Str(rep.File)
+	w.Bool(rep.Accumulate)
+	w.Bool(rep.Skipped)
+	return w.Buf
+}
+
+func decodeCommitReport(b []byte) (*core.CommitReport, error) {
+	r := &binenc.Reader{Buf: b}
+	rep := &core.CommitReport{}
+	rep.Traces = int(r.U32())
+	rep.NewTraces = int(r.U32())
+	rep.Dropped = int(r.U32())
+	rep.CodePool = r.U64()
+	rep.DataPool = r.U64()
+	rep.File = r.Str(4096)
+	rep.Accumulate = r.Bool()
+	rep.Skipped = r.Bool()
+	return rep, r.Done()
+}
+
+func encodeDBStats(st *core.DBStats) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(st.Files))
+	w.U32(uint32(st.Traces))
+	w.U64(st.CodePool)
+	w.U64(st.DataPool)
+	w.U32(uint32(len(st.Classes)))
+	for _, c := range st.Classes {
+		w.Str(c.VM)
+		w.Str(c.Tool)
+		w.U32(uint32(c.Entries))
+		w.U32(uint32(c.Traces))
+	}
+	return w.Buf
+}
+
+func decodeDBStats(b []byte) (*core.DBStats, error) {
+	r := &binenc.Reader{Buf: b}
+	st := &core.DBStats{}
+	st.Files = int(r.U32())
+	st.Traces = int(r.U32())
+	st.CodePool = r.U64()
+	st.DataPool = r.U64()
+	for i, n := 0, r.Count(1<<20); i < n && r.Err == nil; i++ {
+		var c core.KeyClassCount
+		c.VM = r.Str(128)
+		c.Tool = r.Str(128)
+		c.Entries = int(r.U32())
+		c.Traces = int(r.U32())
+		st.Classes = append(st.Classes, c)
+	}
+	return st, r.Done()
+}
+
+func encodePruneReport(rep *core.PruneReport) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(rep.DroppedEntries))
+	w.U32(uint32(rep.RemovedFiles))
+	return w.Buf
+}
+
+func decodePruneReport(b []byte) (*core.PruneReport, error) {
+	r := &binenc.Reader{Buf: b}
+	rep := &core.PruneReport{}
+	rep.DroppedEntries = int(r.U32())
+	rep.RemovedFiles = int(r.U32())
+	return rep, r.Done()
+}

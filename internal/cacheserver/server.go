@@ -1,0 +1,451 @@
+package cacheserver
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"persistcc/internal/binenc"
+	"persistcc/internal/core"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("cacheserver: server closed")
+
+// defaultShards is the in-memory index shard count; a power of two so the
+// hash distributes evenly.
+const defaultShards = 16
+
+// entry is the in-memory state for one cache file.
+type entry struct {
+	meta core.IndexEntry // guarded by the owning shard's mu
+
+	// mergeMu serializes accumulation per cache file: publishes for the
+	// same key set merge one at a time, while other files merge and every
+	// lookup proceeds in parallel.
+	mergeMu sync.Mutex
+
+	// Single-flight dedup of concurrent identical publishes, keyed by the
+	// payload digest: the first arrival merges, later identical arrivals
+	// wait and share its report.
+	flMu     sync.Mutex
+	inflight map[[32]byte]*flight
+
+	// Cached serialized file bytes for FETCH; invalidated on publish.
+	// dataMu is held across the disk read so a fetch racing a publish can
+	// never re-install bytes the publish just invalidated.
+	dataMu sync.Mutex
+	data   []byte
+}
+
+type flight struct {
+	done chan struct{}
+	rep  *core.CommitReport
+	err  error
+}
+
+// shard is one slice of the in-memory index, hash-sharded by cache file
+// name (itself the digest of the key set), so lookups contend only within
+// their own shard.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Server serves one persistent cache database to many client processes.
+type Server struct {
+	mgr    *core.Manager
+	shards []*shard
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithShards overrides the index shard count.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.shards = make([]*shard, n)
+		}
+	}
+}
+
+// WithLog installs a request log sink.
+func WithLog(f func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = f }
+}
+
+// New builds a server over an opened database, loading its index into the
+// sharded in-memory form.
+func New(mgr *core.Manager, opts ...Option) (*Server, error) {
+	s := &Server{
+		mgr:    mgr,
+		shards: make([]*shard, defaultShards),
+		conns:  make(map[net.Conn]struct{}),
+		logf:   func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{entries: make(map[string]*entry)}
+	}
+	if err := s.reloadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reloadIndex replaces the in-memory index with the on-disk one.
+func (s *Server) reloadIndex() error {
+	entries, err := s.mgr.Entries()
+	if err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[string]*entry)
+		sh.mu.Unlock()
+	}
+	for _, e := range entries {
+		sh := s.shardFor(e.File)
+		sh.mu.Lock()
+		sh.entries[e.File] = &entry{meta: e, inflight: make(map[[32]byte]*flight)}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+func (s *Server) shardFor(file string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(file))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// entryFor returns the live entry for a cache file, creating it when create
+// is set (publish of a first cache for a key set).
+func (s *Server) entryFor(file string, create bool) *entry {
+	sh := s.shardFor(file)
+	sh.mu.RLock()
+	e := sh.entries[file]
+	sh.mu.RUnlock()
+	if e != nil || !create {
+		return e
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[file]; e == nil {
+		e = &entry{inflight: make(map[[32]byte]*flight)}
+		sh.entries[file] = e
+	}
+	return e
+}
+
+// Listen opens the daemon's listener: "unix:/path/to.sock" or a TCP
+// "host:port" address.
+func Listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Serve accepts and handles connections until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops the listener, severs every connection and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		op, payload, err := readFrame(c)
+		if err != nil {
+			return // EOF, severed connection, or garbage framing
+		}
+		status, resp := s.dispatch(op, payload)
+		if err := writeFrame(c, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request, converting handler errors into StatusError
+// frames so a bad request never kills the daemon.
+func (s *Server) dispatch(op uint8, payload []byte) (uint8, []byte) {
+	var resp []byte
+	var err error
+	switch op {
+	case OpLookup:
+		resp, err = s.handleLookup(payload, false)
+	case OpFetch:
+		resp, err = s.handleLookup(payload, true)
+	case OpPublish:
+		resp, err = s.handlePublish(payload)
+	case OpStats:
+		resp, err = s.handleStats()
+	case OpPrune:
+		resp, err = s.handlePrune()
+	default:
+		err = fmt.Errorf("unknown op %d", op)
+	}
+	switch {
+	case errors.Is(err, core.ErrNoCache):
+		return StatusNotFound, nil
+	case err != nil:
+		s.logf("cacheserver: op %d: %v", op, err)
+		msg := err.Error()
+		if len(msg) > maxErrLen {
+			msg = msg[:maxErrLen]
+		}
+		w := &binenc.Writer{}
+		w.Str(msg)
+		return StatusError, w.Buf
+	}
+	return StatusOK, resp
+}
+
+// resolve finds the entry for a key request and a consistent copy of its
+// metadata: exact file-name lookup, or the inter-application scan that
+// ignores the application key and picks the candidate with the most traces
+// ("allowing the function to return a cache corresponding to any
+// application instrumented identically"). Entries whose first publish is
+// still in flight (empty metadata) are invisible.
+func (s *Server) resolve(ks core.KeySet, interApp bool) (*entry, core.IndexEntry, bool) {
+	file := ks.CacheFileName()
+	sh := s.shardFor(file)
+	sh.mu.RLock()
+	if e := sh.entries[file]; e != nil && e.meta.File != "" {
+		meta := e.meta
+		sh.mu.RUnlock()
+		return e, meta, true
+	}
+	sh.mu.RUnlock()
+	if !interApp {
+		return nil, core.IndexEntry{}, false
+	}
+	var best *entry
+	var bestMeta core.IndexEntry
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			m := e.meta
+			if m.File == "" || m.VM != ks.VM.Hex() || m.Tool != ks.Tool.Hex() || m.App == ks.App.Hex() {
+				continue
+			}
+			if best == nil || m.Traces > bestMeta.Traces || (m.Traces == bestMeta.Traces && m.File < bestMeta.File) {
+				best, bestMeta = e, m
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return best, bestMeta, best != nil
+}
+
+func (s *Server) handleLookup(payload []byte, fetch bool) ([]byte, error) {
+	ks, interApp, err := decodeKeyRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	e, meta, ok := s.resolve(ks, interApp)
+	if !ok {
+		return nil, core.ErrNoCache
+	}
+	if !fetch {
+		return encodeLookupInfo(&LookupInfo{
+			File: meta.File, AppPath: meta.AppPath, Traces: meta.Traces,
+			CodePool: meta.CodePool, DataPool: meta.DataPool,
+		}), nil
+	}
+	return s.fileBytes(e, meta.File)
+}
+
+// fileBytes returns the serialized cache file, from the per-entry byte
+// cache when warm.
+func (s *Server) fileBytes(e *entry, file string) ([]byte, error) {
+	e.dataMu.Lock()
+	defer e.dataMu.Unlock()
+	if e.data != nil {
+		return e.data, nil
+	}
+	b, err := os.ReadFile(filepath.Join(s.mgr.Dir(), file))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, core.ErrNoCache
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.data = b
+	return b, nil
+}
+
+// handlePublish merges a client's serialized cache file into the database.
+func (s *Server) handlePublish(payload []byte) ([]byte, error) {
+	incoming := new(core.CacheFile)
+	if err := incoming.UnmarshalBinary(payload); err != nil {
+		return nil, err
+	}
+	ks := core.KeySet{App: incoming.AppKey, VM: incoming.VMKey, Tool: incoming.ToolKey}
+	file := ks.CacheFileName()
+	e := s.entryFor(file, true)
+
+	// Single-flight: concurrent identical publishes (several processes
+	// exiting the same cold run at once) merge exactly once.
+	digest := sha256.Sum256(payload)
+	e.flMu.Lock()
+	if f := e.inflight[digest]; f != nil {
+		e.flMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return encodeCommitReport(f.rep), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[digest] = f
+	e.flMu.Unlock()
+
+	f.rep, f.err = s.merge(e, ks, file, incoming)
+	e.flMu.Lock()
+	delete(e.inflight, digest)
+	e.flMu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return encodeCommitReport(f.rep), nil
+}
+
+// merge performs the per-file accumulation: read prior, merge, write
+// atomically, refresh the on-disk index and the in-memory entry.
+func (s *Server) merge(e *entry, ks core.KeySet, file string, incoming *core.CacheFile) (*core.CommitReport, error) {
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+
+	path := filepath.Join(s.mgr.Dir(), file)
+	prior, err := core.ReadCacheFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	merged, rep, err := core.MergeCacheFiles(incoming, prior, s.mgr.Relocatable())
+	if err != nil {
+		return nil, err
+	}
+	rep.File = file
+	if rep.Skipped {
+		return rep, nil
+	}
+	if err := merged.WriteFile(path); err != nil {
+		return nil, err
+	}
+	if err := s.mgr.UpdateIndex(ks, merged, file); err != nil {
+		return nil, err
+	}
+
+	meta := core.IndexEntry{
+		App: ks.App.Hex(), VM: ks.VM.Hex(), Tool: ks.Tool.Hex(),
+		AppPath: merged.AppPath, File: file, Traces: len(merged.Traces),
+		CodePool: merged.CodePool, DataPool: merged.DataPool,
+	}
+	sh := s.shardFor(file)
+	sh.mu.Lock()
+	e.meta = meta
+	sh.mu.Unlock()
+	e.dataMu.Lock()
+	e.data = nil // next fetch re-reads the merged file
+	e.dataMu.Unlock()
+	s.logf("cacheserver: published %s: %d traces (%d new, %d dropped)", file, rep.Traces, rep.NewTraces, rep.Dropped)
+	return rep, nil
+}
+
+func (s *Server) handleStats() ([]byte, error) {
+	var entries []core.IndexEntry
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			entries = append(entries, e.meta)
+		}
+		sh.mu.RUnlock()
+	}
+	return encodeDBStats(core.AggregateStats(entries)), nil
+}
+
+func (s *Server) handlePrune() ([]byte, error) {
+	rep, err := s.mgr.Prune()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reloadIndex(); err != nil {
+		return nil, err
+	}
+	return encodePruneReport(rep), nil
+}

@@ -1,0 +1,74 @@
+package cacheserver
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+	"time"
+
+	"persistcc/internal/core"
+)
+
+// TestPublishSingleFlight pins the dedup behaviour deterministically: while
+// a merge for one payload digest is in flight, an identical publish must
+// wait for it and share its report instead of merging again.
+func TestPublishSingleFlight(t *testing.T) {
+	mgr, err := core.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty cache file decodes cleanly and carries the zero key set, so
+	// its publish lands on the entry planted below.
+	payload, err := (&core.CacheFile{}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256(payload)
+	var ks core.KeySet
+	file := ks.CacheFileName()
+
+	// Plant an in-flight merge for the digest by hand.
+	e := s.entryFor(file, true)
+	want := &core.CommitReport{Traces: 7, File: file}
+	f := &flight{done: make(chan struct{}), rep: want}
+	e.flMu.Lock()
+	e.inflight[digest] = f
+	e.flMu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got *core.CommitReport
+	var gotErr error
+	go func() {
+		defer wg.Done()
+		// If this publish did NOT join the planted flight it would merge
+		// the empty file itself and report zero traces — observably
+		// different from the planted report.
+		resp, err := s.handlePublish(payload)
+		if err != nil {
+			gotErr = err
+			return
+		}
+		got, gotErr = decodeCommitReport(resp)
+	}()
+
+	// The publisher must be blocked on the flight, not merging.
+	time.Sleep(20 * time.Millisecond)
+	e.flMu.Lock()
+	delete(e.inflight, digest)
+	e.flMu.Unlock()
+	close(f.done)
+	wg.Wait()
+
+	if gotErr != nil {
+		t.Fatalf("joined publish errored: %v", gotErr)
+	}
+	if got.Traces != want.Traces || got.File != want.File {
+		t.Fatalf("joined publish got %+v, want %+v", got, want)
+	}
+}

@@ -54,6 +54,24 @@ type CacheFile struct {
 	DataPool uint64
 }
 
+// checkTraceModules verifies every trace's module references stay inside
+// the module table — the invariant CommitFile relies on when merging files
+// that arrived over the wire.
+func (cf *CacheFile) checkTraceModules() error {
+	n := int32(len(cf.Modules))
+	for i, t := range cf.Traces {
+		if t.Module < 0 || t.Module >= n {
+			return fmt.Errorf("core: trace %d references module %d of %d", i, t.Module, n)
+		}
+		for _, note := range t.Notes {
+			if note.Target < 0 || note.Target >= n {
+				return fmt.Errorf("core: trace %d note targets module %d of %d", i, note.Target, n)
+			}
+		}
+	}
+	return nil
+}
+
 // recomputePools re-derives the pool sizes from the traces.
 func (cf *CacheFile) recomputePools() {
 	cf.CodePool, cf.DataPool = 0, 0
@@ -216,7 +234,7 @@ func (cf *CacheFile) UnmarshalBinary(b []byte) error {
 			if len(t.Insts) == 0 {
 				return fmt.Errorf("core: trace %d is empty", i)
 			}
-			if int(t.Module) >= len(cf.Modules) {
+			if t.Module < 0 || int(t.Module) >= len(cf.Modules) {
 				return fmt.Errorf("core: trace %d references module %d of %d", i, t.Module, len(cf.Modules))
 			}
 			// Exits and liveness are static functions of the

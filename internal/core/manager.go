@@ -93,7 +93,7 @@ var ErrNoCache = errors.New("core: no persistent cache for this key set")
 
 // cachePath returns the database file for a key set.
 func (m *Manager) cachePath(ks KeySet) string {
-	return filepath.Join(m.dir, ks.lookupHash()+".pcc")
+	return filepath.Join(m.dir, ks.CacheFileName())
 }
 
 // Lookup loads the cache for the exact key set, if present and valid.
@@ -284,28 +284,19 @@ func currentModules(v *vm.VM) ([]ModuleRecord, map[string]int) {
 	return records, byPath
 }
 
-// Commit writes (or accumulates into) the persistent cache for the VM's key
-// set: "information is written to a persistent code cache whenever the
-// intra-execution code cache becomes full or the last thread of execution
-// performs the exit system call", and "the code coverage of a persistent
-// cache can be increased by repeatedly using it across executions of
-// different inputs, and adding newly discovered translations into it".
-func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	// The whole read-merge-write of the cache file must happen under the
-	// cross-process lock: two processes accumulating concurrently would
-	// otherwise each merge against the same prior file and the second
-	// rename would silently drop the first one's new traces.
-	unlock, err := m.lockDB()
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
+// traceKey identifies a trace independently of the module table layout.
+type traceKey struct {
+	path string
+	off  uint32
+}
 
+// BuildCacheFile snapshots the VM's file-backed translations into a
+// CacheFile for its key set without touching the database. This is the
+// serialization hook used to publish a run's traces to a shared cache
+// server; Commit uses it for the local path.
+func BuildCacheFile(v *vm.VM) (*CacheFile, KeySet) {
 	ks := KeysFor(v)
-	records, byPath := currentModules(v)
-
+	records, _ := currentModules(v)
 	cf := &CacheFile{
 		AppKey:  ks.App,
 		VMKey:   ks.VM,
@@ -313,19 +304,74 @@ func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
 		AppPath: records[0].Path,
 		Modules: records,
 	}
-
-	type traceKey struct {
-		path string
-		off  uint32
-	}
 	seen := make(map[traceKey]bool)
-	rep := &CommitReport{}
-
-	// Current run's traces first (they are authoritative for this layout).
 	for _, t := range v.Cache().Traces() {
 		if t.Module < 0 {
 			continue // dynamically generated code: never persisted
 		}
+		k := traceKey{records[t.Module].Path, t.ModOff}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cf.Traces = append(cf.Traces, t)
+	}
+	sortTraces(cf)
+	cf.recomputePools()
+	return cf, ks
+}
+
+// Commit writes (or accumulates into) the persistent cache for the VM's key
+// set: "information is written to a persistent code cache whenever the
+// intra-execution code cache becomes full or the last thread of execution
+// performs the exit system call", and "the code coverage of a persistent
+// cache can be increased by repeatedly using it across executions of
+// different inputs, and adding newly discovered translations into it".
+func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
+	cf, ks := BuildCacheFile(v)
+	rep, err := m.CommitFile(ks, cf)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Skipped {
+		cost := v.Cost()
+		rep.Ticks = cost.PersistSaveFixed + cost.PersistSaveTrace*uint64(rep.Traces)
+	}
+	return rep, nil
+}
+
+// MergeCacheFiles merges incoming (whose module table is authoritative for
+// the new layout) with prior — nil when no cache existed — into a fresh
+// CacheFile, exactly as accumulation does at commit time: incoming traces
+// win, prior traces the incoming run did not rediscover are kept when their
+// mappings still validate against the incoming layout and dropped
+// otherwise. Pure in-memory merge: no locking, no disk. rep.File is left
+// empty for the caller; when rep.Skipped the returned file is prior itself.
+//
+// The in-memory Persisted flag marks traces a run reused rather than
+// translated; files decoded from the wire lose it, so remote publishes
+// conservatively count every trace as new and never skip the merge.
+func MergeCacheFiles(incoming, prior *CacheFile, relocatable bool) (*CacheFile, *CommitReport, error) {
+	if err := incoming.checkTraceModules(); err != nil {
+		return nil, nil, err
+	}
+	records := incoming.Modules
+	byPath := make(map[string]int, len(records))
+	for i := range records {
+		byPath[records[i].Path] = i
+	}
+	cf := &CacheFile{
+		AppKey:  incoming.AppKey,
+		VMKey:   incoming.VMKey,
+		ToolKey: incoming.ToolKey,
+		AppPath: incoming.AppPath,
+		Modules: records,
+	}
+	seen := make(map[traceKey]bool)
+	rep := &CommitReport{}
+
+	// Incoming traces first (they are authoritative for this layout).
+	for _, t := range incoming.Traces {
 		k := traceKey{records[t.Module].Path, t.ModOff}
 		if seen[k] {
 			continue
@@ -337,22 +383,20 @@ func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
 		}
 	}
 
-	// Accumulate the prior cache's traces that this run did not
+	// Accumulate the prior cache's traces that the incoming run did not
 	// re-discover, dropping any whose mappings went stale.
-	prior, err := m.Lookup(ks)
-	switch {
-	case err == nil:
+	if prior != nil {
 		rep.Accumulate = true
-		// When this run discovered nothing new and its layout matches the
-		// prior cache exactly, rewriting the file would buy nothing: skip
-		// the save entirely (reused runs then pay only the load cost).
+		// When the incoming run discovered nothing new and its layout
+		// matches the prior cache exactly, rewriting the file would buy
+		// nothing: skip the save entirely (reused runs then pay only the
+		// load cost).
 		if rep.NewTraces == 0 && len(cf.Traces) <= len(prior.Traces) && sameModules(cf.Modules, prior.Modules) {
 			rep.Skipped = true
 			rep.Traces = len(prior.Traces)
 			rep.CodePool = prior.CodePool
 			rep.DataPool = prior.DataPool
-			rep.File = filepath.Base(m.cachePath(ks))
-			return rep, nil
+			return prior, rep, nil
 		}
 		for _, t := range prior.Traces {
 			rec := prior.Modules[t.Module]
@@ -360,43 +404,84 @@ func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
 			if seen[k] {
 				continue
 			}
-			if !m.traceStillValid(prior, t, records, byPath) {
+			if !traceStillValid(prior, t, records, byPath, relocatable) {
 				rep.Dropped++
 				continue
 			}
 			seen[k] = true
-			nt := remapPrior(prior, t, records, byPath, m.relocatable)
+			nt := remapPrior(prior, t, records, byPath, relocatable)
 			cf.Traces = append(cf.Traces, nt)
 		}
-	case errors.Is(err, ErrNoCache):
-		// First cache for this key set.
-	default:
-		return nil, err
 	}
 
 	sortTraces(cf)
 	cf.recomputePools()
-	path := m.cachePath(ks)
-	if err := cf.WriteFile(path); err != nil {
-		return nil, err
-	}
 	rep.Traces = len(cf.Traces)
 	rep.CodePool = cf.CodePool
 	rep.DataPool = cf.DataPool
-	rep.File = filepath.Base(path)
-	cost := v.Cost()
-	rep.Ticks = cost.PersistSaveFixed + cost.PersistSaveTrace*uint64(len(cf.Traces))
+	return cf, rep, nil
+}
 
-	if err := m.updateIndexLocked(ks, cf, rep.File); err != nil {
+// CommitFile merges incoming into the database entry for ks and atomically
+// rewrites it — the accumulation half of Commit, decoupled from the VM so a
+// cache server can merge files published over the wire. The whole
+// read-merge-write happens under the in-process mutex plus the
+// cross-process advisory lock: two writers accumulating concurrently would
+// otherwise each merge against the same prior file and the second rename
+// would silently drop the first one's new traces.
+func (m *Manager) CommitFile(ks KeySet, incoming *CacheFile) (*CommitReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	prior, err := m.Lookup(ks)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoCache):
+		prior = nil
+	default:
+		return nil, err
+	}
+	merged, rep, err := MergeCacheFiles(incoming, prior, m.relocatable)
+	if err != nil {
+		return nil, err
+	}
+	path := m.cachePath(ks)
+	rep.File = filepath.Base(path)
+	if rep.Skipped {
+		return rep, nil
+	}
+	if err := merged.WriteFile(path); err != nil {
+		return nil, err
+	}
+	if err := m.updateIndexLocked(ks, merged, rep.File); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
+// UpdateIndex inserts or refreshes the index entry for file under the
+// database locks — for writers (the cache server) that produced the cache
+// file through MergeCacheFiles themselves.
+func (m *Manager) UpdateIndex(ks KeySet, cf *CacheFile, file string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return m.updateIndexLocked(ks, cf, file)
+}
+
 // traceStillValid checks whether a prior trace's own and referenced
 // mappings still hold in the current run (identically based, or rebasable
 // when the extension is on).
-func (m *Manager) traceStillValid(prior *CacheFile, t *vm.Trace, records []ModuleRecord, byPath map[string]int) bool {
+func traceStillValid(prior *CacheFile, t *vm.Trace, records []ModuleRecord, byPath map[string]int, relocatable bool) bool {
 	check := func(mi int32) bool {
 		rec := prior.Modules[mi]
 		cur, ok := byPath[rec.Path]
@@ -406,7 +491,7 @@ func (m *Manager) traceStillValid(prior *CacheFile, t *vm.Trace, records []Modul
 		if records[cur].Key == rec.Key {
 			return true
 		}
-		return m.relocatable && records[cur].Content == rec.Content
+		return relocatable && records[cur].Content == rec.Content
 	}
 	if !check(t.Module) {
 		return false
@@ -543,6 +628,68 @@ func (m *Manager) Entries() ([]IndexEntry, error) {
 		return nil, err
 	}
 	return idx.Entries, nil
+}
+
+// KeyClassCount groups index entries by their (VM, tool) key pair — the
+// "instrumented identically" equivalence class that inter-application
+// lookup searches within.
+type KeyClassCount struct {
+	VM      string `json:"vm"`
+	Tool    string `json:"tool"`
+	Entries int    `json:"entries"`
+	Traces  int    `json:"traces"`
+}
+
+// DBStats aggregates one database for inspection. `pcc-cachectl stats` and
+// the cache server's STATS op return the same shape, so local and served
+// databases can be compared directly.
+type DBStats struct {
+	Files    int             `json:"files"`
+	Traces   int             `json:"traces"`
+	CodePool uint64          `json:"code_pool"`
+	DataPool uint64          `json:"data_pool"`
+	Classes  []KeyClassCount `json:"classes"`
+}
+
+// Stats aggregates the database index into per-database totals.
+func (m *Manager) Stats() (*DBStats, error) {
+	entries, err := m.Entries()
+	if err != nil {
+		return nil, err
+	}
+	return AggregateStats(entries), nil
+}
+
+// AggregateStats folds index entries into per-database totals; the cache
+// server uses it over its in-memory index so STATS matches Manager.Stats.
+func AggregateStats(entries []IndexEntry) *DBStats {
+	st := &DBStats{}
+	byClass := make(map[[2]string]*KeyClassCount)
+	for _, e := range entries {
+		st.Files++
+		st.Traces += e.Traces
+		st.CodePool += e.CodePool
+		st.DataPool += e.DataPool
+		ck := [2]string{e.VM, e.Tool}
+		c := byClass[ck]
+		if c == nil {
+			c = &KeyClassCount{VM: e.VM, Tool: e.Tool}
+			byClass[ck] = c
+		}
+		c.Entries++
+		c.Traces += e.Traces
+	}
+	for _, c := range byClass {
+		st.Classes = append(st.Classes, *c)
+	}
+	sort.Slice(st.Classes, func(i, j int) bool {
+		a, b := st.Classes[i], st.Classes[j]
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Tool < b.Tool
+	})
+	return st
 }
 
 // PruneReport summarizes database maintenance.

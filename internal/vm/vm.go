@@ -61,6 +61,11 @@ type Stats struct {
 	TracesTranslated uint64
 	TracesReused     uint64 // installed from a persistent cache
 	TraceExecs       uint64
+
+	// Shared cache-server interaction (recorded by the cacheserver client).
+	RemoteLookups   uint64 // lookup/fetch round trips attempted
+	RemoteHits      uint64 // traces installed from a remotely served cache
+	RemoteFallbacks uint64 // operations that fell back to the local database
 	Dispatches       uint64
 	IndirectHits     uint64
 	IndirectMisses   uint64
@@ -276,6 +281,18 @@ func (v *VM) ChargePersist(ticks uint64) {
 	v.clock += ticks
 	v.stats.PersistTicks += ticks
 }
+
+// RecordRemote accounts one shared-cache-server interaction: a lookup
+// round trip, the traces it installed, and whether the operation had to
+// fall back to the local database.
+func (v *VM) RecordRemote(lookups, hits, fallbacks uint64) {
+	v.stats.RemoteLookups += lookups
+	v.stats.RemoteHits += hits
+	v.stats.RemoteFallbacks += fallbacks
+}
+
+// Stats returns a copy of the run's accounting so far.
+func (v *VM) Stats() Stats { return v.stats }
 
 // Output returns the bytes the guest wrote to fds 1 and 2 so far.
 func (v *VM) Output() []byte { return v.out.Bytes() }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"persistcc/internal/asm"
+	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/link"
@@ -137,6 +138,10 @@ type RunOptions struct {
 	Relocatable bool
 	// CacheDir is the cache database directory (required with Persist).
 	CacheDir string
+	// CacheServer points the run at a shared cache daemon ("host:port" or
+	// "unix:/path.sock"). CacheDir remains the local fallback database: if
+	// the daemon is unreachable the run degrades to purely local caching.
+	CacheServer string
 
 	// Loader controls placement/ASLR; zero value = defaults.
 	Loader LoaderConfig
@@ -182,7 +187,10 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 	v := vm.New(proc, opts...)
 
 	out := &RunOutcome{}
-	var mgr *core.Manager
+	var mgr cacheserver.Manager
+	if o.CacheServer != "" && !o.Persist {
+		return nil, errors.New("persistcc: CacheServer requires Persist")
+	}
 	if o.Persist {
 		if o.CacheDir == "" {
 			return nil, errors.New("persistcc: Persist requires CacheDir")
@@ -191,9 +199,15 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 		if o.Relocatable {
 			mopts = append(mopts, core.WithRelocatable())
 		}
-		mgr, err = core.NewManager(o.CacheDir, mopts...)
+		local, err := core.NewManager(o.CacheDir, mopts...)
 		if err != nil {
 			return nil, err
+		}
+		mgr = local
+		if o.CacheServer != "" {
+			client := cacheserver.NewClient(o.CacheServer)
+			defer client.Close()
+			mgr = cacheserver.NewFallback(client, local)
 		}
 		rep, err := mgr.Prime(v)
 		if errors.Is(err, core.ErrNoCache) && o.InterApp {

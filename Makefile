@@ -1,13 +1,21 @@
 # Development entry points. `make check` is the gate every change must pass:
-# vet, build, and the full test suite under the race detector (the cache
-# server and the concurrent-commit paths are only meaningfully tested with
-# -race).
+# formatting, vet, build, and the full test suite under the race detector
+# (the cache server and the concurrent-commit paths are only meaningfully
+# tested with -race). `make ci` mirrors .github/workflows/ci.yml exactly,
+# adding the bench-regression smoke gate.
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench clean
+# The CI smoke set: fast, fully deterministic experiments whose *_ticks
+# metrics are gated against bench_baseline.json by pcc-benchdiff.
+BENCH_SMOKE = fig2b,fig5a,tracelog
+MAX_REGRESS = 0.25
 
-check: vet build test-race
+.PHONY: check ci build vet test test-race fmt-check bench bench-smoke bench-baseline clean
+
+check: fmt-check vet build test-race
+
+ci: check bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,8 +29,23 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Run the smoke experiments and fail on a >25% tick regression vs the
+# checked-in baseline.
+bench-smoke:
+	$(GO) run ./cmd/pcc-bench -json -run $(BENCH_SMOKE) > bench_current.json
+	$(GO) run ./cmd/pcc-benchdiff -baseline bench_baseline.json -current bench_current.json -max-regress $(MAX_REGRESS)
+
+# Refresh the checked-in baseline after an intentional performance change.
+bench-baseline:
+	$(GO) run ./cmd/pcc-bench -json -run $(BENCH_SMOKE) > bench_baseline.json
+
 clean:
 	$(GO) clean ./...
+	rm -f bench_current.json

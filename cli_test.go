@@ -6,12 +6,18 @@ package persistcc_test
 // as a user would from a shell.
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"persistcc/internal/metrics"
 )
 
 func buildTools(t *testing.T) string {
@@ -191,13 +197,234 @@ func parseStats(t *testing.T, stderr string) *cliStats {
 	return &st
 }
 
+// buildTinyExe assembles and links a minimal self-contained guest that
+// exits with code 35, for tests that only need something cacheable to run.
+func buildTinyExe(t *testing.T, bin, work string) string {
+	t.Helper()
+	src := filepath.Join(work, "tiny.s")
+	if err := os.WriteFile(src, []byte(`
+.text
+.global _start
+_start:
+	movi a0, 5
+	movi a1, 7
+	mul  a1, a0, a1
+	movi a0, 1
+	sys
+	halt
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, se, code := runTool(t, bin, "pcc-asm", src); code != 0 {
+		t.Fatalf("pcc-asm failed: %s", se)
+	}
+	exe := filepath.Join(work, "tiny.vxe")
+	if _, se, code := runTool(t, bin, "pcc-ld", "-o", exe, "-name", "tiny",
+		filepath.Join(work, "tiny.vxo")); code != 0 {
+		t.Fatalf("pcc-ld failed: %s", se)
+	}
+	return exe
+}
+
+func readSnapshot(t *testing.T, path string) *metrics.Snapshot {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.ParseSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestCLIMetricsAndEvents drives pcc-run's -metrics-out / -events-out flags
+// through a cold/warm persistent pair and checks the snapshots tell the
+// right story: the warm run reuses every trace from the persistent cache.
+func TestCLIMetricsAndEvents(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	exe := buildTinyExe(t, bin, work)
+	db := filepath.Join(work, "db")
+	coldM := filepath.Join(work, "cold.metrics.json")
+	warmM := filepath.Join(work, "warm.metrics.json")
+	events := filepath.Join(work, "events.ndjson")
+
+	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db,
+		"-metrics-out", coldM, "-events-out", events, exe); code != 35 {
+		t.Fatalf("cold run exit %d, want 35\n%s", code, se)
+	}
+	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db,
+		"-metrics-out", warmM, exe); code != 35 {
+		t.Fatalf("warm run exit %d, want 35\n%s", code, se)
+	}
+
+	cold := readSnapshot(t, coldM)
+	warm := readSnapshot(t, warmM)
+	if v, _ := cold.Value("pcc_vm_traces_total", "translated"); v == 0 {
+		t.Error("cold run translated no traces")
+	}
+	if v, _ := warm.Value("pcc_vm_traces_total", "translated"); v != 0 {
+		t.Errorf("warm run translated %v traces, want 0", v)
+	}
+	// The acceptance check: a warm run's snapshot shows nonzero
+	// persistent-hit counters.
+	if v, _ := warm.Value("pcc_vm_traces_total", "persistent"); v == 0 {
+		t.Error("warm run shows no persistent trace hits")
+	}
+	if v, _ := warm.Value("pcc_core_lookups_total", "exact", "hit"); v == 0 {
+		t.Error("warm run shows no exact cache-lookup hit")
+	}
+	if v, _ := warm.Value("pcc_vm_ticks_total", "total"); v == 0 {
+		t.Error("warm snapshot missing total ticks")
+	}
+
+	// The cold run's event timeline must contain translate events followed
+	// by a commit event, each line valid JSON.
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds["translate"] == 0 || kinds["commit"] == 0 {
+		t.Errorf("event log kinds = %v, want translate and commit events", kinds)
+	}
+
+	// pcc-cachectl renders a snapshot file as Prometheus text.
+	out, se, code := runTool(t, bin, "pcc-cachectl", "metrics", warmM)
+	if code != 0 {
+		t.Fatalf("cachectl metrics failed: %s", se)
+	}
+	if !strings.Contains(out, "# TYPE pcc_vm_ticks_total counter") ||
+		!strings.Contains(out, `pcc_vm_traces_total{source="persistent"}`) {
+		t.Errorf("cachectl metrics output missing expected families:\n%s", out)
+	}
+}
+
+// TestCLIDaemonMetricsHTTP boots a real pcc-cached with an HTTP metrics
+// listener, runs two clients against it, and round-trips /metrics, /healthz
+// and the wire-protocol METRICS op.
+func TestCLIDaemonMetricsHTTP(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	exe := buildTinyExe(t, bin, work)
+	sdb := filepath.Join(work, "sdb")
+
+	daemon := exec.Command(filepath.Join(bin, "pcc-cached"), "-dir", sdb,
+		"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// The daemon prints both listen addresses to stderr at startup.
+	type addrs struct{ serve, metrics string }
+	ch := make(chan addrs, 1)
+	go func() {
+		var a addrs
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "pcc-cached: serving"); ok {
+				f := strings.Fields(rest)
+				a.serve = f[len(f)-1]
+			}
+			if rest, ok := strings.CutPrefix(line, "pcc-cached: metrics on http://"); ok {
+				a.metrics = strings.TrimSuffix(rest, "/metrics")
+			}
+			if a.serve != "" && a.metrics != "" {
+				ch <- a
+				break
+			}
+		}
+	}()
+	var a addrs
+	select {
+	case a = <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for pcc-cached to report its listen addresses")
+	}
+
+	// Two clients: the first publishes, the second gets a remote hit.
+	for i := 0; i < 2; i++ {
+		db := filepath.Join(work, "ldb", string(rune('a'+i)))
+		if _, se, code := runTool(t, bin, "pcc-run", "-cache-server", a.serve,
+			"-persist", db, exe); code != 35 {
+			t.Fatalf("client run %d exit %d, want 35\n%s", i, code, se)
+		}
+	}
+
+	resp, err := http.Get("http://" + a.metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`pcc_server_requests_total{op="publish",status="ok"}`,
+		`pcc_server_requests_total{op="fetch",status="ok"}`,
+		"# TYPE pcc_server_request_seconds histogram",
+		"pcc_core_db_traces",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	hresp, err := http.Get("http://" + a.metrics + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil || health.Status != "ok" {
+		t.Errorf("/healthz = %q (err %v), want status ok", hbody, err)
+	}
+
+	// The same families over the wire protocol's METRICS op.
+	out, se, code := runTool(t, bin, "pcc-cachectl", "-server", a.serve, "metrics")
+	if code != 0 {
+		t.Fatalf("cachectl -server metrics failed: %s", se)
+	}
+	if !strings.Contains(out, "pcc_server_requests_total") {
+		t.Errorf("cachectl -server metrics missing server families:\n%s", out)
+	}
+}
+
 func TestCLIWorkloadAndBenchList(t *testing.T) {
 	bin := buildTools(t)
 	out, se, code := runTool(t, bin, "pcc-bench", "-list")
 	if code != 0 {
 		t.Fatalf("pcc-bench -list failed: %s", se)
 	}
-	for _, id := range []string{"fig2a", "fig5a", "table3a", "oracle", "warmup"} {
+	for _, id := range []string{"fig2a", "fig5a", "table3a", "oracle", "warmup", "tracelog"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("bench list missing %s", id)
 		}

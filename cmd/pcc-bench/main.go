@@ -7,6 +7,13 @@
 //	pcc-bench -run fig5a,table3a    # run selected experiments
 //	pcc-bench -out results.txt      # additionally write the reports
 //	pcc-bench -json                 # machine-readable reports on stdout
+//
+// -json emits one NDJSON object per experiment with schema "pcc-bench/2":
+// id, title, body, notes, wall-clock seconds, and a metrics map of the
+// experiment's headline numbers. Map keys serialize in sorted order, so the
+// output is byte-stable for identical results; metrics ending in "_ticks"
+// are deterministic virtual-tick measurements that pcc-benchdiff gates CI
+// on (see .github/workflows/ci.yml and bench_baseline.json).
 package main
 
 import (
@@ -19,6 +26,10 @@ import (
 
 	"persistcc/internal/experiments"
 )
+
+// benchSchema versions the -json line format; pcc-benchdiff refuses files
+// written under a different schema.
+const benchSchema = "pcc-bench/2"
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -60,12 +71,14 @@ func main() {
 		elapsed := time.Since(start).Seconds()
 		if *jsonOut {
 			if err := enc.Encode(struct {
-				ID      string   `json:"id"`
-				Title   string   `json:"title"`
-				Body    string   `json:"body"`
-				Notes   []string `json:"notes,omitempty"`
-				Seconds float64  `json:"seconds"`
-			}{rep.ID, rep.Title, rep.Body, rep.Notes, elapsed}); err != nil {
+				Schema  string             `json:"schema"`
+				ID      string             `json:"id"`
+				Title   string             `json:"title"`
+				Body    string             `json:"body"`
+				Notes   []string           `json:"notes,omitempty"`
+				Seconds float64            `json:"seconds"`
+				Metrics map[string]float64 `json:"metrics,omitempty"`
+			}{benchSchema, rep.ID, rep.Title, rep.Body, rep.Notes, elapsed, rep.Metrics}); err != nil {
 				fmt.Fprintln(os.Stderr, "pcc-bench:", err)
 				os.Exit(1)
 			}

@@ -9,6 +9,12 @@
 //	pcc-cachectl -dir DB verify          # integrity-check every cache file
 //	pcc-cachectl -dir DB prune           # drop entries whose files are gone
 //	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
+//	pcc-cachectl -server ADDR metrics    # the daemon's metrics registry
+//	pcc-cachectl metrics FILE            # render a pcc-run -metrics-out file
+//
+// The metrics subcommand renders a registry snapshot — fetched live from a
+// daemon over the wire protocol's METRICS op, or read from a JSON snapshot
+// file written by pcc-run -metrics-out — in the Prometheus text format.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
+	"persistcc/internal/metrics"
 	"persistcc/internal/stats"
 )
 
@@ -26,8 +33,8 @@ func main() {
 	dir := flag.String("dir", "", "cache database directory")
 	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
 	flag.Parse()
-	if (*dir == "" && *server == "") || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|verify|prune}")
+	if flag.NArg() < 1 || (*dir == "" && *server == "" && flag.Arg(0) != "metrics") {
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify|prune}")
 		os.Exit(2)
 	}
 	var mgr *core.Manager
@@ -37,8 +44,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	} else if flag.Arg(0) != "stats" {
-		fatal(fmt.Errorf("%s needs -dir (only stats works over -server)", flag.Arg(0)))
+	} else if cmd := flag.Arg(0); cmd != "stats" && cmd != "metrics" {
+		fatal(fmt.Errorf("%s needs -dir (only stats and metrics work over -server)", cmd))
 	}
 	switch flag.Arg(0) {
 	case "list":
@@ -99,6 +106,28 @@ func main() {
 			tb.AddRow(c.VM[:8], c.Tool[:8], fmt.Sprintf("%d", c.Entries), fmt.Sprintf("%d", c.Traces))
 		}
 		fmt.Print(tb.Render())
+	case "metrics":
+		var snap *metrics.Snapshot
+		var err error
+		switch {
+		case *server != "":
+			c := cacheserver.NewClient(*server)
+			defer c.Close()
+			snap, err = c.ServerMetrics()
+		case flag.NArg() == 2:
+			var b []byte
+			if b, err = os.ReadFile(flag.Arg(1)); err == nil {
+				snap, err = metrics.ParseSnapshot(b)
+			}
+		default:
+			err = fmt.Errorf("metrics needs -server ADDR or a snapshot file argument")
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case "verify":
 		entries, err := mgr.Entries()
 		if err != nil {

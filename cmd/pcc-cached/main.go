@@ -8,21 +8,30 @@
 //
 //	pcc-cached -dir DB [-listen 127.0.0.1:7433] [-shards 16] [-reloc] [-v]
 //	pcc-cached -dir DB -listen unix:/tmp/pcc.sock
+//	pcc-cached -dir DB -metrics-addr 127.0.0.1:9100   # /metrics + /healthz
 //
 // Clients point pcc-run (or the persistcc façade) at the same address with
 // -cache-server; they fall back to their local database if this daemon is
 // unreachable, so it can be restarted at any time.
+//
+// With -metrics-addr, an HTTP listener additionally exposes the daemon's
+// metrics registry in the Prometheus text format at /metrics and a JSON
+// liveness probe at /healthz. The same families are available over the wire
+// protocol's METRICS op (pcc-cachectl -server ADDR metrics).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
+	"persistcc/internal/metrics"
 )
 
 func main() {
@@ -30,6 +39,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7433", `listen address: "host:port" or "unix:/path.sock"`)
 	shards := flag.Int("shards", 0, "in-memory index shard count (0 = default)")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations when merging")
+	metricsAddr := flag.String("metrics-addr", "", `HTTP address serving /metrics and /healthz (e.g. "127.0.0.1:9100"; empty disables)`)
 	verbose := flag.Bool("v", false, "log every publish")
 	flag.Parse()
 	if *dir == "" {
@@ -38,7 +48,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var mopts []core.ManagerOption
+	// One registry spans the manager and the server, so /metrics exports
+	// the daemon's full view: request counters next to database totals.
+	reg := metrics.NewRegistry()
+	mopts := []core.ManagerOption{core.WithMetrics(reg)}
 	if *reloc {
 		mopts = append(mopts, core.WithRelocatable())
 	}
@@ -46,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var sopts []cacheserver.Option
+	sopts := []cacheserver.Option{cacheserver.WithMetrics(reg)}
 	if *shards > 0 {
 		sopts = append(sopts, cacheserver.WithShards(*shards))
 	}
@@ -64,6 +77,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "pcc-cached: serving %s on %s\n", *dir, ln.Addr())
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		metricsHandler := metrics.Handler(reg)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			mgr.Stats() // refresh the database gauges before snapshotting
+			metricsHandler.ServeHTTP(w, r)
+		})
+		mux.Handle("/healthz", metrics.HealthHandler(*dir))
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "pcc-cached: metrics listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pcc-cached: metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

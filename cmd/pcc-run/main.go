@@ -24,6 +24,8 @@ import (
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/loader"
+	"persistcc/internal/metrics"
+	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/obj"
 	"persistcc/internal/stats"
 	"persistcc/internal/vm"
@@ -45,6 +47,8 @@ func main() {
 	trace := flag.Uint64("trace", 0, "log the first N executed instructions to stderr")
 	jsonOut := flag.Bool("json", false, "print machine-readable run statistics to stderr")
 	smc := flag.Bool("smc", false, "detect self-modifying code (flush the cache on writes to translated pages)")
+	metricsOut := flag.String("metrics-out", "", "write the run's full metrics registry snapshot (JSON) to this file on exit")
+	eventsOut := flag.String("events-out", "", "write the run's translate/install/prime/commit event timeline (NDJSON) to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pcc-run [flags] prog.vxe")
@@ -114,6 +118,15 @@ func main() {
 	if *smc {
 		opts = append(opts, vm.WithSMCDetection())
 	}
+	// One registry spans the VM, the persistence manager and the cache
+	// client, so -metrics-out holds the process's entire view.
+	reg := metrics.NewRegistry()
+	opts = append(opts, vm.WithMetrics(reg))
+	var events *tracelog.Log
+	if *eventsOut != "" {
+		events = tracelog.NewLog(0)
+		opts = append(opts, vm.WithEventLog(events))
+	}
 	v := vm.New(proc, opts...)
 
 	var mgr cacheserver.Manager
@@ -121,7 +134,7 @@ func main() {
 		fatal(fmt.Errorf("-cache-server needs -persist for the local fallback database"))
 	}
 	if *persistDir != "" {
-		var mopts []core.ManagerOption
+		mopts := []core.ManagerOption{core.WithMetrics(reg)}
 		if *reloc {
 			mopts = append(mopts, core.WithRelocatable())
 		}
@@ -131,7 +144,8 @@ func main() {
 		}
 		mgr = local
 		if *cacheServer != "" {
-			mgr = cacheserver.NewFallback(cacheserver.NewClient(*cacheServer), local)
+			client := cacheserver.NewClient(*cacheServer, cacheserver.WithClientMetrics(reg))
+			mgr = cacheserver.NewFallback(client, local)
 		}
 		rep, err := mgr.Prime(v)
 		if err == core.ErrNoCache && *interApp {
@@ -164,6 +178,7 @@ func main() {
 		}
 		res.Stats.PersistTicks += crep.Ticks
 		res.Stats.Ticks += crep.Ticks
+		v.ChargePersist(crep.Ticks) // keep the registry's tick view consistent
 		fmt.Fprintf(os.Stderr, "pcc-run: committed %d traces (%d new) to %s\n",
 			crep.Traces, crep.NewTraces, crep.File)
 	}
@@ -177,6 +192,23 @@ func main() {
 			ExitCode uint64
 			Stats    *vm.Stats
 		}{res.ExitCode, &res.Stats}); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, v.Metrics().Snapshot().JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := events.WriteNDJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}

@@ -10,6 +10,8 @@ import (
 
 	"persistcc/internal/binenc"
 	"persistcc/internal/core"
+	"persistcc/internal/metrics"
+	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/vm"
 )
 
@@ -21,6 +23,9 @@ type Client struct {
 	dialTimeout time.Duration
 	retries     int           // additional attempts after the first
 	backoff     time.Duration // doubled per retry
+
+	metrics *metrics.Registry
+	m       *clientMetrics
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -52,6 +57,10 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.metrics == nil {
+		c.metrics = metrics.NewRegistry()
+	}
+	c.m = newClientMetrics(c.metrics)
 	return c
 }
 
@@ -93,14 +102,17 @@ func (e *remoteError) Error() string { return "cacheserver: server: " + e.msg }
 func (c *Client) do(op uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.m.requests.With(opName(op)).Inc()
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			c.m.retries.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 		if err := c.dialLocked(); err != nil {
+			c.m.dialErrors.Inc()
 			lastErr = err
 			continue
 		}
@@ -235,9 +247,14 @@ func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 			// The served file failed key validation; the local database
 			// is still authoritative for this run.
 			v.RecordRemote(1, 0, 1)
+			f.client.m.fallbacks.With("prime").Inc()
 			return f.localPrime(v, interApp)
 		}
 		v.RecordRemote(1, uint64(rep.Installed), 0)
+		v.EventLog().Record(tracelog.Event{
+			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: rep.Installed,
+			Detail: f.client.addr,
+		})
 		return rep, nil
 	case errors.Is(err, core.ErrNoCache):
 		// Server is healthy but cold for this key set; a local cache from
@@ -246,6 +263,7 @@ func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 		return f.localPrime(v, interApp)
 	default:
 		v.RecordRemote(1, 0, 1)
+		f.client.m.fallbacks.With("prime").Inc()
 		return f.localPrime(v, interApp)
 	}
 }
@@ -270,11 +288,17 @@ func (f *Fallback) Commit(v *vm.VM) (*core.CommitReport, error) {
 	rep, err := f.client.Publish(cf)
 	if err != nil {
 		v.RecordRemote(0, 0, 1)
+		f.client.m.fallbacks.With("commit").Inc()
 		crep, lerr := f.local.CommitFile(ks, cf)
 		if lerr != nil {
 			return nil, fmt.Errorf("cacheserver: publish failed (%v) and local fallback failed: %w", err, lerr)
 		}
 		rep = crep
+	} else {
+		v.EventLog().Record(tracelog.Event{
+			Kind: tracelog.KindPublish, Tick: v.Clock(), Traces: rep.Traces,
+			Detail: f.client.addr,
+		})
 	}
 	if !rep.Skipped {
 		cost := v.Cost()

@@ -33,6 +33,7 @@ const (
 	OpPublish = 3 // serialized CacheFile → server-side merge, CommitReport
 	OpStats   = 4 // → per-database totals (core.DBStats)
 	OpPrune   = 5 // → reconcile index and files (core.PruneReport)
+	OpMetrics = 6 // → the daemon's metrics registry snapshot (JSON)
 )
 
 // Status codes (server → client).

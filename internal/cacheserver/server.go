@@ -11,9 +11,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"persistcc/internal/binenc"
 	"persistcc/internal/core"
+	"persistcc/internal/metrics"
 )
 
 // ErrServerClosed is returned by Serve after Close.
@@ -61,9 +63,11 @@ type shard struct {
 
 // Server serves one persistent cache database to many client processes.
 type Server struct {
-	mgr    *core.Manager
-	shards []*shard
-	logf   func(format string, args ...any)
+	mgr     *core.Manager
+	shards  []*shard
+	logf    func(format string, args ...any)
+	metrics *metrics.Registry
+	m       *serverMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -101,6 +105,10 @@ func New(mgr *core.Manager, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.metrics == nil {
+		s.metrics = metrics.NewRegistry()
+	}
+	s.m = newServerMetrics(s.metrics)
 	for i := range s.shards {
 		s.shards[i] = &shard{entries: make(map[string]*entry)}
 	}
@@ -220,11 +228,14 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleConn(c net.Conn) {
+	s.m.connections.Inc()
+	s.m.activeConns.Add(1)
 	defer func() {
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		s.m.activeConns.Add(-1)
 		s.wg.Done()
 	}()
 	for {
@@ -232,7 +243,9 @@ func (s *Server) handleConn(c net.Conn) {
 		if err != nil {
 			return // EOF, severed connection, or garbage framing
 		}
+		s.m.frameBytes.With("in").Add(uint64(len(payload)))
 		status, resp := s.dispatch(op, payload)
+		s.m.frameBytes.With("out").Add(uint64(len(resp)))
 		if err := writeFrame(c, status, resp); err != nil {
 			return
 		}
@@ -241,7 +254,12 @@ func (s *Server) handleConn(c net.Conn) {
 
 // dispatch executes one request, converting handler errors into StatusError
 // frames so a bad request never kills the daemon.
-func (s *Server) dispatch(op uint8, payload []byte) (uint8, []byte) {
+func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
+	start := time.Now()
+	defer func() {
+		s.m.requests.With(opName(op), statusName(status)).Inc()
+		s.m.latency.With(opName(op)).Observe(time.Since(start).Seconds())
+	}()
 	var resp []byte
 	var err error
 	switch op {
@@ -255,6 +273,9 @@ func (s *Server) dispatch(op uint8, payload []byte) (uint8, []byte) {
 		resp, err = s.handleStats()
 	case OpPrune:
 		resp, err = s.handlePrune()
+	case OpMetrics:
+		s.mgr.Stats() // refresh the database gauges before snapshotting
+		resp = s.metrics.Snapshot().JSON()
 	default:
 		err = fmt.Errorf("unknown op %d", op)
 	}
@@ -364,6 +385,7 @@ func (s *Server) handlePublish(payload []byte) ([]byte, error) {
 	e.flMu.Lock()
 	if f := e.inflight[digest]; f != nil {
 		e.flMu.Unlock()
+		s.m.dedups.Inc()
 		<-f.done
 		if f.err != nil {
 			return nil, f.err

@@ -52,6 +52,11 @@ type CacheFile struct {
 
 	CodePool uint64
 	DataPool uint64
+
+	// EncodedBytes is the file's on-disk/wire size, set (not serialized) by
+	// MarshalBinary and UnmarshalBinary — the byte-accounting source for the
+	// pcc_core_file_bytes_total metrics.
+	EncodedBytes uint64
 }
 
 // checkTraceModules verifies every trace's module references stay inside
@@ -157,6 +162,7 @@ func (cf *CacheFile) MarshalBinary() ([]byte, error) {
 
 	sum := sha256.Sum256(w.Buf)
 	w.Raw(sum[:])
+	cf.EncodedBytes = uint64(len(w.Buf))
 	return w.Buf, nil
 }
 
@@ -248,6 +254,7 @@ func (cf *CacheFile) UnmarshalBinary(b []byte) error {
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("core: decode: %w", err)
 	}
+	cf.EncodedBytes = uint64(len(b))
 	return nil
 }
 

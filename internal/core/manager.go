@@ -13,6 +13,8 @@ import (
 
 	"persistcc/internal/isa"
 	"persistcc/internal/mem"
+	"persistcc/internal/metrics"
+	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/obj"
 	"persistcc/internal/vm"
 )
@@ -25,6 +27,9 @@ type Manager struct {
 	dir         string
 	relocatable bool
 	mu          sync.Mutex
+
+	metrics *metrics.Registry
+	m       *coreMetrics
 }
 
 // ManagerOption configures a Manager.
@@ -47,6 +52,10 @@ func NewManager(dir string, opts ...ManagerOption) (*Manager, error) {
 	for _, o := range opts {
 		o(m)
 	}
+	if m.metrics == nil {
+		m.metrics = metrics.NewRegistry()
+	}
+	m.m = newCoreMetrics(m.metrics)
 	return m, nil
 }
 
@@ -99,10 +108,18 @@ func (m *Manager) cachePath(ks KeySet) string {
 // Lookup loads the cache for the exact key set, if present and valid.
 func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
 	cf, err := ReadCacheFile(m.cachePath(ks))
-	if errors.Is(err, fs.ErrNotExist) {
+	switch {
+	case err == nil:
+		m.m.lookups.With("exact", "hit").Inc()
+		m.m.fileBytes.With("read").Add(cf.EncodedBytes)
+		return cf, nil
+	case errors.Is(err, fs.ErrNotExist):
+		m.m.lookups.With("exact", "miss").Inc()
 		return nil, ErrNoCache
+	default:
+		m.m.lookups.With("exact", "error").Inc()
+		return nil, err
 	}
-	return cf, err
 }
 
 // LookupInterApp finds a cache created by a *different* application with
@@ -126,9 +143,17 @@ func (m *Manager) LookupInterApp(ks KeySet) (*CacheFile, error) {
 		}
 	}
 	if best == nil {
+		m.m.lookups.With("interapp", "miss").Inc()
 		return nil, ErrNoCache
 	}
-	return ReadCacheFile(filepath.Join(m.dir, best.File))
+	cf, err := ReadCacheFile(filepath.Join(m.dir, best.File))
+	if err != nil {
+		m.m.lookups.With("interapp", "error").Inc()
+		return nil, err
+	}
+	m.m.lookups.With("interapp", "hit").Inc()
+	m.m.fileBytes.With("read").Add(cf.EncodedBytes)
+	return cf, nil
 }
 
 // Prime looks up the cache for the VM's own key set and installs every
@@ -175,9 +200,11 @@ func (m *Manager) PrimeFrom(v *vm.VM, cf *CacheFile) (*PrimeReport, error) {
 	rep := &PrimeReport{Found: true, CacheTraces: len(cf.Traces)}
 	ks := KeysFor(v)
 	if cf.VMKey != ks.VM {
+		m.m.keyMismatches.With("vm").Inc()
 		return rep, fmt.Errorf("core: cache written by a different VM version (key %s != %s)", cf.VMKey, ks.VM)
 	}
 	if cf.ToolKey != ks.Tool {
+		m.m.keyMismatches.With("tool").Inc()
 		return rep, fmt.Errorf("core: cache instrumented differently (tool key %s != %s)", cf.ToolKey, ks.Tool)
 	}
 
@@ -228,6 +255,15 @@ func (m *Manager) PrimeFrom(v *vm.VM, cf *CacheFile) (*PrimeReport, error) {
 			rep.InvalidBase++
 		}
 	}
+	m.m.installs.With("exact").Add(uint64(rep.Installed - rep.Rebased))
+	m.m.installs.With("rebased").Add(uint64(rep.Rebased))
+	m.m.invalidations.With("missing").Add(uint64(rep.InvalidMissing))
+	m.m.invalidations.With("content").Add(uint64(rep.InvalidContent))
+	m.m.invalidations.With("base").Add(uint64(rep.InvalidBase))
+	v.EventLog().Record(tracelog.Event{
+		Kind: tracelog.KindPrime, Tick: v.Clock(), Traces: rep.Installed,
+		Detail: fmt.Sprintf("cache=%d invalid=%d rebased=%d", rep.CacheTraces, rep.Invalidated(), rep.Rebased),
+	})
 	return rep, nil
 }
 
@@ -337,6 +373,10 @@ func (m *Manager) Commit(v *vm.VM) (*CommitReport, error) {
 		cost := v.Cost()
 		rep.Ticks = cost.PersistSaveFixed + cost.PersistSaveTrace*uint64(rep.Traces)
 	}
+	v.EventLog().Record(tracelog.Event{
+		Kind: tracelog.KindCommit, Tick: v.Clock(), Traces: rep.Traces,
+		Detail: fmt.Sprintf("%s new=%d dropped=%d skipped=%t", rep.File, rep.NewTraces, rep.Dropped, rep.Skipped),
+	})
 	return rep, nil
 }
 
@@ -452,12 +492,16 @@ func (m *Manager) CommitFile(ks KeySet, incoming *CacheFile) (*CommitReport, err
 	}
 	path := m.cachePath(ks)
 	rep.File = filepath.Base(path)
+	m.m.mergeDropped.Add(uint64(rep.Dropped))
 	if rep.Skipped {
+		m.m.commits.With("skipped").Inc()
 		return rep, nil
 	}
 	if err := merged.WriteFile(path); err != nil {
 		return nil, err
 	}
+	m.m.commits.With("written").Inc()
+	m.m.fileBytes.With("written").Add(merged.EncodedBytes)
 	if err := m.updateIndexLocked(ks, merged, rep.File); err != nil {
 		return nil, err
 	}
@@ -651,13 +695,19 @@ type DBStats struct {
 	Classes  []KeyClassCount `json:"classes"`
 }
 
-// Stats aggregates the database index into per-database totals.
+// Stats aggregates the database index into per-database totals, mirroring
+// them into the registry's db gauges.
 func (m *Manager) Stats() (*DBStats, error) {
 	entries, err := m.Entries()
 	if err != nil {
 		return nil, err
 	}
-	return AggregateStats(entries), nil
+	st := AggregateStats(entries)
+	m.m.dbFiles.Set(float64(st.Files))
+	m.m.dbTraces.Set(float64(st.Traces))
+	m.m.dbCodePool.Set(float64(st.CodePool))
+	m.m.dbDataPool.Set(float64(st.DataPool))
+	return st, nil
 }
 
 // AggregateStats folds index entries into per-database totals; the cache

@@ -24,6 +24,20 @@ type Report struct {
 	Title string
 	Body  string   // rendered rows/series
 	Notes []string // paper-vs-measured commentary
+
+	// Metrics holds the experiment's headline numbers keyed by a stable
+	// name. Virtual ticks are deterministic, so keys ending in "_ticks"
+	// are exact across runs and machines — pcc-benchdiff gates CI on them
+	// (lower is better); other keys are informational.
+	Metrics map[string]float64
+}
+
+// AddMetric records one named result value.
+func (r *Report) AddMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the report.

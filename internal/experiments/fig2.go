@@ -61,6 +61,7 @@ func Fig2b() (*Report, error) {
 		return nil, err
 	}
 	tb := stats.NewTable("", "application", "native", "under VM", "slowdown", "VM overhead", "translated+emul")
+	rep := &Report{ID: "fig2b", Title: "GUI startup overhead breakdown"}
 	var fileRollerEmulDominates bool
 	minSlow, maxSlow := 1e9, 0.0
 	for _, app := range suite.Apps {
@@ -78,6 +79,8 @@ func Fig2b() (*Report, error) {
 		rest := float64(st.TranslatedTicks()) / float64(st.Ticks)
 		tb.AddRow(app.Name, stats.Ms(nat.Res.Stats.Ticks), stats.Ms(st.Ticks),
 			stats.Ratio(slow), stats.Pct(trans), stats.Pct(rest))
+		rep.AddMetric(app.Name+"_native_ticks", float64(nat.Res.Stats.Ticks))
+		rep.AddMetric(app.Name+"_vm_ticks", float64(st.Ticks))
 		if app.Name == "file-roller" && st.EmulTicks > st.TransTicks {
 			fileRollerEmulDominates = true
 		}
@@ -88,7 +91,7 @@ func Fig2b() (*Report, error) {
 			maxSlow = slow
 		}
 	}
-	rep := &Report{ID: "fig2b", Title: "GUI startup overhead breakdown", Body: tb.Render()}
+	rep.Body = tb.Render()
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("paper: startup 20x-100x slower under the VM; measured %.0fx-%.0fx", minSlow, maxSlow))
 	if fileRollerEmulDominates {

@@ -132,6 +132,7 @@ func Fig5a() (*Report, error) {
 		return nil, err
 	}
 	tb := stats.NewTable("", "benchmark", "ref improvement", "train improvement")
+	rep := &Report{ID: "fig5a", Title: "Same-input persistence improvement"}
 	var gccRef, trainAvg, refAvg float64
 	for _, b := range suite {
 		bRef, pRef, err := sameInputImprovement(b.Prog, b.Ref[0], loader.Config{})
@@ -145,6 +146,10 @@ func Fig5a() (*Report, error) {
 		ri := stats.Improvement(bRef, pRef)
 		ti := stats.Improvement(bTr, pTr)
 		tb.AddRow(b.Name, stats.Pct(ri), stats.Pct(ti))
+		rep.AddMetric(b.Name+"_ref_cold_ticks", float64(bRef))
+		rep.AddMetric(b.Name+"_ref_warm_ticks", float64(pRef))
+		rep.AddMetric(b.Name+"_train_cold_ticks", float64(bTr))
+		rep.AddMetric(b.Name+"_train_warm_ticks", float64(pTr))
 		refAvg += ri
 		trainAvg += ti
 		if b.Name == "176.gcc" {
@@ -167,6 +172,8 @@ func Fig5a() (*Report, error) {
 		}
 		imp := stats.Improvement(b, p)
 		tb.AddRow(app.Name, stats.Pct(imp), "-")
+		rep.AddMetric(app.Name+"_cold_ticks", float64(b))
+		rep.AddMetric(app.Name+"_warm_ticks", float64(p))
 		guiAvg += imp
 	}
 	guiAvg /= float64(len(gui.Apps))
@@ -187,8 +194,13 @@ func Fig5a() (*Report, error) {
 	}
 	oImp := stats.Improvement(oBase, oPrimed)
 	tb.AddRow("Oracle (all phases)", stats.Pct(oImp), "-")
+	rep.AddMetric("oracle_cold_ticks", float64(oBase))
+	rep.AddMetric("oracle_warm_ticks", float64(oPrimed))
+	rep.AddMetric("ref_improvement_avg", refAvg)
+	rep.AddMetric("train_improvement_avg", trainAvg)
+	rep.AddMetric("gui_improvement_avg", guiAvg)
 
-	rep := &Report{ID: "fig5a", Title: "Same-input persistence improvement", Body: tb.Render()}
+	rep.Body = tb.Render()
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("paper: train gains exceed ref gains (shorter runs amortize less); measured avg train %.0f%% vs ref %.0f%%", 100*trainAvg, 100*refAvg),
 		fmt.Sprintf("paper: gcc >30%% on ref; measured %.0f%%", 100*gccRef),

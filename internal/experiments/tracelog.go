@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"persistcc/internal/loader"
+	tracelog "persistcc/internal/metrics/trace"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+)
+
+// TraceLog exercises the structured event log end to end: a cold gcc run
+// (every trace a translate event) followed by a warm run of the same input
+// (every reusable trace an install event), both recorded into
+// internal/metrics/trace rings. The timeline is the post-hoc view of where
+// the code cache's contents came from; its counts must agree exactly with
+// the VM's own accounting, which makes them deterministic and CI-gateable.
+func TraceLog() (*Report, error) {
+	gcc, err := gccBench()
+	if err != nil {
+		return nil, err
+	}
+	mgr, cleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	in := gcc.Train[0]
+
+	coldLog := tracelog.NewLog(0)
+	cold, err := run(runSpec{
+		Prog: gcc.Prog, In: in, Mgr: mgr, Commit: true,
+		Options: []vm.Option{vm.WithEventLog(coldLog)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmLog := tracelog.NewLog(0)
+	warm, err := run(runSpec{
+		Prog: gcc.Prog, In: in, Cfg: loader.Config{}, Mgr: mgr, Prime: primeSame,
+		Options: []vm.Option{vm.WithEventLog(warmLog)},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	count := func(l *tracelog.Log, kind string) int {
+		n := 0
+		for _, e := range l.Events() {
+			if e.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	coldTranslate := count(coldLog, tracelog.KindTranslate)
+	coldCommit := count(coldLog, tracelog.KindCommit)
+	warmInstall := count(warmLog, tracelog.KindInstall)
+	warmTranslate := count(warmLog, tracelog.KindTranslate)
+	warmPrime := count(warmLog, tracelog.KindPrime)
+
+	tb := stats.NewTable("176.gcc/"+in.Name+", event-log view of cold vs warm",
+		"run", "time", "translate events", "install events", "prime/commit", "events total")
+	tb.AddRow("cold", stats.Ms(cold.Res.Stats.Ticks), fmt.Sprintf("%d", coldTranslate),
+		"0", fmt.Sprintf("%d commit", coldCommit), fmt.Sprintf("%d", coldLog.Len()))
+	tb.AddRow("warm", stats.Ms(warm.Res.Stats.Ticks), fmt.Sprintf("%d", warmTranslate),
+		fmt.Sprintf("%d", warmInstall), fmt.Sprintf("%d prime", warmPrime), fmt.Sprintf("%d", warmLog.Len()))
+
+	rep := &Report{ID: "tracelog", Title: "Structured event-log timeline (cold vs warm)", Body: tb.Render()}
+	rep.AddMetric("cold_ticks", float64(cold.Res.Stats.Ticks))
+	rep.AddMetric("warm_ticks", float64(warm.Res.Stats.Ticks))
+	rep.AddMetric("cold_translate_events", float64(coldTranslate))
+	rep.AddMetric("warm_install_events", float64(warmInstall))
+	rep.AddMetric("warm_translate_events", float64(warmTranslate))
+
+	// The log must agree with the VM's own counters — a drifting event log
+	// would silently lie in every timeline built from it.
+	if uint64(coldTranslate) != cold.Res.Stats.TracesTranslated {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("WARNING: cold translate events %d != traces translated %d",
+			coldTranslate, cold.Res.Stats.TracesTranslated))
+	}
+	if uint64(warmInstall) != warm.Res.Stats.TracesReused {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("WARNING: warm install events %d != traces reused %d",
+			warmInstall, warm.Res.Stats.TracesReused))
+	}
+	if len(rep.Notes) == 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"event log agrees with VM counters: %d translations cold, %d installs + %d translations warm",
+			coldTranslate, warmInstall, warmTranslate))
+	}
+	return rep, nil
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "tracelog", Title: "Structured event-log timeline (cold vs warm)", Run: TraceLog,
+	})
+}

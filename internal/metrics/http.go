@@ -1,0 +1,25 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the registry in the Prometheus text exposition format —
+// mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}
+
+// HealthHandler serves a minimal JSON liveness probe — mount it at
+// /healthz. The detail string (e.g. the served database directory) is
+// echoed back so probes can tell daemons apart.
+func HealthHandler(detail string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"detail\":%q}\n", detail)
+	})
+}

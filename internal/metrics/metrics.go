@@ -1,0 +1,273 @@
+// Package metrics is a dependency-free instrumentation registry for the
+// whole stack: atomic counters, gauges and histograms organized into
+// labeled families, with snapshot/diff support and Prometheus-text and
+// JSON encoders. The VM, the persistence manager and the cache server all
+// record into a Registry; cmd/pcc-cached exposes one over HTTP, cmd/pcc-run
+// dumps one to a file on exit, and the CI bench gate compares snapshots
+// across runs.
+//
+// Counters additionally support Set: several hot paths (the interpreter's
+// per-instruction accounting) keep plain struct fields and publish them
+// into the registry at snapshot points, so the registry is a *view* over
+// those fields rather than a per-instruction atomic tax.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the family type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// kindFromString inverts Kind.String (used by the snapshot decoder).
+func kindFromString(s string) Kind {
+	switch s {
+	case "counter":
+		return KindCounter
+	case "gauge":
+		return KindGauge
+	case "histogram":
+		return KindHistogram
+	}
+	return 0
+}
+
+// Counter is a monotonically increasing uint64. Set exists for the
+// view-sync pattern described in the package comment.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the absolute value (publishing an externally accumulated
+// total into the registry).
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(f float64) { g.bits.Store(math.Float64bits(f)) }
+
+// Add adjusts the value by delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into per-bucket slots (slot i counts
+// observations in (bounds[i-1], bounds[i]]; the final slot is everything
+// above the last bound). The encoders emit Prometheus-style cumulative
+// counts. Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is the default latency bucket layout (seconds), tuned for
+// local wire round trips: 10µs .. 1s.
+var DefBuckets = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1}
+
+// family is the shared machinery behind the typed vecs: a named set of
+// series keyed by label values.
+type family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+	bounds    []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion-independent: sorted at snapshot time
+}
+
+type series struct {
+	labels []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// labelKey joins label values unambiguously (values may not contain \xff
+// in practice; label values here are short identifiers).
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labelKeys), len(values)))
+	}
+	k := labelKey(values)
+	f.mu.RLock()
+	s := f.series[k]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[k]; s != nil {
+		return s
+	}
+	s = &series{labels: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}
+	f.series[k] = s
+	f.order = append(f.order, k)
+	return s
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).c }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the existing family for name (verifying the kind) or
+// creates it.
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labelKeys []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelKeys) != len(labelKeys) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s with %d labels (was %s with %d)",
+				name, kind, len(labelKeys), f.kind, len(f.labelKeys)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		bounds:    append([]float64(nil), bounds...),
+		series:    make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).get(nil).c
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, nil, labelKeys)}
+}
+
+// Gauge registers (or fetches) a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).get(nil).g
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, nil, labelKeys)}
+}
+
+// Histogram registers (or fetches) a label-less histogram. A nil bucket
+// layout uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, KindHistogram, buckets, nil).get(nil).h
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, buckets, labelKeys)}
+}

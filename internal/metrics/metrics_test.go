@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMutation hammers every metric type from many goroutines
+// while snapshots are taken; run under -race this is the registry's
+// thread-safety proof.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ops_total", "ops", "op")
+	gv := r.GaugeVec("depth", "queue depth", "q")
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}, "op")
+
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := []string{"lookup", "publish"}[w%2]
+			for i := 0; i < perWorker; i++ {
+				cv.With(op).Inc()
+				gv.With("main").Add(1)
+				hv.With(op).Observe(float64(i%100) / 1000)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	total := 0.0
+	for _, op := range []string{"lookup", "publish"} {
+		v, ok := snap.Value("ops_total", op)
+		if !ok {
+			t.Fatalf("ops_total{%s} missing", op)
+		}
+		total += v
+	}
+	if total != workers*perWorker {
+		t.Errorf("counter total = %v, want %d", total, workers*perWorker)
+	}
+	if g, _ := snap.Value("depth", "main"); g != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g, workers*perWorker)
+	}
+	if n, _ := snap.Value("lat_seconds", "lookup"); n != workers/2*perWorker {
+		t.Errorf("histogram count = %v, want %d", n, workers/2*perWorker)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("obs", "", []float64{1, 10})
+
+	c.Add(5)
+	g.Set(3)
+	h.Observe(0.5)
+	h.Observe(5)
+	before := r.Snapshot()
+
+	c.Add(7)
+	g.Set(9)
+	h.Observe(100)
+	diff := r.Snapshot().Sub(before)
+
+	if v, _ := diff.Value("n_total"); v != 7 {
+		t.Errorf("counter diff = %v, want 7", v)
+	}
+	if v, _ := diff.Value("level"); v != 9 {
+		t.Errorf("gauge must pass through: got %v, want 9", v)
+	}
+	if n, _ := diff.Value("obs"); n != 1 {
+		t.Errorf("histogram count diff = %v, want 1", n)
+	}
+	var inf *SeriesSnapshot
+	for i := range diff.Families {
+		if diff.Families[i].Name == "obs" {
+			inf = &diff.Families[i].Series[0]
+		}
+	}
+	if inf == nil {
+		t.Fatal("obs family missing from diff")
+	}
+	// Only the +Inf bucket grew (the 100 observation).
+	want := []uint64{0, 0, 1}
+	for i, b := range inf.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d diff = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if inf.Sum != 100 {
+		t.Errorf("sum diff = %v, want 100", inf.Sum)
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition output.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("pcc_requests_total", "requests by op", "op", "status").With("lookup", "ok").Add(3)
+	r.Gauge("pcc_conns", "open connections").Set(2)
+	h := r.Histogram("pcc_lat", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pcc_conns open connections
+# TYPE pcc_conns gauge
+pcc_conns 2
+# HELP pcc_lat latency
+# TYPE pcc_lat histogram
+pcc_lat_bucket{le="0.01"} 1
+pcc_lat_bucket{le="0.1"} 2
+pcc_lat_bucket{le="+Inf"} 3
+pcc_lat_sum 7.055
+pcc_lat_count 3
+# HELP pcc_requests_total requests by op
+# TYPE pcc_requests_total counter
+pcc_requests_total{op="lookup",status="ok"} 3
+`
+	if sb.String() != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestJSONRoundTrip pins the JSON schema and checks Parse inverts it,
+// including the +Inf bucket encoding.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("hits_total", "", "source").With("remote").Add(4)
+	r.Histogram("sz", "", []float64{8}).Observe(42)
+
+	b := r.Snapshot().JSON()
+	if !strings.Contains(string(b), `"schema": "pcc-metrics/1"`) {
+		t.Fatalf("schema field missing:\n%s", b)
+	}
+	if !strings.Contains(string(b), `"le": "+Inf"`) {
+		t.Fatalf("+Inf bucket not encoded as string:\n%s", b)
+	}
+	snap, err := ParseSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("hits_total", "remote"); !ok || v != 4 {
+		t.Errorf("round-tripped hits_total{remote} = %v (%v), want 4", v, ok)
+	}
+	for _, f := range snap.Families {
+		if f.Name == "sz" && !math.IsInf(f.Series[0].Buckets[1].LE, 1) {
+			t.Errorf("round-tripped +Inf bound = %v", f.Series[0].Buckets[1].LE)
+		}
+	}
+	if _, err := ParseSnapshot([]byte(`{"schema":"other/9","families":[]}`)); err == nil {
+		t.Error("foreign schema must be rejected")
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Error("re-registration must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("y_total", "", "op")
+	defer func() {
+		if recover() == nil {
+			t.Error("label arity mismatch must panic")
+		}
+	}()
+	v.With("a", "b")
+}

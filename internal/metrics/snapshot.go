@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotSchema identifies the JSON snapshot encoding; bump on
+// incompatible changes so downstream parsers (CI, pcc-cachectl) can reject
+// files they do not understand.
+const SnapshotSchema = "pcc-metrics/1"
+
+// Snapshot is a consistent, order-stable copy of a registry: families
+// sorted by name, series sorted by label values. It is the unit the
+// encoders, the diff operation and the wire/file transports work on.
+type Snapshot struct {
+	Schema   string           `json:"schema"`
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one family's state.
+type FamilySnapshot struct {
+	Name      string           `json:"name"`
+	Help      string           `json:"help,omitempty"`
+	Kind      string           `json:"kind"`
+	LabelKeys []string         `json:"label_keys,omitempty"`
+	Series    []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one series' state. Value carries the counter or gauge
+// value; histograms use Count/Sum/Buckets instead.
+type SeriesSnapshot struct {
+	Labels  []string `json:"labels,omitempty"`
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket: Count observations ≤ LE.
+// The +Inf bucket is encoded with LE = +Inf (JSON: the string "+Inf" is
+// avoided by omitting it; see MarshalJSON).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON encodes +Inf as the string "+Inf" (JSON numbers cannot
+// represent it).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	s := string(raw.LE)
+	if s == `"+Inf"` {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("metrics: bad bucket bound %s", s)
+	}
+	b.LE = f
+	return nil
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	snap := &Snapshot{Schema: SnapshotSchema}
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name: f.name, Help: f.help, Kind: f.kind.String(),
+			LabelKeys: append([]string(nil), f.labelKeys...),
+		}
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{Labels: append([]string(nil), s.labels...)}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.c.Value())
+			case KindGauge:
+				ss.Value = s.g.Value()
+			case KindHistogram:
+				ss.Count = s.h.Count()
+				ss.Sum = s.h.Sum()
+				cum := uint64(0)
+				for i := range s.h.counts {
+					cum += s.h.counts[i].Load()
+					le := math.Inf(1)
+					if i < len(s.h.bounds) {
+						le = s.h.bounds[i]
+					}
+					ss.Buckets = append(ss.Buckets, Bucket{LE: le, Count: cum})
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Value looks up a single series value by family name and label values:
+// counter/gauge value, or observation count for histograms.
+func (s *Snapshot) Value(name string, labels ...string) (float64, bool) {
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, ss := range f.Series {
+			if labelKey(ss.Labels) != labelKey(labels) {
+				continue
+			}
+			if f.Kind == KindHistogram.String() {
+				return float64(ss.Count), true
+			}
+			return ss.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sub returns s - prev: counters and histograms subtract series present in
+// prev (series or families absent from prev pass through unchanged), while
+// gauges always keep their current value. Use it to isolate the activity
+// between two scrapes.
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	prevFam := make(map[string]*FamilySnapshot, len(prev.Families))
+	for i := range prev.Families {
+		prevFam[prev.Families[i].Name] = &prev.Families[i]
+	}
+	out := &Snapshot{Schema: s.Schema}
+	for _, f := range s.Families {
+		nf := f
+		nf.Series = append([]SeriesSnapshot(nil), f.Series...)
+		pf := prevFam[f.Name]
+		if pf == nil || f.Kind == KindGauge.String() {
+			out.Families = append(out.Families, nf)
+			continue
+		}
+		prevSeries := make(map[string]*SeriesSnapshot, len(pf.Series))
+		for i := range pf.Series {
+			prevSeries[labelKey(pf.Series[i].Labels)] = &pf.Series[i]
+		}
+		for i := range nf.Series {
+			ps := prevSeries[labelKey(nf.Series[i].Labels)]
+			if ps == nil {
+				continue
+			}
+			nf.Series[i].Value -= ps.Value
+			nf.Series[i].Sum -= ps.Sum
+			if nf.Series[i].Count >= ps.Count {
+				nf.Series[i].Count -= ps.Count
+			}
+			for j := range nf.Series[i].Buckets {
+				if j < len(ps.Buckets) && nf.Series[i].Buckets[j].Count >= ps.Buckets[j].Count {
+					nf.Series[i].Buckets[j].Count -= ps.Buckets[j].Count
+				}
+			}
+		}
+		out.Families = append(out.Families, nf)
+	}
+	return out
+}
+
+// JSON renders the snapshot as deterministic, indented JSON.
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // structurally impossible
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// ParseSnapshot decodes a JSON snapshot, verifying the schema field.
+func ParseSnapshot(b []byte) (*Snapshot, error) {
+	s := new(Snapshot)
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("metrics: parse snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("metrics: snapshot schema %q, want %q", s.Schema, SnapshotSchema)
+	}
+	return s, nil
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (v0.0.4).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, ss := range f.Series {
+			base := promLabels(f.LabelKeys, ss.Labels, "", 0)
+			switch f.Kind {
+			case KindHistogram.String():
+				for _, b := range ss.Buckets {
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.Name, promLabels(f.LabelKeys, ss.Labels, "le", b.LE), b.Count)
+				}
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.Name, base, formatFloat(ss.Sum))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.Name, base, ss.Count)
+			default:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.Name, base, formatFloat(ss.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// promLabels renders a {k="v",...} label set, optionally appending an
+// extra bound label (for histogram buckets).
+func promLabels(keys, values []string, extraKey string, extraVal float64) string {
+	var parts []string
+	for i, k := range keys {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		// Go's %q escapes backslash, double-quote and newline exactly as
+		// the Prometheus text format requires.
+		parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+	}
+	if extraKey != "" {
+		le := "+Inf"
+		if !math.IsInf(extraVal, 1) {
+			le = formatFloat(extraVal)
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,130 @@
+// Package trace is a low-overhead structured event log for post-hoc
+// timeline analysis: translate/install/prime/commit/publish events are
+// appended to a fixed-capacity ring buffer (oldest events overwritten) and
+// dumped as NDJSON — one JSON object per line — for offline tooling.
+//
+// All methods are safe on a nil *Log and do nothing, so instrumentation
+// sites never need a guard.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one timeline entry. Tick is the VM's virtual clock where known;
+// WallNanos is real time (UnixNano), stamped at Record when zero.
+type Event struct {
+	Seq       uint64 `json:"seq"`
+	WallNanos int64  `json:"wall_ns"`
+	Tick      uint64 `json:"tick,omitempty"`
+	Kind      string `json:"kind"`
+	PC        uint32 `json:"pc,omitempty"`
+	Insts     int    `json:"insts,omitempty"`
+	Traces    int    `json:"traces,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Event kinds recorded by the stack.
+const (
+	KindTranslate = "translate" // vm: one trace translated
+	KindInstall   = "install"   // vm: one trace installed from a persistent cache
+	KindPrime     = "prime"     // core: one cache-reuse attempt completed
+	KindCommit    = "commit"    // core: traces committed to the local database
+	KindPublish   = "publish"   // cacheserver client: traces published to the daemon
+	KindFetch     = "fetch"     // cacheserver client: cache fetched from the daemon
+)
+
+// Log is the ring buffer. Create with NewLog.
+type Log struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultCapacity holds roughly a full cold GUI-startup translation storm.
+const DefaultCapacity = 1 << 14
+
+// NewLog returns a ring holding up to capacity events (DefaultCapacity
+// when capacity <= 0).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, stamping Seq and (when zero) WallNanos. The
+// oldest event is overwritten when the ring is full.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if e.WallNanos == 0 {
+		e.WallNanos = time.Now().UnixNano()
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % cap(l.buf)
+	l.full = true
+	l.dropped++
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]Event(nil), l.buf...)
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteNDJSON dumps the retained events, one JSON object per line.
+func (l *Log) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWrap(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{Kind: KindTranslate, PC: uint32(i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", l.Dropped())
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if want := uint32(6 + i); e.PC != want {
+			t.Errorf("event %d PC = %d, want %d (oldest evicted, order kept)", i, e.PC, want)
+		}
+		if i > 0 && ev[i].Seq <= ev[i-1].Seq {
+			t.Errorf("seq not monotonic: %d then %d", ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: KindCommit})
+	if l.Len() != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Error("nil log must be inert")
+	}
+}
+
+func TestNDJSON(t *testing.T) {
+	l := NewLog(16)
+	l.Record(Event{Kind: KindTranslate, Tick: 100, PC: 0x1000, Insts: 7})
+	l.Record(Event{Kind: KindCommit, Tick: 900, Traces: 3, Detail: "abc.pcc"})
+	var sb strings.Builder
+	if err := l.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Kind != KindTranslate || lines[0].Insts != 7 || lines[0].WallNanos == 0 {
+		t.Errorf("first line decoded wrong: %+v", lines[0])
+	}
+	if lines[1].Detail != "abc.pcc" || lines[1].Traces != 3 {
+		t.Errorf("second line decoded wrong: %+v", lines[1])
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := NewLog(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Record(Event{Kind: KindInstall})
+				if i%50 == 0 {
+					_ = l.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Len() + int(l.Dropped()); got != 8*500 {
+		t.Errorf("retained+dropped = %d, want %d", got, 8*500)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"persistcc/internal/isa"
+	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/obj"
 )
 
@@ -327,6 +328,9 @@ func (v *VM) translate(pc uint32) (*Trace, error) {
 	if v.recordTimeline {
 		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
 	}
+	v.events.Record(tracelog.Event{
+		Kind: tracelog.KindTranslate, Tick: v.clock, PC: pc, Insts: len(t.Insts),
+	})
 	v.recordCoverage(t)
 
 	if v.cache.WouldOverflow(t) {

@@ -20,6 +20,8 @@ import (
 	"persistcc/internal/isa"
 	"persistcc/internal/loader"
 	"persistcc/internal/mem"
+	"persistcc/internal/metrics"
+	tracelog "persistcc/internal/metrics/trace"
 )
 
 // Version is the VM implementation version. It feeds the persistence "Pin
@@ -66,11 +68,11 @@ type Stats struct {
 	RemoteLookups   uint64 // lookup/fetch round trips attempted
 	RemoteHits      uint64 // traces installed from a remotely served cache
 	RemoteFallbacks uint64 // operations that fell back to the local database
-	Dispatches       uint64
-	IndirectHits     uint64
-	IndirectMisses   uint64
-	LinksPatched     uint64
-	Flushes          int
+	Dispatches      uint64
+	IndirectHits    uint64
+	IndirectMisses  uint64
+	LinksPatched    uint64
+	Flushes         int
 
 	Syscalls map[uint64]uint64
 	Timeline []TransEvent
@@ -134,6 +136,10 @@ type VM struct {
 	execLog      io.Writer
 	execLogLimit uint64
 	execLogged   uint64
+
+	metrics *metrics.Registry
+	m       *vmMetrics
+	events  *tracelog.Log
 }
 
 // Option configures a VM.
@@ -215,6 +221,10 @@ func New(p *loader.Process, opts ...Option) *VM {
 	if v.cache == nil {
 		v.cache = NewCodeCache(DefaultCacheLimit)
 	}
+	if v.metrics == nil {
+		v.metrics = metrics.NewRegistry()
+	}
+	v.m = newVMMetrics(v.metrics)
 	return v
 }
 
@@ -273,6 +283,9 @@ func (v *VM) InstallPersisted(t *Trace) {
 	v.clock += v.cost.PersistInstall
 	v.stats.PersistTicks += v.cost.PersistInstall
 	v.stats.TracesReused++
+	v.events.Record(tracelog.Event{
+		Kind: tracelog.KindInstall, Tick: v.clock, PC: t.Start, Insts: len(t.Insts),
+	})
 }
 
 // ChargePersist adds persistence-machinery ticks (cache file load,
@@ -292,7 +305,10 @@ func (v *VM) RecordRemote(lookups, hits, fallbacks uint64) {
 }
 
 // Stats returns a copy of the run's accounting so far.
-func (v *VM) Stats() Stats { return v.stats }
+func (v *VM) Stats() Stats {
+	v.syncMetrics()
+	return v.stats
+}
 
 // Output returns the bytes the guest wrote to fds 1 and 2 so far.
 func (v *VM) Output() []byte { return v.out.Bytes() }
@@ -300,6 +316,7 @@ func (v *VM) Output() []byte { return v.out.Bytes() }
 func (v *VM) finish() (*Result, error) {
 	v.stats.Ticks = v.clock
 	v.stats.Flushes = v.cache.flushes
+	v.syncMetrics()
 	return &Result{
 		ExitCode: v.exitCode,
 		Output:   append([]byte(nil), v.out.Bytes()...),

@@ -11,11 +11,11 @@ GO ?= go
 BENCH_SMOKE = fig2b,fig5a,tracelog
 MAX_REGRESS = 0.25
 
-.PHONY: check ci build vet test test-race fmt-check bench bench-smoke bench-baseline clean
+.PHONY: check ci build vet test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke clean
 
 check: fmt-check vet build test-race
 
-ci: check bench-smoke
+ci: check bench-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,11 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/pcc-bench -json -run $(BENCH_SMOKE) > bench_current.json
 	$(GO) run ./cmd/pcc-benchdiff -baseline bench_baseline.json -current bench_current.json -max-regress $(MAX_REGRESS)
+
+# Crash-consistency sweep + self-healing check (fails on any invariant
+# violation); deterministic, so also the CI chaos job.
+chaos-smoke:
+	$(GO) run ./cmd/pcc-bench -run chaos
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:

@@ -314,6 +314,99 @@ func TestCLIMetricsAndEvents(t *testing.T) {
 	}
 }
 
+// TestCLIRepair corrupts a database (cache file and index) and checks that
+// `pcc-cachectl repair` quarantines the damage, rebuilds the index, and the
+// database keeps serving warm runs.
+func TestCLIRepair(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	exe := buildTinyExe(t, bin, work)
+	db := filepath.Join(work, "db")
+
+	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
+		t.Fatalf("cold run exit %d, want 35\n%s", code, se)
+	}
+	// A second application so repair has both a victim and a survivor.
+	exe2 := filepath.Join(work, "tiny2.vxe")
+	if err := os.WriteFile(filepath.Join(work, "tiny2.s"), []byte(`
+.text
+.global _start
+_start:
+	movi a0, 1
+	movi a1, 9
+	sys
+	halt
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, bin, "pcc-asm", filepath.Join(work, "tiny2.s"))
+	if _, se, code := runTool(t, bin, "pcc-ld", "-o", exe2, "-name", "tiny2",
+		filepath.Join(work, "tiny2.vxo")); code != 0 {
+		t.Fatalf("pcc-ld failed: %s", se)
+	}
+	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe2); code != 9 {
+		t.Fatalf("second app cold run exit %d, want 9\n%s", code, se)
+	}
+
+	// Corrupt the first app's cache file in place, the index entirely, and
+	// strand a fake crashed writer's temp file. The list output maps cache
+	// file names (content hashes) back to applications.
+	listing, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "list")
+	if code != 0 {
+		t.Fatalf("list failed: %s", se)
+	}
+	var victim string
+	for _, line := range strings.Split(listing, "\n") {
+		if f := strings.Fields(line); len(f) > 1 && f[1] == "tiny" {
+			victim = f[0]
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no cache file listed for application tiny:\n%s", listing)
+	}
+	if err := os.WriteFile(filepath.Join(db, victim), []byte("corruption"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(db, "index.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(db, "dead.pcc.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "repair")
+	if code != 0 {
+		t.Fatalf("repair failed (%d): %s%s", code, out, se)
+	}
+	for _, want := range []string{
+		"scanned: 2 cache files",
+		"quarantined: 1 corrupt cache files + the corrupt index",
+		"rebuilt: 1 index entries",
+		"removed: 1 temp files",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repair output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(db, "quarantine")); err != nil {
+		t.Error("repair left no quarantine directory")
+	}
+	if _, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
+		t.Errorf("verify after repair failed: %s", se)
+	}
+	// The surviving entry still serves; the quarantined one re-translates.
+	_, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, exe2)
+	if code != 9 {
+		t.Fatalf("post-repair run exit %d, want 9\n%s", code, se)
+	}
+	if st := parseStats(t, se); st.Stats.TracesTranslated != 0 {
+		t.Errorf("surviving entry not reused: translated %d", st.Stats.TracesTranslated)
+	}
+	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
+		t.Fatalf("quarantined app rerun exit %d, want 35\n%s", code, se)
+	}
+}
+
 // TestCLIDaemonMetricsHTTP boots a real pcc-cached with an HTTP metrics
 // listener, runs two clients against it, and round-trips /metrics, /healthz
 // and the wire-protocol METRICS op.
@@ -424,7 +517,7 @@ func TestCLIWorkloadAndBenchList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("pcc-bench -list failed: %s", se)
 	}
-	for _, id := range []string{"fig2a", "fig5a", "table3a", "oracle", "warmup", "tracelog"} {
+	for _, id := range []string{"fig2a", "fig5a", "table3a", "oracle", "warmup", "tracelog", "chaos"} {
 		if !strings.Contains(out, id) {
 			t.Errorf("bench list missing %s", id)
 		}

@@ -8,6 +8,7 @@
 //	pcc-cachectl -dir DB stats           # per-database totals and key classes
 //	pcc-cachectl -dir DB verify          # integrity-check every cache file
 //	pcc-cachectl -dir DB prune           # drop entries whose files are gone
+//	pcc-cachectl -dir DB repair          # quarantine corrupt files, rebuild index
 //	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
 //	pcc-cachectl -server ADDR metrics    # the daemon's metrics registry
 //	pcc-cachectl metrics FILE            # render a pcc-run -metrics-out file
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
@@ -34,7 +36,7 @@ func main() {
 	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
 	flag.Parse()
 	if flag.NArg() < 1 || (*dir == "" && *server == "" && flag.Arg(0) != "metrics") {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify|prune}")
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify|prune|repair}")
 		os.Exit(2)
 	}
 	var mgr *core.Manager
@@ -152,6 +154,26 @@ func main() {
 		}
 		fmt.Printf("pruned: %d stale index entries dropped, %d orphan cache files removed\n",
 			rep.DroppedEntries, rep.RemovedFiles)
+	case "repair":
+		// Repair is meant to run when no healthy writer exists (e.g. after a
+		// crash); don't wait out a crash victim's stale lock.
+		rmgr, err := core.NewManager(*dir, core.WithLockTimeout(2*time.Second))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := rmgr.RecoverIndex()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scanned: %d cache files\n", rep.FilesScanned)
+		fmt.Printf("quarantined: %d corrupt cache files", rep.FilesQuarantined)
+		if rep.IndexQuarantined {
+			fmt.Printf(" + the corrupt index")
+		}
+		fmt.Printf(" (moved to %s)\n", filepath.Join(*dir, core.QuarantineDir))
+		fmt.Printf("rebuilt: %d index entries from verified files\n", rep.EntriesRebuilt)
+		fmt.Printf("removed: %d temp files from interrupted writes\n", rep.TmpFilesRemoved)
+		fmt.Printf("reclaimed: %s from the live database\n", stats.Bytes(rep.BytesReclaimed))
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", flag.Arg(0)))
 	}

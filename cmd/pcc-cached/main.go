@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
@@ -40,6 +41,8 @@ func main() {
 	shards := flag.Int("shards", 0, "in-memory index shard count (0 = default)")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations when merging")
 	metricsAddr := flag.String("metrics-addr", "", `HTTP address serving /metrics and /healthz (e.g. "127.0.0.1:9100"; empty disables)`)
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle this long (0 = never)")
+	grace := flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 	verbose := flag.Bool("v", false, "log every publish")
 	flag.Parse()
 	if *dir == "" {
@@ -62,6 +65,9 @@ func main() {
 	sopts := []cacheserver.Option{cacheserver.WithMetrics(reg)}
 	if *shards > 0 {
 		sopts = append(sopts, cacheserver.WithShards(*shards))
+	}
+	if *idle > 0 {
+		sopts = append(sopts, cacheserver.WithIdleTimeout(*idle))
 	}
 	if *verbose {
 		sopts = append(sopts, cacheserver.WithLog(func(format string, args ...any) {
@@ -102,8 +108,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "pcc-cached: shutting down")
-		srv.Close()
+		// First signal: drain — finish in-flight publishes, refuse new work.
+		fmt.Fprintf(os.Stderr, "pcc-cached: draining (grace %s; signal again to force)\n", *grace)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "pcc-cached: forced shutdown")
+			srv.Close()
+		}()
+		srv.Shutdown(*grace)
 	}()
 	if err := srv.Serve(ln); err != nil && err != cacheserver.ErrServerClosed {
 		fatal(err)

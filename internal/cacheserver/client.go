@@ -15,6 +15,12 @@ import (
 	"persistcc/internal/vm"
 )
 
+// ErrBreakerOpen is returned without touching the network while the
+// client's circuit breaker is open: the daemon failed several consecutive
+// requests, so further attempts fast-fail (Fallback degrades them to the
+// local database) until a background probe finds the daemon again.
+var ErrBreakerOpen = errors.New("cacheserver: circuit breaker open, daemon unreachable")
+
 // Client talks the cache-server protocol over one connection, redialing
 // transparently. Safe for concurrent use; requests are serialized on the
 // connection.
@@ -23,12 +29,21 @@ type Client struct {
 	dialTimeout time.Duration
 	retries     int           // additional attempts after the first
 	backoff     time.Duration // doubled per retry
+	ioTimeout   time.Duration // per-request connection deadline; 0 = none
+	maxFrame    int
+
+	breakAfter    int           // consecutive failed requests before opening
+	probeInterval time.Duration // cadence of background re-probes while open
 
 	metrics *metrics.Registry
 	m       *clientMetrics
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu          sync.Mutex
+	conn        net.Conn
+	consecFails int
+	breakerOpen bool
+	probeStop   chan struct{} // non-nil while a prober goroutine runs
+	closed      bool
 }
 
 // ClientOption configures a Client.
@@ -45,14 +60,43 @@ func WithRetry(retries int, backoff time.Duration) ClientOption {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
 }
 
+// WithIOTimeout bounds each request round trip on the wire; a wedged daemon
+// surfaces as a transport error (feeding the breaker) instead of hanging
+// the run. Zero means no deadline.
+func WithIOTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.ioTimeout = d }
+}
+
+// WithClientMaxFrame overrides the per-frame size bound (default MaxFrame)
+// the client will send or accept.
+func WithClientMaxFrame(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxFrame = n
+		}
+	}
+}
+
+// WithBreaker tunes the circuit breaker: after
+// `after` consecutive failed requests (each already retried per WithRetry)
+// the breaker opens and requests fast-fail with ErrBreakerOpen while a
+// background prober redials every `probe` until the daemon answers.
+// `after` ≤ 0 disables the breaker.
+func WithBreaker(after int, probe time.Duration) ClientOption {
+	return func(c *Client) { c.breakAfter, c.probeInterval = after, probe }
+}
+
 // NewClient prepares a client for addr ("unix:/path" or TCP "host:port").
 // The connection is dialed lazily on the first request.
 func NewClient(addr string, opts ...ClientOption) *Client {
 	c := &Client{
-		addr:        addr,
-		dialTimeout: 2 * time.Second,
-		retries:     2,
-		backoff:     10 * time.Millisecond,
+		addr:          addr,
+		dialTimeout:   2 * time.Second,
+		retries:       2,
+		backoff:       10 * time.Millisecond,
+		maxFrame:      MaxFrame,
+		breakAfter:    3,
+		probeInterval: 250 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(c)
@@ -64,10 +108,16 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	return c
 }
 
-// Close drops the connection; a later request redials.
+// Close drops the connection and stops any background probe; a later
+// request redials.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	if c.probeStop != nil {
+		close(c.probeStop)
+		c.probeStop = nil
+	}
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
@@ -80,16 +130,22 @@ func (c *Client) dialLocked() error {
 	if c.conn != nil {
 		return nil
 	}
-	network, address := "tcp", c.addr
-	if path, ok := strings.CutPrefix(c.addr, "unix:"); ok {
-		network, address = "unix", path
-	}
-	conn, err := net.DialTimeout(network, address, c.dialTimeout)
+	conn, err := c.dialRaw()
 	if err != nil {
 		return err
 	}
 	c.conn = conn
 	return nil
+}
+
+// dialRaw opens one connection to the daemon; used by requests (under mu)
+// and by the breaker's prober (outside mu).
+func (c *Client) dialRaw() (net.Conn, error) {
+	network, address := "tcp", c.addr
+	if path, ok := strings.CutPrefix(c.addr, "unix:"); ok {
+		network, address = "unix", path
+	}
+	return net.DialTimeout(network, address, c.dialTimeout)
 }
 
 // remoteError is a failure the server reported; retrying the same request
@@ -99,10 +155,18 @@ type remoteError struct{ msg string }
 func (e *remoteError) Error() string { return "cacheserver: server: " + e.msg }
 
 // do performs one request with bounded retry+backoff on transport errors.
+// Consecutive fully-failed requests trip the circuit breaker: while it is
+// open, requests return ErrBreakerOpen immediately (no dial, no retries, no
+// backoff sleep) and a background prober redials until the daemon answers.
 func (c *Client) do(op uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = false // the client is in use again
 	c.m.requests.With(opName(op)).Inc()
+	if c.breakerOpen {
+		c.m.breakerFast.Inc()
+		return nil, ErrBreakerOpen
+	}
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -122,9 +186,15 @@ func (c *Client) do(op uint8, payload []byte) ([]byte, error) {
 			// unknown, so sever and redial before retrying.
 			c.conn.Close()
 			c.conn = nil
+			if errors.Is(err, errFrameTooLarge) {
+				// Our own payload exceeds the frame bound; retrying or
+				// blaming the daemon would both be wrong.
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
+		c.consecFails = 0
 		switch status {
 		case StatusOK:
 			return resp, nil
@@ -137,14 +207,64 @@ func (c *Client) do(op uint8, payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("cacheserver: unknown status %d", status)
 		}
 	}
+	c.consecFails++
+	if c.breakAfter > 0 && c.consecFails >= c.breakAfter && !c.breakerOpen {
+		c.breakerOpen = true
+		c.m.breakerOpens.Inc()
+		c.m.breakerState.Set(1)
+		stop := make(chan struct{})
+		c.probeStop = stop
+		go c.probe(stop)
+	}
 	return nil, fmt.Errorf("cacheserver: %s unreachable: %w", c.addr, lastErr)
 }
 
+// probe redials the daemon in the background until it answers, then closes
+// the breaker. Runs while the breaker is open; stops on Close.
+func (c *Client) probe(stop chan struct{}) {
+	t := time.NewTicker(c.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		conn, err := c.dialRaw()
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed || c.probeStop != stop {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		// Hand the probed connection to the client so the next request
+		// reuses it instead of dialing again.
+		if c.conn == nil {
+			c.conn = conn
+		} else {
+			conn.Close()
+		}
+		c.breakerOpen = false
+		c.consecFails = 0
+		c.probeStop = nil
+		c.m.breakerState.Set(0)
+		c.mu.Unlock()
+		return
+	}
+}
+
 func (c *Client) roundTripLocked(op uint8, payload []byte) (uint8, []byte, error) {
-	if err := writeFrame(c.conn, op, payload); err != nil {
+	if c.ioTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.conn, op, payload, c.maxFrame); err != nil {
 		return 0, nil, err
 	}
-	return readFrame(c.conn)
+	return readFrame(c.conn, c.maxFrame)
 }
 
 // Lookup asks whether the server holds a cache for the key set, without

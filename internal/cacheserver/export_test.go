@@ -1,7 +1,30 @@
 package cacheserver
 
-// Frame-layer hooks for the black-box protocol tests' fake servers.
-var (
-	ReadFrameForTest  = readFrame
-	WriteFrameForTest = writeFrame
+import (
+	"io"
+	"time"
 )
+
+// Frame-layer hooks for the black-box protocol tests' fake servers.
+func ReadFrameForTest(r io.Reader) (uint8, []byte, error) {
+	return readFrame(r, MaxFrame)
+}
+
+func WriteFrameForTest(w io.Writer, tag uint8, payload []byte) error {
+	return writeFrame(w, tag, payload, MaxFrame)
+}
+
+// WithDispatchDelay stalls every dispatch, letting the drain tests hold a
+// request in flight deterministically.
+func WithDispatchDelay(d time.Duration) Option {
+	return func(s *Server) {
+		s.dispatchHook = func() { time.Sleep(d) }
+	}
+}
+
+// BreakerOpenForTest reports the client's breaker state.
+func (c *Client) BreakerOpenForTest() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breakerOpen
+}

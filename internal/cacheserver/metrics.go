@@ -12,6 +12,8 @@ type serverMetrics struct {
 	connections *metrics.Counter
 	activeConns *metrics.Gauge
 	frameBytes  *metrics.CounterVec // dir=in|out
+	connDrops   *metrics.CounterVec // reason=oversized|timeout
+	draining    *metrics.Gauge
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -22,23 +24,31 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		connections: r.Counter("pcc_server_connections_total", "client connections accepted"),
 		activeConns: r.Gauge("pcc_server_active_connections", "client connections currently open"),
 		frameBytes:  r.CounterVec("pcc_server_frame_bytes_total", "protocol payload bytes moved", "dir"),
+		connDrops:   r.CounterVec("pcc_server_conn_drops_total", "connections severed defensively", "reason"),
+		draining:    r.Gauge("pcc_server_draining", "1 while a graceful shutdown drains in-flight requests"),
 	}
 }
 
 // clientMetrics holds the client-side registry families.
 type clientMetrics struct {
-	requests   *metrics.CounterVec // op
-	retries    *metrics.Counter
-	dialErrors *metrics.Counter
-	fallbacks  *metrics.CounterVec // op=prime|commit
+	requests     *metrics.CounterVec // op
+	retries      *metrics.Counter
+	dialErrors   *metrics.Counter
+	fallbacks    *metrics.CounterVec // op=prime|commit
+	breakerOpens *metrics.Counter
+	breakerFast  *metrics.Counter
+	breakerState *metrics.Gauge // 1 open, 0 closed
 }
 
 func newClientMetrics(r *metrics.Registry) *clientMetrics {
 	return &clientMetrics{
-		requests:   r.CounterVec("pcc_client_requests_total", "requests sent to the cache server", "op"),
-		retries:    r.Counter("pcc_client_retries_total", "request attempts beyond the first"),
-		dialErrors: r.Counter("pcc_client_dial_errors_total", "failed connection attempts"),
-		fallbacks:  r.CounterVec("pcc_client_fallbacks_total", "operations degraded to the local database", "op"),
+		requests:     r.CounterVec("pcc_client_requests_total", "requests sent to the cache server", "op"),
+		retries:      r.Counter("pcc_client_retries_total", "request attempts beyond the first"),
+		dialErrors:   r.Counter("pcc_client_dial_errors_total", "failed connection attempts"),
+		fallbacks:    r.CounterVec("pcc_client_fallbacks_total", "operations degraded to the local database", "op"),
+		breakerOpens: r.Counter("pcc_client_breaker_opens_total", "circuit-breaker trips after consecutive transport failures"),
+		breakerFast:  r.Counter("pcc_client_breaker_fastfails_total", "requests short-circuited while the breaker was open"),
+		breakerState: r.Gauge("pcc_client_breaker_open", "1 while the circuit breaker is open"),
 	}
 }
 

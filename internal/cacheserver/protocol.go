@@ -19,6 +19,7 @@
 package cacheserver
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -43,16 +44,24 @@ const (
 	StatusError    = 2 // payload is a length-prefixed error string
 )
 
-// MaxFrame bounds one frame (a serialized cache database entry fits well
-// within this; anything larger is a corrupt or hostile length field).
+// MaxFrame is the default bound on one frame (a serialized cache database
+// entry fits well within this; anything larger is a corrupt or hostile
+// length field). Both ends enforce it — the server with WithMaxFrame, the
+// client with WithClientMaxFrame — so a bad peer can never make either side
+// allocate an absurd buffer.
 const MaxFrame = 256 << 20
 
 const maxErrLen = 4096
 
+// errFrameTooLarge marks a declared frame length beyond the enforced bound;
+// the connection carrying it is unrecoverable (the stream position would be
+// lost skipping the body), so the handler severs it after reporting.
+var errFrameTooLarge = errors.New("cacheserver: frame exceeds size limit")
+
 // writeFrame sends one [length][tag][payload] frame.
-func writeFrame(w io.Writer, tag uint8, payload []byte) error {
-	if len(payload)+1 > MaxFrame {
-		return fmt.Errorf("cacheserver: frame of %d bytes exceeds limit", len(payload)+1)
+func writeFrame(w io.Writer, tag uint8, payload []byte, max int) error {
+	if len(payload)+1 > max {
+		return fmt.Errorf("%w: %d bytes", errFrameTooLarge, len(payload)+1)
 	}
 	hdr := &binenc.Writer{}
 	hdr.U32(uint32(len(payload) + 1))
@@ -64,15 +73,19 @@ func writeFrame(w io.Writer, tag uint8, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, returning its tag byte and payload.
-func readFrame(r io.Reader) (uint8, []byte, error) {
+// readFrame reads one frame, returning its tag byte and payload. The length
+// field is validated against max before any payload allocation.
+func readFrame(r io.Reader, max int) (uint8, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
-	if n < 1 || n > MaxFrame {
+	if n < 1 {
 		return 0, nil, fmt.Errorf("cacheserver: bad frame length %d", n)
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, fmt.Errorf("%w: declared %d bytes", errFrameTooLarge, n)
 	}
 	payload := make([]byte, n-1)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"io/fs"
 	"net"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -63,17 +62,21 @@ type shard struct {
 
 // Server serves one persistent cache database to many client processes.
 type Server struct {
-	mgr     *core.Manager
-	shards  []*shard
-	logf    func(format string, args ...any)
-	metrics *metrics.Registry
-	m       *serverMetrics
+	mgr          *core.Manager
+	shards       []*shard
+	logf         func(format string, args ...any)
+	metrics      *metrics.Registry
+	m            *serverMetrics
+	maxFrame     int
+	idleTimeout  time.Duration // per-connection read/write deadline; 0 = none
+	dispatchHook func()        // test seam: runs inside each dispatch
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 }
 
 // Option configures a Server.
@@ -93,14 +96,34 @@ func WithLog(f func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = f }
 }
 
+// WithMaxFrame overrides the per-frame size bound (default MaxFrame): a
+// daemon on a constrained host can refuse outsized publishes before
+// allocating for them.
+func WithMaxFrame(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxFrame = n
+		}
+	}
+}
+
+// WithIdleTimeout bounds how long one connection may sit between requests
+// (and how long a response write may take): a silent or wedged peer is
+// disconnected instead of pinning a handler goroutine forever. Zero keeps
+// connections open indefinitely.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
 // New builds a server over an opened database, loading its index into the
 // sharded in-memory form.
 func New(mgr *core.Manager, opts ...Option) (*Server, error) {
 	s := &Server{
-		mgr:    mgr,
-		shards: make([]*shard, defaultShards),
-		conns:  make(map[net.Conn]struct{}),
-		logf:   func(string, ...any) {},
+		mgr:      mgr,
+		shards:   make([]*shard, defaultShards),
+		conns:    make(map[net.Conn]struct{}),
+		logf:     func(string, ...any) {},
+		maxFrame: MaxFrame,
 	}
 	for _, o := range opts {
 		o(s)
@@ -227,6 +250,46 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server gracefully: the listener closes immediately
+// (no new connections), requests already dispatched run to completion and
+// get their responses, and idle connections are released by expiring their
+// read deadline. Connections still busy after grace are severed. Always
+// returns with every handler finished.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	ln := s.ln
+	// Wake handlers blocked reading the next request; handlers mid-dispatch
+	// are not reading, so their in-flight work and response are unaffected.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.m.draining.Set(1)
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return nil
+}
+
 func (s *Server) handleConn(c net.Conn) {
 	s.m.connections.Inc()
 	s.m.activeConns.Add(1)
@@ -239,17 +302,67 @@ func (s *Server) handleConn(c net.Conn) {
 		s.wg.Done()
 	}()
 	for {
-		op, payload, err := readFrame(c)
-		if err != nil {
-			return // EOF, severed connection, or garbage framing
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
 		}
+		if s.idleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		op, payload, err := readFrame(c, s.maxFrame)
+		if err != nil {
+			switch {
+			case errors.Is(err, errFrameTooLarge):
+				// Report before severing; the stream position is lost, so
+				// the connection cannot continue either way.
+				s.m.connDrops.With("oversized").Inc()
+				s.writeError(c, err)
+			case isTimeout(err):
+				s.m.connDrops.With("timeout").Inc()
+			}
+			return // EOF, severed connection, timeout, or garbage framing
+		}
+		// A request is in flight: it finishes regardless of how long it
+		// takes; the idle deadline must not fire mid-dispatch.
+		c.SetReadDeadline(time.Time{})
 		s.m.frameBytes.With("in").Add(uint64(len(payload)))
+		if s.dispatchHook != nil {
+			s.dispatchHook()
+		}
 		status, resp := s.dispatch(op, payload)
 		s.m.frameBytes.With("out").Add(uint64(len(resp)))
-		if err := writeFrame(c, status, resp); err != nil {
+		if s.idleTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.idleTimeout))
+		}
+		if err := writeFrame(c, status, resp, s.maxFrame); err != nil {
+			if isTimeout(err) {
+				s.m.connDrops.With("timeout").Inc()
+			}
 			return
 		}
 	}
+}
+
+// writeError best-effort sends a StatusError frame for err.
+func (s *Server) writeError(c net.Conn, err error) {
+	msg := err.Error()
+	if len(msg) > maxErrLen {
+		msg = msg[:maxErrLen]
+	}
+	w := &binenc.Writer{}
+	w.Str(msg)
+	if s.idleTimeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(s.idleTimeout))
+	}
+	writeFrame(c, StatusError, w.Buf, s.maxFrame)
+}
+
+// isTimeout reports whether err is a connection deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // dispatch executes one request, converting handler errors into StatusError
@@ -358,7 +471,7 @@ func (s *Server) fileBytes(e *entry, file string) ([]byte, error) {
 	if e.data != nil {
 		return e.data, nil
 	}
-	b, err := os.ReadFile(filepath.Join(s.mgr.Dir(), file))
+	b, err := s.mgr.FS().ReadFile(filepath.Join(s.mgr.Dir(), file))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, core.ErrNoCache
 	}
@@ -414,8 +527,10 @@ func (s *Server) merge(e *entry, ks core.KeySet, file string, incoming *core.Cac
 	defer e.mergeMu.Unlock()
 
 	path := filepath.Join(s.mgr.Dir(), file)
-	prior, err := core.ReadCacheFile(path)
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+	// A corrupt prior is quarantined by the manager and merged as absent:
+	// a bad file on disk must not wedge every future publish of its key set.
+	prior, err := s.mgr.ReadPrior(file)
+	if err != nil {
 		return nil, err
 	}
 	merged, rep, err := core.MergeCacheFiles(incoming, prior, s.mgr.Relocatable())
@@ -426,7 +541,7 @@ func (s *Server) merge(e *entry, ks core.KeySet, file string, incoming *core.Cac
 	if rep.Skipped {
 		return rep, nil
 	}
-	if err := merged.WriteFile(path); err != nil {
+	if err := merged.WriteFileFS(s.mgr.FS(), path); err != nil {
 		return nil, err
 	}
 	if err := s.mgr.UpdateIndex(ks, merged, file); err != nil {

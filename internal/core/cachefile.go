@@ -3,9 +3,9 @@ package core
 import (
 	"crypto/sha256"
 	"fmt"
-	"os"
 
 	"persistcc/internal/binenc"
+	"persistcc/internal/fsx"
 	"persistcc/internal/isa"
 	"persistcc/internal/mem"
 	"persistcc/internal/obj"
@@ -260,20 +260,31 @@ func (cf *CacheFile) UnmarshalBinary(b []byte) error {
 
 // WriteFile writes the cache atomically (temp file + rename).
 func (cf *CacheFile) WriteFile(path string) error {
+	return cf.WriteFileFS(fsx.OS, path)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem, the seam the chaos
+// harness injects faults through: durable temp-file write, then rename.
+func (cf *CacheFile) WriteFileFS(fsys fsx.FS, path string) error {
 	b, err := cf.MarshalBinary()
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, b, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
 // ReadCacheFile reads and verifies a cache file.
 func ReadCacheFile(path string) (*CacheFile, error) {
-	b, err := os.ReadFile(path)
+	return ReadCacheFileFS(fsx.OS, path)
+}
+
+// ReadCacheFileFS is ReadCacheFile over an explicit filesystem.
+func ReadCacheFileFS(fsys fsx.FS, path string) (*CacheFile, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"persistcc/internal/core"
+	"persistcc/internal/fsx"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
 	"persistcc/internal/vm"
@@ -52,25 +53,120 @@ func TestCommitToUnwritableDir(t *testing.T) {
 	}
 }
 
-func TestCorruptIndexIsReported(t *testing.T) {
+// TestCorruptIndexSelfHeals: a corrupt index is quarantined and rebuilt
+// from the surviving verifiable cache files — no entry backed by a good
+// file is lost, and both reads and commits keep working.
+func TestCorruptIndexSelfHeals(t *testing.T) {
 	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	mgr := newMgr(t)
 	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
 	if err := os.WriteFile(filepath.Join(mgr.Dir(), "index.json"), []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.Entries(); err == nil {
-		t.Error("corrupt index read succeeded")
+	entries, err := mgr.Entries()
+	if err != nil {
+		t.Fatalf("corrupt index did not self-heal: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("rebuilt index has %d entries, want 1", len(entries))
+	}
+	// The corrupt index was preserved as evidence, and the metric recorded.
+	if _, err := os.Stat(filepath.Join(mgr.Dir(), core.QuarantineDir, "index.json")); err != nil {
+		t.Errorf("corrupt index not quarantined: %v", err)
+	}
+	if v, ok := mgr.Metrics().Snapshot().Value("pcc_core_quarantine_total", "index"); !ok || v < 1 {
+		t.Errorf("pcc_core_quarantine_total{index} = %v (ok=%t), want >= 1", v, ok)
 	}
 	// Exact-key lookup bypasses the index and must still work.
 	v := preparedVM(t, w)
 	if _, err := mgr.Prime(vmFresh(t, w)); err != nil {
 		t.Errorf("exact lookup should survive a corrupt index: %v", err)
 	}
-	// Commit rewrites the index... but reading it first must fail loudly,
-	// not silently clobber other entries.
-	if _, err := mgr.Commit(v); err == nil {
-		t.Error("commit over corrupt index succeeded silently")
+	// A commit over the healed index keeps every rebuilt entry.
+	if _, err := mgr.Commit(v); err != nil {
+		t.Errorf("commit after self-heal: %v", err)
+	}
+	after, err := mgr.Entries()
+	if err != nil || len(after) != 1 {
+		t.Errorf("entries after heal+commit: %v, %v", after, err)
+	}
+}
+
+// TestCorruptCacheFileQuarantined: a corrupt cache file degrades the lookup
+// to a miss (the run re-translates), moves the file into quarantine/, and
+// bumps the quarantine metric — the acceptance shape for self-healing.
+func TestCorruptCacheFileQuarantined(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	entries, err := mgr.Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v %v", entries, err)
+	}
+	path := filepath.Join(mgr.Dir(), entries[0].File)
+	if err := os.WriteFile(path, []byte("garbage, definitely not a cache"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The run completes cold instead of failing.
+	res := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true, commit: true})
+	if res.Stats.TracesTranslated == 0 {
+		t.Error("run against corrupt cache neither failed nor re-translated")
+	}
+	if _, err := os.Stat(filepath.Join(mgr.Dir(), core.QuarantineDir, entries[0].File)); err != nil {
+		t.Errorf("corrupt cache file not quarantined: %v", err)
+	}
+	if v, ok := mgr.Metrics().Snapshot().Value("pcc_core_quarantine_total", "cachefile"); !ok || v < 1 {
+		t.Errorf("pcc_core_quarantine_total{cachefile} = %v (ok=%t), want >= 1", v, ok)
+	}
+	// The re-commit healed the database: warm again, end to end.
+	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	if warm.Stats.TracesTranslated != 0 {
+		t.Errorf("post-quarantine warm run translated %d traces", warm.Stats.TracesTranslated)
+	}
+}
+
+// TestRecoverIndexRebuild: RecoverIndex quarantines what does not verify,
+// clears temp debris, and rebuilds exactly the verifiable entries.
+func TestRecoverIndexRebuild(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	entries, err := mgr.Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v %v", entries, err)
+	}
+	// Wreckage: a corrupt orphan cache file, a crashed writer's tmp, and a
+	// corrupt index.
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), "deadbeef.pcc"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), "crashed.pcc.tmp"), []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mgr.Dir(), "index.json"), []byte("][,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.RecoverIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IndexQuarantined || rep.FilesScanned != 2 || rep.FilesQuarantined != 1 ||
+		rep.EntriesRebuilt != 1 || rep.TmpFilesRemoved != 1 || rep.BytesReclaimed == 0 {
+		t.Errorf("recover report %+v", rep)
+	}
+	after, err := mgr.Entries()
+	if err != nil || len(after) != 1 || after[0].File != entries[0].File {
+		t.Errorf("rebuilt entries %v, %v; want just %s", after, err, entries[0].File)
+	}
+	// Warm hits still served from the rebuilt index.
+	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	if warm.Stats.TracesTranslated != 0 {
+		t.Errorf("post-recovery warm run translated %d traces", warm.Stats.TracesTranslated)
+	}
+	// Recovery on the now-healthy database is a verify-only no-op.
+	rep2, err := mgr.RecoverIndex()
+	if err != nil || rep2.FilesQuarantined != 0 || rep2.EntriesRebuilt != 1 || rep2.IndexQuarantined {
+		t.Errorf("second recovery not clean: %+v %v", rep2, err)
 	}
 }
 
@@ -247,6 +343,105 @@ func TestPrune(t *testing.T) {
 	rep2, err := mgr.Prune()
 	if err != nil || rep2.DroppedEntries != 0 || rep2.RemovedFiles != 0 {
 		t.Errorf("second prune not a no-op: %+v %v", rep2, err)
+	}
+}
+
+// mgrWithFS opens a manager over an injection filesystem in a fresh dir.
+func mgrWithFS(t *testing.T, inj *fsx.InjectFS) *core.Manager {
+	t.Helper()
+	mgr, err := core.NewManager(t.TempDir(), core.WithFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// TestPartialWriteCacheFile: an ENOSPC-shaped short write on the cache
+// file's temp leaves the database exactly as it was — the prior cache file
+// and the index both stay readable and warm-serving.
+func TestPartialWriteCacheFile(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	inj := fsx.NewInject(fsx.OS)
+	mgr := mgrWithFS(t, inj)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	before, err := mgr.Entries()
+	if err != nil || len(before) != 1 {
+		t.Fatalf("entries: %v %v", before, err)
+	}
+
+	// Second run discovers the cold function too; its commit's cache-file
+	// write runs out of space halfway.
+	enospc := errors.New("no space left on device")
+	inj.TruncateAt(fsx.OpWrite, ".pcc.tmp", 1, 0.5, enospc)
+	v := preparedVM(t, w)
+	if _, err := mgr.Commit(v); !errors.Is(err, enospc) {
+		t.Fatalf("commit over full disk: want ENOSPC, got %v", err)
+	}
+
+	// Old index readable, old file verifiable, warm path intact.
+	after, err := mgr.Entries()
+	if err != nil || len(after) != 1 {
+		t.Fatalf("index unreadable after short write: %v %v", after, err)
+	}
+	if _, err := core.ReadCacheFile(filepath.Join(mgr.Dir(), after[0].File)); err != nil {
+		t.Errorf("prior cache file no longer verifies: %v", err)
+	}
+	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	if warm.Stats.TracesTranslated != 0 {
+		t.Errorf("warm run after failed commit translated %d traces", warm.Stats.TracesTranslated)
+	}
+	// The torn temp is debris recovery reclaims.
+	rep, err := mgr.RecoverIndex()
+	if err != nil || rep.TmpFilesRemoved != 1 {
+		t.Errorf("recovery did not reclaim the torn temp: %+v %v", rep, err)
+	}
+}
+
+// TestPartialWriteIndexTmp: a short write on index.json.tmp must never
+// touch the live index — the rename that would publish it never runs.
+func TestPartialWriteIndexTmp(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	inj := fsx.NewInject(fsx.OS)
+	mgr := mgrWithFS(t, inj)
+	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+
+	inj.TruncateAt(fsx.OpWrite, "index.json.tmp", 1, 0.5, nil)
+	v := preparedVM(t, w)
+	if _, err := mgr.Commit(v); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("commit with torn index write: want ErrInjected, got %v", err)
+	}
+	// The live index is the old, complete one.
+	entries, err := mgr.Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("index damaged by torn tmp write: %v %v", entries, err)
+	}
+	// The entry still points at a verifiable file (the cache file itself
+	// was renamed before the index update — newer file, older count, both
+	// valid), and the warm path still serves.
+	if _, err := core.ReadCacheFile(filepath.Join(mgr.Dir(), entries[0].File)); err != nil {
+		t.Errorf("index entry points at unverifiable file: %v", err)
+	}
+	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	if warm.Stats.TracesTranslated != 0 {
+		t.Errorf("warm run after torn index write translated %d traces", warm.Stats.TracesTranslated)
+	}
+}
+
+// TestHardWriteErrorSurfaces: a flat write failure (no torn file) surfaces
+// to the committer and leaves no trace of the attempt.
+func TestHardWriteErrorSurfaces(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	inj := fsx.NewInject(fsx.OS)
+	mgr := mgrWithFS(t, inj)
+	eio := errors.New("input/output error")
+	inj.FailAt(fsx.OpWrite, ".pcc.tmp", 1, eio)
+	v := preparedVM(t, w)
+	if _, err := mgr.Commit(v); !errors.Is(err, eio) {
+		t.Fatalf("want surfaced EIO, got %v", err)
+	}
+	entries, err := mgr.Entries()
+	if err != nil || len(entries) != 0 {
+		t.Errorf("failed first commit left index entries: %v %v", entries, err)
 	}
 }
 

@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"persistcc/internal/fsx"
 	"persistcc/internal/isa"
 	"persistcc/internal/mem"
 	"persistcc/internal/metrics"
@@ -26,6 +26,8 @@ import (
 type Manager struct {
 	dir         string
 	relocatable bool
+	fs          fsx.FS
+	lockWait    time.Duration
 	mu          sync.Mutex
 
 	metrics *metrics.Registry
@@ -43,14 +45,37 @@ func WithRelocatable() ManagerOption {
 	return func(m *Manager) { m.relocatable = true }
 }
 
+// WithFS runs the manager over an explicit filesystem — the seam the
+// fault-injection layer (internal/fsx) plugs into. Defaults to fsx.OS.
+func WithFS(fsys fsx.FS) ManagerOption {
+	return func(m *Manager) {
+		if fsys != nil {
+			m.fs = fsys
+		}
+	}
+}
+
+// WithLockTimeout bounds how long this manager waits for the database lock
+// before treating the holder as crashed and stealing it. Recovery tooling
+// that runs when no healthy writer can exist (pcc-cachectl repair, the
+// chaos harness) shortens this so a crash victim's stale lock does not
+// stall the repair.
+func WithLockTimeout(d time.Duration) ManagerOption {
+	return func(m *Manager) {
+		if d > 0 {
+			m.lockWait = d
+		}
+	}
+}
+
 // NewManager opens (creating if needed) a cache database at dir.
 func NewManager(dir string, opts ...ManagerOption) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	m := &Manager{dir: dir}
+	m := &Manager{dir: dir, fs: fsx.OS, lockWait: lockTimeout}
 	for _, o := range opts {
 		o(m)
+	}
+	if err := m.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if m.metrics == nil {
 		m.metrics = metrics.NewRegistry()
@@ -61,6 +86,9 @@ func NewManager(dir string, opts ...ManagerOption) (*Manager, error) {
 
 // Dir returns the database directory.
 func (m *Manager) Dir() string { return m.dir }
+
+// FS returns the filesystem the database runs over.
+func (m *Manager) FS() fsx.FS { return m.fs }
 
 // Relocatable reports whether the relocatable-translation extension is on.
 func (m *Manager) Relocatable() bool { return m.relocatable }
@@ -105,9 +133,12 @@ func (m *Manager) cachePath(ks KeySet) string {
 	return filepath.Join(m.dir, ks.CacheFileName())
 }
 
-// Lookup loads the cache for the exact key set, if present and valid.
+// Lookup loads the cache for the exact key set, if present and valid. A
+// file that fails verification is quarantined and reported as a miss: the
+// run re-translates instead of failing — corrupt state degrades to cold-run
+// behaviour, never to a broken run.
 func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
-	cf, err := ReadCacheFile(m.cachePath(ks))
+	cf, err := m.readVerified(m.cachePath(ks))
 	switch {
 	case err == nil:
 		m.m.lookups.With("exact", "hit").Inc()
@@ -115,6 +146,9 @@ func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
 		return cf, nil
 	case errors.Is(err, fs.ErrNotExist):
 		m.m.lookups.With("exact", "miss").Inc()
+		return nil, ErrNoCache
+	case errors.Is(err, errQuarantined):
+		m.m.lookups.With("exact", "quarantined").Inc()
 		return nil, ErrNoCache
 	default:
 		m.m.lookups.With("exact", "error").Inc()
@@ -128,7 +162,7 @@ func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
 // a cache corresponding to any application instrumented identically").
 // Among candidates it picks the one with the most traces, deterministically.
 func (m *Manager) LookupInterApp(ks KeySet) (*CacheFile, error) {
-	idx, err := m.readIndex()
+	idx, err := m.readIndexHealing()
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +180,16 @@ func (m *Manager) LookupInterApp(ks KeySet) (*CacheFile, error) {
 		m.m.lookups.With("interapp", "miss").Inc()
 		return nil, ErrNoCache
 	}
-	cf, err := ReadCacheFile(filepath.Join(m.dir, best.File))
-	if err != nil {
+	cf, err := m.readVerified(filepath.Join(m.dir, best.File))
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, errQuarantined):
+		// The best candidate is gone or was just quarantined; degrade to a
+		// miss and let the run translate (the next RecoverIndex or Prune
+		// drops the stale entry).
+		m.m.lookups.With("interapp", "quarantined").Inc()
+		return nil, ErrNoCache
+	default:
 		m.m.lookups.With("interapp", "error").Inc()
 		return nil, err
 	}
@@ -497,7 +539,7 @@ func (m *Manager) CommitFile(ks KeySet, incoming *CacheFile) (*CommitReport, err
 		m.m.commits.With("skipped").Inc()
 		return rep, nil
 	}
-	if err := merged.WriteFile(path); err != nil {
+	if err := merged.WriteFileFS(m.fs, path); err != nil {
 		return nil, err
 	}
 	m.m.commits.With("written").Inc()
@@ -615,8 +657,12 @@ type indexFile struct {
 
 func (m *Manager) indexPath() string { return filepath.Join(m.dir, "index.json") }
 
+// errCorruptIndex marks an index that exists but does not parse — the
+// self-healing paths quarantine and rebuild it instead of failing the run.
+var errCorruptIndex = errors.New("core: corrupt index")
+
 func (m *Manager) readIndex() (*indexFile, error) {
-	b, err := os.ReadFile(m.indexPath())
+	b, err := m.fs.ReadFile(m.indexPath())
 	if errors.Is(err, fs.ErrNotExist) {
 		return &indexFile{}, nil
 	}
@@ -625,15 +671,30 @@ func (m *Manager) readIndex() (*indexFile, error) {
 	}
 	var idx indexFile
 	if err := json.Unmarshal(b, &idx); err != nil {
-		return nil, fmt.Errorf("core: corrupt index: %w", err)
+		return nil, fmt.Errorf("%w: %v", errCorruptIndex, err)
 	}
 	return &idx, nil
+}
+
+// writeIndexLocked atomically replaces the on-disk index. The caller must
+// hold the database lock.
+func (m *Manager) writeIndexLocked(idx *indexFile) error {
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].File < idx.Entries[j].File })
+	b, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := m.indexPath() + ".tmp"
+	if err := m.fs.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return m.fs.Rename(tmp, m.indexPath())
 }
 
 // updateIndexLocked inserts or replaces the entry for file. The caller
 // must hold the database lock.
 func (m *Manager) updateIndexLocked(ks KeySet, cf *CacheFile, file string) error {
-	idx, err := m.readIndex()
+	idx, err := m.readIndexOrRecoverLocked()
 	if err != nil {
 		return err
 	}
@@ -653,21 +714,12 @@ func (m *Manager) updateIndexLocked(ks KeySet, cf *CacheFile, file string) error
 	if !replaced {
 		idx.Entries = append(idx.Entries, entry)
 	}
-	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].File < idx.Entries[j].File })
-	b, err := json.MarshalIndent(idx, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := m.indexPath() + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, m.indexPath())
+	return m.writeIndexLocked(idx)
 }
 
-// Entries lists the database index.
+// Entries lists the database index, healing a corrupt one first.
 func (m *Manager) Entries() ([]IndexEntry, error) {
-	idx, err := m.readIndex()
+	idx, err := m.readIndexHealing()
 	if err != nil {
 		return nil, err
 	}
@@ -761,7 +813,7 @@ func (m *Manager) Prune() (*PruneReport, error) {
 	}
 	defer unlock()
 
-	idx, err := m.readIndex()
+	idx, err := m.readIndexOrRecoverLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -769,7 +821,7 @@ func (m *Manager) Prune() (*PruneReport, error) {
 	kept := idx.Entries[:0]
 	referenced := make(map[string]bool)
 	for _, e := range idx.Entries {
-		if _, err := os.Stat(filepath.Join(m.dir, e.File)); err == nil {
+		if _, err := m.fs.Stat(filepath.Join(m.dir, e.File)); err == nil {
 			kept = append(kept, e)
 			referenced[e.File] = true
 		} else {
@@ -778,52 +830,44 @@ func (m *Manager) Prune() (*PruneReport, error) {
 	}
 	idx.Entries = kept
 
-	files, err := filepath.Glob(filepath.Join(m.dir, "*.pcc"))
+	files, err := m.fs.Glob(filepath.Join(m.dir, "*.pcc"))
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range files {
 		if !referenced[filepath.Base(f)] {
-			if err := os.Remove(f); err == nil {
+			if err := m.fs.Remove(f); err == nil {
 				rep.RemovedFiles++
 			}
 		}
 	}
 
-	b, err := json.MarshalIndent(idx, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	tmp := m.indexPath() + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, m.indexPath()); err != nil {
+	if err := m.writeIndexLocked(idx); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-// lockTimeout bounds how long a writer waits for the database lock before
-// treating the holder as crashed and stealing it.
+// lockTimeout is the default for how long a writer waits for the database
+// lock before treating the holder as crashed and stealing it; per-manager
+// override via WithLockTimeout.
 var lockTimeout = 5 * time.Second
 
 // lockDB takes a best-effort advisory lock on the database directory.
 func (m *Manager) lockDB() (func(), error) {
 	lock := filepath.Join(m.dir, ".lock")
-	deadline := time.Now().Add(lockTimeout)
+	deadline := time.Now().Add(m.lockWait)
 	for {
-		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		err := m.fs.CreateExcl(lock, 0o644)
 		if err == nil {
-			f.Close()
-			return func() { os.Remove(lock) }, nil
+			return func() { m.fs.Remove(lock) }, nil
 		}
 		if !errors.Is(err, fs.ErrExist) {
 			return nil, err
 		}
 		if time.Now().After(deadline) {
 			// A crashed writer left the lock behind; steal it.
-			os.Remove(lock)
+			m.fs.Remove(lock)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

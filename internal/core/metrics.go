@@ -16,6 +16,10 @@ type coreMetrics struct {
 	mergeDropped  *metrics.Counter
 	fileBytes     *metrics.CounterVec // dir=read|written
 
+	quarantines      *metrics.CounterVec // kind=cachefile|index
+	recoveries       *metrics.Counter
+	recoveredEntries *metrics.Counter
+
 	dbFiles    *metrics.Gauge
 	dbTraces   *metrics.Gauge
 	dbCodePool *metrics.Gauge
@@ -31,10 +35,16 @@ func newCoreMetrics(r *metrics.Registry) *coreMetrics {
 		commits:       r.CounterVec("pcc_core_commits_total", "cache commits by outcome", "result"),
 		mergeDropped:  r.Counter("pcc_core_merge_dropped_total", "prior traces dropped during accumulation (stale mappings)"),
 		fileBytes:     r.CounterVec("pcc_core_file_bytes_total", "cache-file bytes moved", "dir"),
-		dbFiles:       r.Gauge("pcc_core_db_files", "cache files in the database index"),
-		dbTraces:      r.Gauge("pcc_core_db_traces", "traces across the database index"),
-		dbCodePool:    r.Gauge("pcc_core_db_code_pool_bytes", "modeled code-pool bytes across the database"),
-		dbDataPool:    r.Gauge("pcc_core_db_data_pool_bytes", "modeled data-pool bytes across the database"),
+		quarantines: r.CounterVec("pcc_core_quarantine_total",
+			"corrupt database files moved into quarantine/", "kind"),
+		recoveries: r.Counter("pcc_core_index_recoveries_total",
+			"index rebuilds from surviving verifiable cache files"),
+		recoveredEntries: r.Counter("pcc_core_recovered_entries_total",
+			"index entries recreated by recovery passes"),
+		dbFiles:    r.Gauge("pcc_core_db_files", "cache files in the database index"),
+		dbTraces:   r.Gauge("pcc_core_db_traces", "traces across the database index"),
+		dbCodePool: r.Gauge("pcc_core_db_code_pool_bytes", "modeled code-pool bytes across the database"),
+		dbDataPool: r.Gauge("pcc_core_db_data_pool_bytes", "modeled data-pool bytes across the database"),
 	}
 }
 

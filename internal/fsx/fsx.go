@@ -1,0 +1,89 @@
+// Package fsx is the filesystem seam under the persistent cache database.
+// Every disk operation internal/core (and the cache server's commit path)
+// performs goes through the FS interface, so tests and the chaos harness can
+// inject failures — an error return, a short write, or a simulated process
+// crash — at any operation without patching the code under test.
+//
+// OS is the passthrough implementation backed by the os package; its
+// WriteFile fsyncs before closing so a completed write is durable, which in
+// turn makes the write→sync→rename sequence an enumerable set of crash
+// points. NewInject wraps any FS with a rule table that can fail, truncate,
+// or "crash" the Nth operation matching an op kind and path pattern.
+package fsx
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Op classifies one filesystem operation for fault matching and metrics.
+type Op string
+
+const (
+	OpMkdir  Op = "mkdir"
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync" // the fsync inside WriteFile, after the data landed
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpStat   Op = "stat"
+	OpGlob   Op = "glob"
+	OpLock   Op = "lock" // exclusive-create of the advisory lock file
+)
+
+// FS is the set of filesystem operations the cache database performs.
+// WriteFile must be durable on success (data written and synced); callers
+// get atomicity by writing a temp file and Renaming it into place.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Stat(path string) (fs.FileInfo, error)
+	Glob(pattern string) ([]string, error)
+	// CreateExcl creates path with O_CREATE|O_EXCL semantics — the
+	// advisory-lock acquisition primitive. It must fail with fs.ErrExist
+	// when the file is already present.
+	CreateExcl(path string, perm fs.FileMode) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+
+// WriteFile writes data and fsyncs before closing: on a clean return the
+// bytes are durable, so the only crash-vulnerable window left is the rename
+// that follows in the atomic-replace idiom.
+func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) CreateExcl(path string, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,162 @@
+package fsx_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"persistcc/internal/fsx"
+	"persistcc/internal/metrics"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "sub", "f.txt")
+	if err := fsx.OS.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsx.OS.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fsx.OS.ReadFile(p)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	q := filepath.Join(dir, "sub", "g.txt")
+	if err := fsx.OS.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsx.OS.Stat(q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsx.OS.Glob(filepath.Join(dir, "sub", "*.txt"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("glob %v, %v", got, err)
+	}
+	if err := fsx.OS.CreateExcl(q, 0o644); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("CreateExcl over existing file: want ErrExist, got %v", err)
+	}
+	if err := fsx.OS.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsx.OS.CreateExcl(q, 0o644); err != nil {
+		t.Fatalf("CreateExcl after remove: %v", err)
+	}
+}
+
+func TestInjectFailAtNth(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	inj := fsx.NewInject(fsx.OS)
+	inj.FailAt(fsx.OpWrite, "target", 2, boom)
+	p := filepath.Join(dir, "target.bin")
+	if err := inj.WriteFile(p, []byte("first"), 0o644); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if err := inj.WriteFile(p, []byte("second"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("second write: want boom, got %v", err)
+	}
+	if err := inj.WriteFile(p, []byte("third"), 0o644); err != nil {
+		t.Fatalf("rule must fire once: %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Errorf("injected %d faults, want 1", inj.Injected())
+	}
+	// Non-matching paths never trip the rule.
+	inj2 := fsx.NewInject(fsx.OS)
+	inj2.FailAt(fsx.OpWrite, "nomatch", 1, boom)
+	if err := inj2.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatalf("unmatched rule fired: %v", err)
+	}
+}
+
+func TestInjectTruncateLeavesTornFile(t *testing.T) {
+	dir := t.TempDir()
+	inj := fsx.NewInject(fsx.OS)
+	inj.TruncateAt(fsx.OpWrite, "", 1, 0.5, nil)
+	p := filepath.Join(dir, "torn.bin")
+	data := []byte("0123456789")
+	err := inj.WriteFile(p, data, 0o644)
+	if !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	b, rerr := os.ReadFile(p)
+	if rerr != nil {
+		t.Fatalf("torn file missing: %v", rerr)
+	}
+	if len(b) != 5 {
+		t.Errorf("torn file has %d bytes, want 5", len(b))
+	}
+}
+
+func TestInjectCrashHaltsEverything(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	inj := fsx.NewInject(fsx.OS).WithMetrics(reg)
+	inj.CrashAt(fsx.OpRename, "", 1)
+	p := filepath.Join(dir, "a")
+	if err := inj.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(p, filepath.Join(dir, "b")); !errors.Is(err, fsx.ErrCrashed) {
+		t.Fatalf("rename: want ErrCrashed, got %v", err)
+	}
+	if !inj.Crashed() {
+		t.Error("Crashed() false after crash fired")
+	}
+	// The rename never happened, and the process is dead to every later op.
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("source vanished despite crashed rename: %v", err)
+	}
+	if _, err := inj.ReadFile(p); !errors.Is(err, fsx.ErrCrashed) {
+		t.Errorf("post-crash read: want ErrCrashed, got %v", err)
+	}
+	if err := inj.Remove(p); !errors.Is(err, fsx.ErrCrashed) {
+		t.Errorf("post-crash remove: want ErrCrashed, got %v", err)
+	}
+	if v, ok := reg.Snapshot().Value("pcc_fsx_injected_faults_total", "rename"); !ok || v != 1 {
+		t.Errorf("fault metric = %v (ok=%t), want 1", v, ok)
+	}
+}
+
+func TestInjectCrashOnSyncKeepsFullWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := fsx.NewInject(fsx.OS)
+	inj.CrashAt(fsx.OpSync, "", 1)
+	p := filepath.Join(dir, "synced.bin")
+	if err := inj.WriteFile(p, []byte("payload"), 0o644); !errors.Is(err, fsx.ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Crash at the sync point: the data already landed in full.
+	b, err := os.ReadFile(p)
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("file after sync-crash: %q, %v", b, err)
+	}
+}
+
+func TestInjectRecording(t *testing.T) {
+	dir := t.TempDir()
+	inj := fsx.NewInject(fsx.OS)
+	inj.StartRecording()
+	p := filepath.Join(dir, "f")
+	inj.WriteFile(p, []byte("x"), 0o644)
+	inj.ReadFile(p)
+	inj.Stat(p)
+	ops := inj.Ops()
+	want := []fsx.Op{fsx.OpWrite, fsx.OpSync, fsx.OpRead, fsx.OpStat}
+	if len(ops) != len(want) {
+		t.Fatalf("recorded %d ops (%v), want %d", len(ops), ops, len(want))
+	}
+	for i, w := range want {
+		if ops[i].Op != w {
+			t.Errorf("op %d = %s, want %s", i, ops[i].Op, w)
+		}
+	}
+	// CrashAtIndex counts against the same enumeration.
+	inj2 := fsx.NewInject(fsx.OS)
+	inj2.CrashAtIndex(2)
+	if err := inj2.WriteFile(p, []byte("y"), 0o644); !errors.Is(err, fsx.ErrCrashed) {
+		t.Fatalf("crash at index 2 (the sync): %v", err)
+	}
+}

@@ -1,8 +1,9 @@
 # Development entry points. `make check` is the gate every change must pass:
-# formatting, vet, build, and the full test suite under the race detector
-# (the cache server and the concurrent-commit paths are only meaningfully
-# tested with -race). `make ci` mirrors .github/workflows/ci.yml exactly,
-# adding the bench-regression smoke gate.
+# formatting, lint (vet + the project's own invariant analyzers), build, and
+# the full test suite under the race detector (the cache server and the
+# concurrent-commit paths are only meaningfully tested with -race). `make ci`
+# mirrors .github/workflows/ci.yml exactly, adding the bench-regression and
+# fuzz smoke gates.
 
 GO ?= go
 
@@ -11,17 +12,27 @@ GO ?= go
 BENCH_SMOKE = fig2b,fig5a,tracelog
 MAX_REGRESS = 0.25
 
-.PHONY: check ci build vet test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke clean
+# Per-target budget for the CI fuzz smoke; long exploratory runs are a
+# local activity (`make fuzz FUZZTIME=10m`).
+FUZZTIME = 10s
 
-check: fmt-check vet build test-race
+.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke fuzz-smoke clean
 
-ci: check bench-smoke chaos-smoke
+check: fmt-check lint build test-race
+
+ci: check bench-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet plus the repo's own analyzers (cmd/pcc-lint): fsx.FS seam bypasses in
+# internal/core, blocking calls under Manager/Server locks, metric naming,
+# and //pcc:hotpath allocation discipline.
+lint: vet
+	$(GO) run ./cmd/pcc-lint ./...
 
 test:
 	$(GO) test ./...
@@ -46,6 +57,14 @@ bench-smoke:
 # violation); deterministic, so also the CI chaos job.
 chaos-smoke:
 	$(GO) run ./cmd/pcc-bench -run chaos
+
+# Brief native-fuzz pass over the three parser trust boundaries: VR64
+# instruction decode, wire-protocol frames, and cache-file bytes. Seed
+# corpora are checked in under each package's testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/isa/ -fuzz FuzzDecodeInstr -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cacheserver/ -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzReadCacheFile -fuzztime $(FUZZTIME)
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:

@@ -7,6 +7,7 @@
 //	pcc-cachectl -dir DB show FILE       # per-module/trace detail
 //	pcc-cachectl -dir DB stats           # per-database totals and key classes
 //	pcc-cachectl -dir DB verify          # integrity-check every cache file
+//	pcc-cachectl -dir DB verify -deep    # + static CFG/relocation verification
 //	pcc-cachectl -dir DB prune           # drop entries whose files are gone
 //	pcc-cachectl -dir DB repair          # quarantine corrupt files, rebuild index
 //	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
@@ -36,7 +37,7 @@ func main() {
 	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
 	flag.Parse()
 	if flag.NArg() < 1 || (*dir == "" && *server == "" && flag.Arg(0) != "metrics") {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify|prune|repair}")
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify [-deep]|prune|repair}")
 		os.Exit(2)
 	}
 	var mgr *core.Manager
@@ -131,18 +132,31 @@ func main() {
 			fatal(err)
 		}
 	case "verify":
+		deep := flag.NArg() > 1 && flag.Arg(1) == "-deep"
 		entries, err := mgr.Entries()
 		if err != nil {
 			fatal(err)
 		}
 		bad := 0
 		for _, e := range entries {
-			if _, err := core.ReadCacheFile(filepath.Join(*dir, e.File)); err != nil {
+			cf, err := core.ReadCacheFile(filepath.Join(*dir, e.File))
+			if err != nil {
 				fmt.Printf("BAD  %s: %v\n", e.File, err)
 				bad++
-			} else {
-				fmt.Printf("OK   %s\n", e.File)
+				continue
 			}
+			if deep {
+				if rep := cf.VerifyDeep(); !rep.OK() {
+					fmt.Printf("BAD  %s: deep verification failed (%d finding(s) across %d trace(s))\n",
+						e.File, len(rep.Findings), rep.Traces)
+					for _, f := range rep.Findings {
+						fmt.Printf("     %s\n", f)
+					}
+					bad++
+					continue
+				}
+			}
+			fmt.Printf("OK   %s\n", e.File)
 		}
 		if bad > 0 {
 			os.Exit(1)

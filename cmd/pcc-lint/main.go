@@ -1,0 +1,58 @@
+// Command pcc-lint is the repository's invariant checker: a single-binary
+// multichecker that runs the custom static-analysis passes in
+// internal/analysis (fsxseam, lockheld, metricname, hotpath) over the tree.
+//
+// Usage:
+//
+//	pcc-lint [-dir DIR] [-list] [packages...]
+//
+// With no package patterns it checks ./... relative to -dir (default: the
+// current directory). Exit status is 1 when any finding is reported, 2 on
+// loader or usage errors. Findings can be suppressed per line with a
+// trailing //pcc:allow-<analyzer> comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"persistcc/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pcc-lint [-dir DIR] [-list] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcc-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcc-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pcc-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -38,6 +38,7 @@ func main() {
 	cacheServer := flag.String("cache-server", "", `shared cache daemon address ("host:port" or "unix:/path.sock"); -persist becomes the local fallback database`)
 	interApp := flag.Bool("interapp", false, "fall back to another application's cache")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations")
+	verifyInstall := flag.Bool("verify-install", false, "deep-verify cached traces (CFG + relocations) before installing; failures quarantine the file and re-translate")
 	inputStr := flag.String("input", "", "comma-separated input words for the guest input block")
 	libpath := flag.String("libpath", "", "colon-separated library search path (default: exe dir)")
 	aslr := flag.Uint64("aslr", 0, "ASLR seed (non-zero enables randomized library bases)")
@@ -137,6 +138,9 @@ func main() {
 		mopts := []core.ManagerOption{core.WithMetrics(reg)}
 		if *reloc {
 			mopts = append(mopts, core.WithRelocatable())
+		}
+		if *verifyInstall {
+			mopts = append(mopts, core.WithDeepVerify())
 		}
 		local, err := core.NewManager(*persistDir, mopts...)
 		if err != nil {

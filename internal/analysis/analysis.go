@@ -1,0 +1,206 @@
+// Package analysis is a self-contained static-analysis layer for this
+// repository: a loader that typechecks packages from `go list -export`
+// output, a pass runner modeled on golang.org/x/tools/go/analysis (but
+// dependency-free, per the repo's no-external-modules rule), and the four
+// invariant lints wired into cmd/pcc-lint:
+//
+//   - fsxseam:    no direct os/ioutil file I/O where the fsx.FS seam applies
+//   - lockheld:   no blocking calls while a Manager/Server mutex is held,
+//     and no return path that leaks a held lock
+//   - metricname: pcc_<component>_* naming and single registration of every
+//     metric family
+//   - hotpath:    //pcc:hotpath functions stay free of defer, atomics,
+//     interface-allocating conversions and map iteration
+//
+// The passes are deliberately intra-procedural: they enforce mechanical,
+// locally checkable invariants that PRs 1-3 introduced by convention, so a
+// finding is always actionable at the reported line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant lint. Run is invoked once per loaded package;
+// Finish (optional) runs after every package has been analyzed, for checks
+// that need whole-tree state (e.g. duplicate metric registration).
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Run    func(*Pass) error
+	Finish func(report func(Diagnostic))
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless the line carries a
+// //pcc:allow-<analyzer> suppression directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Position: position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position. Analyzer state (via closures) lives for exactly one
+// Run call, so construct fresh analyzers per invocation (see Analyzers).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		if a.Finish != nil {
+			a.Finish(report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Analyzers returns a fresh instance of every invariant lint, in the order
+// cmd/pcc-lint runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NewFsxSeam(), NewLockHeld(), NewMetricName(), NewHotPath()}
+}
+
+// --- shared type-query helpers ---
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for non-call or dynamic cases.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package a function belongs to
+// ("" for builtins).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvNamed returns the named type of a function's receiver, unwrapping one
+// pointer, or nil for package functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedIn reports whether n is the named type pkgPath.name.
+func namedIn(n *types.Named, pkgPath, name string) bool {
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (optionally
+// behind a pointer), and returns which.
+func isMutexType(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if namedIn(n, "sync", "Mutex") {
+		return "Mutex", true
+	}
+	if namedIn(n, "sync", "RWMutex") {
+		return "RWMutex", true
+	}
+	return "", false
+}
+
+// hasDirective reports whether any comment in the file set of files carries
+// the exact //pcc:<name> directive (as its own comment line).
+func hasDirective(files []*ast.File, name string) bool {
+	want := "//pcc:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// docHasDirective reports whether a declaration's doc comment carries the
+// //pcc:<name> directive.
+func docHasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//pcc:" + name
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == want {
+			return true
+		}
+	}
+	return false
+}

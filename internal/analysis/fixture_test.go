@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRx extracts the backquoted patterns from a `// want ...` comment.
+var wantRx = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one `// want` pattern anchored to a file:line.
+type expectation struct {
+	key string // "file:line"
+	rx  *regexp.Regexp
+	hit bool
+}
+
+// collectWants walks a loaded fixture package for trailing comments of the
+// form `// want \`regex\` ...` and returns them keyed by position.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment with no backquoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					wants = append(wants, &expectation{
+						key: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+						rx:  regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs exactly one analyzer over it,
+// and requires the diagnostics to match the fixture's want comments 1:1.
+func runFixture(t *testing.T, analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want one fixture package for %s, got %d", pattern, len(pkgs))
+	}
+	var selected []*Analyzer
+	for _, a := range Analyzers() {
+		if a.Name == analyzer {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) != 1 {
+		t.Fatalf("analyzer %q not registered", analyzer)
+	}
+	diags, err := Run(pkgs, selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkgs[0])
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.key == key && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s matching %q", w.key, w.rx)
+		}
+	}
+}
+
+func TestFsxSeamFixture(t *testing.T)    { runFixture(t, "fsxseam", "./testdata/src/fsxseam") }
+func TestLockHeldFixture(t *testing.T)   { runFixture(t, "lockheld", "./testdata/src/lockheld") }
+func TestMetricNameFixture(t *testing.T) { runFixture(t, "metricname", "./testdata/src/metricname") }
+func TestHotPathFixture(t *testing.T)    { runFixture(t, "hotpath", "./testdata/src/hotpath") }
+
+// TestTreeIsLintClean runs every analyzer over the real tree: the
+// invariants the fixtures demonstrate must actually hold in production
+// code. This is the same gate `make lint` applies in CI.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuppressionScope pins down the allow mechanism: a //pcc:allow-<name>
+// comment silences only the named analyzer on exactly that line.
+func TestSuppressionScope(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/fsxseam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	var allowLine int
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "sanctioned" {
+				allowLine = pkg.Fset.Position(fd.Body.List[0].Pos()).Line
+			}
+			return true
+		})
+	}
+	if allowLine == 0 {
+		t.Fatal("fixture function sanctioned not found")
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Position.Line == allowLine {
+			t.Errorf("suppressed line still reported: %s", d)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// fsxDeniedOS is the set of os package functions that touch the filesystem.
+// internal/core must route these through its injected fsx.FS so the chaos
+// harness (PR 3) can interpose on every byte the cache layer persists.
+var fsxDeniedOS = map[string]bool{
+	"Chmod": true, "Chtimes": true, "Create": true, "CreateTemp": true,
+	"Link": true, "Lstat": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Open": true, "OpenFile": true, "ReadDir": true,
+	"ReadFile": true, "Remove": true, "RemoveAll": true, "Rename": true,
+	"Stat": true, "Symlink": true, "Truncate": true, "WriteFile": true,
+}
+
+// NewFsxSeam returns the fsxseam analyzer: direct os/ioutil filesystem calls
+// are forbidden in persistcc/internal/core (and in any package that opts in
+// with a //pcc:fsxseam file directive); all file I/O there must go through
+// the fsx.FS seam.
+func NewFsxSeam() *Analyzer {
+	a := &Analyzer{
+		Name: "fsxseam",
+		Doc:  "flag direct os/ioutil file I/O that bypasses the fsx.FS seam",
+	}
+	a.Run = func(pass *Pass) error {
+		if !fsxSeamApplies(pass.Pkg) {
+			return nil
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Pkg.Info, call)
+				if f == nil {
+					return true
+				}
+				switch funcPkgPath(f) {
+				case "os":
+					if recvNamed(f) == nil && fsxDeniedOS[f.Name()] {
+						pass.Reportf(call.Pos(),
+							"direct os.%s bypasses the fsx.FS seam; use the injected fsx.FS", f.Name())
+					}
+				case "io/ioutil":
+					pass.Reportf(call.Pos(),
+						"ioutil.%s bypasses the fsx.FS seam; use the injected fsx.FS", f.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// fsxSeamApplies reports whether the seam invariant is enforced for pkg:
+// internal/core and its subpackages, plus explicit //pcc:fsxseam opt-ins
+// (used by the lint's own fixtures).
+func fsxSeamApplies(pkg *Package) bool {
+	p := pkg.ImportPath
+	if strings.HasSuffix(p, "/internal/core") || strings.Contains(p, "/internal/core/") {
+		return true
+	}
+	return hasDirective(pkg.Files, "fsxseam")
+}

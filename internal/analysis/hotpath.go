@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewHotPath returns the hotpath analyzer. Functions whose doc comment
+// carries the //pcc:hotpath directive are the VM's dispatch-rate code
+// (trace execution, chaining, cache lookup/insert, persisted-trace
+// install); they must stay free of
+//
+//   - defer statements (per-call frame cost on every dispatch),
+//   - direct sync/atomic calls (unintended cross-core traffic in the
+//     single-threaded interpreter loop),
+//   - explicit conversions to interface types (hidden allocation), and
+//   - map iteration (randomized order and per-iteration overhead).
+//
+// Implicit interface conversions at call boundaries (e.g. fmt.Errorf
+// arguments on error paths) are deliberately exempt: error paths exit the
+// hot loop anyway, and flagging them would ban error construction outright.
+func NewHotPath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "keep //pcc:hotpath functions free of defer, atomics, interface conversions and map iteration",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "hotpath") {
+					continue
+				}
+				checkHotPath(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure body executes on its own schedule; the directive
+			// constrains the annotated frame itself.
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hotpath function %s uses defer", name)
+		case *ast.RangeStmt:
+			if tv, ok := pass.Pkg.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hotpath function %s iterates over a map", name)
+				}
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(pass.Pkg.Info, n); f != nil && funcPkgPath(f) == "sync/atomic" {
+				pass.Reportf(n.Pos(), "hotpath function %s calls sync/atomic.%s", name, f.Name())
+				return true
+			}
+			if tgt, ok := conversionTo(pass.Pkg.Info, n); ok {
+				if _, isIface := tgt.Underlying().(*types.Interface); isIface && len(n.Args) == 1 {
+					if argTV, ok := pass.Pkg.Info.Types[n.Args[0]]; ok {
+						if _, argIface := argTV.Type.Underlying().(*types.Interface); !argIface {
+							pass.Reportf(n.Pos(),
+								"hotpath function %s converts %s to interface %s (allocates)",
+								name, argTV.Type, tgt)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// conversionTo reports whether call is a type conversion and returns the
+// target type.
+func conversionTo(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}

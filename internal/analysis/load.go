@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// allowLines maps "file:line" to the set of analyzer names suppressed
+	// on that line via //pcc:allow-<name> trailing comments.
+	allowLines map[string]map[string]bool
+}
+
+// Name returns the package's short name (the `package` clause identifier).
+func (p *Package) Name() string { return p.Types.Name() }
+
+// allowed reports whether findings of the named analyzer are suppressed at
+// the given position.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	return p.allowLines[key][analyzer]
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load lists, parses and typechecks the packages matching patterns,
+// resolving imports through the compiler export data that
+// `go list -export` produces. This keeps the whole analysis layer on the
+// standard library: no golang.org/x/tools dependency, same type facts as
+// the compiler. dir is the working directory for the go command (any
+// directory inside the module).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			allowLines: make(map[string]map[string]bool),
+		}
+		for _, name := range t.GoFiles {
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.recordAllowLines(fset, f)
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: typecheck %s: %w", t.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// recordAllowLines indexes //pcc:allow-<analyzer> comments by file:line so
+// Reportf can honor same-line suppressions.
+func (p *Package) recordAllowLines(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//pcc:allow-") {
+				continue
+			}
+			name := strings.TrimPrefix(text, "//pcc:allow-")
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if p.allowLines[key] == nil {
+				p.allowLines[key] = make(map[string]bool)
+			}
+			p.allowLines[key][name] = true
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewLockHeld returns the lockheld analyzer. For every method on a type
+// named Manager or Server it tracks, in source order, which sync.Mutex /
+// sync.RWMutex receiver fields are held, and reports
+//
+//   - blocking calls (network, unseamed file I/O, subprocesses, sleeps,
+//     unbounded reads, WaitGroup waits) made while a lock is held, and
+//   - return paths that leave a lock held with no deferred unlock.
+//
+// Calls through the fsx.FS seam are deliberately not in the deny set: the
+// seam is the sanctioned way for Manager to do I/O under its commit lock
+// (fault injection and timeouts are handled behind it). The analysis is
+// intra-procedural and approximates control flow by source order, which is
+// exact for the lock patterns this repo uses (lock/defer-unlock, or
+// straight-line lock/unlock).
+func NewLockHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "flag blocking calls and leaked locks while a Manager/Server mutex is held",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				recvVar, typeName := recvInfo(pass.Pkg, fd)
+				if recvVar == nil || (typeName != "Manager" && typeName != "Server") {
+					continue
+				}
+				checkLockDiscipline(pass, fd, recvVar)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// recvInfo resolves a method's receiver variable and receiver type name.
+func recvInfo(pkg *Package, fd *ast.FuncDecl) (*types.Var, string) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, ""
+	}
+	obj, ok := pkg.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	t := obj.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return obj, n.Obj().Name()
+}
+
+func checkLockDiscipline(pass *Pass, fd *ast.FuncDecl, recv *types.Var) {
+	held := make(map[string]bool)     // mutex field name -> currently held
+	deferred := make(map[string]bool) // mutex field name -> deferred unlock seen
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures run at an unknown time; their bodies are out of
+			// scope for this method's lock window.
+			return false
+		case *ast.DeferStmt:
+			if field, op, ok := mutexOp(pass.Pkg.Info, recv, n.Call); ok {
+				if op == "Unlock" || op == "RUnlock" {
+					deferred[field] = true
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			for field := range held {
+				if !deferred[field] {
+					pass.Reportf(n.Pos(), "return while %s.%s is held (missing unlock)",
+						recv.Name(), field)
+				}
+			}
+		case *ast.CallExpr:
+			if field, op, ok := mutexOp(pass.Pkg.Info, recv, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[field] = true
+				case "Unlock", "RUnlock":
+					delete(held, field)
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if what := blockingCall(pass.Pkg.Info, n); what != "" {
+				fields := heldFields(held)
+				pass.Reportf(n.Pos(), "blocking call %s while %s.%s is held",
+					what, recv.Name(), strings.Join(fields, ","))
+			}
+		}
+		return true
+	})
+
+	if stmts := fd.Body.List; len(stmts) > 0 {
+		if _, isRet := stmts[len(stmts)-1].(*ast.ReturnStmt); !isRet {
+			for field := range held {
+				if !deferred[field] {
+					pass.Reportf(fd.Body.Rbrace, "function exits while %s.%s is held (missing unlock)",
+						recv.Name(), field)
+				}
+			}
+		}
+	}
+}
+
+func heldFields(held map[string]bool) []string {
+	var fields []string
+	for f := range held {
+		fields = append(fields, f)
+	}
+	if len(fields) > 1 {
+		// Deterministic diagnostics regardless of map order.
+		for i := 1; i < len(fields); i++ {
+			for j := i; j > 0 && fields[j] < fields[j-1]; j-- {
+				fields[j], fields[j-1] = fields[j-1], fields[j]
+			}
+		}
+	}
+	return fields
+}
+
+// mutexOp recognizes recv.<field>.<Lock|Unlock|RLock|RUnlock>() where
+// <field> is a sync.Mutex or sync.RWMutex field of the receiver.
+func mutexOp(info *types.Info, recv *types.Var, call *ast.CallExpr) (field, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	base, isIdent := ast.Unparen(inner.X).(*ast.Ident)
+	if !isIdent || info.Uses[base] != recv {
+		return "", "", false
+	}
+	tv, found := info.Types[inner]
+	if !found {
+		return "", "", false
+	}
+	if _, isMutex := isMutexType(tv.Type); !isMutex {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// blockingCall classifies a call as blocking (per the lockheld deny set) and
+// returns a short description of it, or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	name := f.Name()
+	isMethod := recvNamed(f) != nil || isInterfaceMethod(f)
+	switch funcPkgPath(f) {
+	case "net":
+		if !isMethod && (strings.HasPrefix(name, "Dial") ||
+			strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup")) {
+			return "net." + name
+		}
+		if isMethod && (name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo") {
+			return fmt.Sprintf("(net).%s", name)
+		}
+	case "os":
+		if !isMethod && fsxDeniedOS[name] {
+			return "os." + name
+		}
+	case "os/exec":
+		return "exec." + name
+	case "time":
+		if !isMethod && name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "io":
+		if !isMethod {
+			switch name {
+			case "ReadAll", "Copy", "CopyN", "CopyBuffer", "ReadFull":
+				return "io." + name
+			}
+		}
+	case "sync":
+		if name == "Wait" && namedIn(recvNamed(f), "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait"
+		}
+	}
+	return ""
+}
+
+// isInterfaceMethod reports whether f is declared on an interface (e.g.
+// net.Conn's Read), which recvNamed does not see as a named receiver.
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isIface := sig.Recv().Type().Underlying().(*types.Interface)
+	return isIface
+}

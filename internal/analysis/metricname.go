@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// metricsPkg is the registry package whose constructors this pass watches.
+const metricsPkg = "persistcc/internal/metrics"
+
+// registryCtors maps Registry constructor methods to whether the family
+// they create is a counter (counter names must end in _total; other kinds
+// must not).
+var registryCtors = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": false, "GaugeVec": false,
+	"Histogram": false, "HistogramVec": false,
+}
+
+// metricComponents maps a package's short name to the set of components its
+// metrics may claim in the pcc_<component>_ prefix. Most packages own
+// exactly their package name; cacheserver registers two component
+// namespaces because it houses both halves of the wire protocol.
+var metricComponents = map[string][]string{
+	"cacheserver": {"client", "server"},
+}
+
+// NewMetricName returns the metricname analyzer: every metric registered on
+// a persistcc/internal/metrics.Registry must be a string literal named
+// pcc_<component>_<metric>, with <component> owned by the registering
+// package, counters ending in _total and non-counters not; and each family
+// name must be registered from exactly one call site across the tree.
+func NewMetricName() *Analyzer {
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "enforce pcc_<component>_* metric naming and single registration per family",
+	}
+	type site struct {
+		pos  token.Position
+		name string
+	}
+	sites := make(map[string][]site) // metric name -> registration call sites
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.ImportPath == metricsPkg {
+			return nil // the registry's own package is exempt
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Pkg.Info, call)
+				if f == nil || funcPkgPath(f) != metricsPkg {
+					return true
+				}
+				isCounter, isCtor := registryCtors[f.Name()]
+				if !isCtor || !namedIn(recvNamed(f), metricsPkg, "Registry") {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				name, ok := stringLiteral(pass.Pkg.Info, call.Args[0])
+				if !ok {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name must be a constant string literal so it can be lint-checked")
+					return true
+				}
+				checkMetricName(pass, call.Args[0].Pos(), name, pass.Pkg.Name(), isCounter)
+				pos := pass.Pkg.Fset.Position(call.Args[0].Pos())
+				if !pass.Pkg.allowed(a.Name, pos) {
+					sites[name] = append(sites[name], site{pos: pos, name: name})
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(report func(Diagnostic)) {
+		for name, ss := range sites {
+			if len(ss) <= 1 {
+				continue
+			}
+			for _, s := range ss[1:] {
+				report(Diagnostic{
+					Position: s.pos,
+					Analyzer: a.Name,
+					Message: fmt.Sprintf("metric %q registered more than once (first at %s)",
+						name, ss[0].pos),
+				})
+			}
+		}
+	}
+	return a
+}
+
+func checkMetricName(pass *Pass, pos token.Pos, name, pkgName string, isCounter bool) {
+	parts := strings.Split(name, "_")
+	if parts[0] != "pcc" || len(parts) < 3 {
+		pass.Reportf(pos, "metric %q does not follow pcc_<component>_<metric> naming", name)
+		return
+	}
+	components := metricComponents[pkgName]
+	if components == nil {
+		components = []string{pkgName}
+	}
+	okComponent := false
+	for _, c := range components {
+		if parts[1] == c {
+			okComponent = true
+			break
+		}
+	}
+	if !okComponent {
+		pass.Reportf(pos, "metric %q: component %q is not owned by package %s (want one of %v)",
+			name, parts[1], pkgName, components)
+		return
+	}
+	if isCounter && !strings.HasSuffix(name, "_total") {
+		pass.Reportf(pos, "counter %q must end in _total", name)
+	}
+	if !isCounter && strings.HasSuffix(name, "_total") {
+		pass.Reportf(pos, "non-counter %q must not end in _total", name)
+	}
+}
+
+// stringLiteral evaluates expr to a constant string if possible.
+func stringLiteral(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

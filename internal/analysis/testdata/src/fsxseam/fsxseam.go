@@ -1,0 +1,40 @@
+// Package fsxseamfix is a lint fixture: the directive below opts it into
+// the fsxseam invariant the analyzer otherwise applies to internal/core.
+//
+//pcc:fsxseam
+package fsxseamfix
+
+import (
+	"io/ioutil"
+	"os"
+)
+
+func readDirect(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile bypasses the fsx\.FS seam`
+}
+
+func writeDirect(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `direct os\.WriteFile bypasses the fsx\.FS seam`
+}
+
+func legacyRead(path string) ([]byte, error) {
+	return ioutil.ReadFile(path) // want `ioutil\.ReadFile bypasses the fsx\.FS seam`
+}
+
+func renameTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "x*") // want `direct os\.CreateTemp bypasses the fsx\.FS seam`
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_ = f.Close()                        // method on *os.File, not a package-level call: no finding
+	return os.Rename(name, dir+"/final") // want `direct os\.Rename bypasses the fsx\.FS seam`
+}
+
+func sanctioned(path string) ([]byte, error) {
+	return os.ReadFile(path) //pcc:allow-fsxseam fixture-sanctioned escape hatch
+}
+
+func notFileIO() string {
+	return os.Getenv("HOME") // environment access is outside the seam: no finding
+}

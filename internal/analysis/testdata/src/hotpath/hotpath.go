@@ -1,0 +1,53 @@
+// Package hotpathfix is a lint fixture: functions carrying the
+// //pcc:hotpath directive must stay free of defer, map iteration,
+// atomics, and explicit interface conversions.
+package hotpathfix
+
+import "sync/atomic"
+
+type boxer interface{ box() }
+
+type impl struct{ n int }
+
+func (impl) box() {}
+
+// hotLoop is on the imaginary dispatch path.
+//
+//pcc:hotpath
+func hotLoop(vals map[int]int, n *int64) boxer {
+	defer cleanup() // want `hotpath function hotLoop uses defer`
+	sum := 0
+	for k, v := range vals { // want `hotpath function hotLoop iterates over a map`
+		sum += k + v
+	}
+	atomic.AddInt64(n, 1)      // want `hotpath function hotLoop calls sync/atomic\.AddInt64`
+	return boxer(impl{n: sum}) // want `converts .*impl to interface .*boxer \(allocates\)`
+}
+
+// hotSuppressed shows the per-line escape hatch.
+//
+//pcc:hotpath
+func hotSuppressed(n *int64) {
+	atomic.AddInt64(n, 1) //pcc:allow-hotpath fixture-sanctioned
+}
+
+// hotWithClosure may build closures; their bodies run off the hot path.
+//
+//pcc:hotpath
+func hotWithClosure() func() {
+	return func() {
+		defer cleanup() // inside a FuncLit: no finding
+	}
+}
+
+// coldLoop has no directive, so nothing here is flagged.
+func coldLoop(vals map[int]int) int {
+	defer cleanup()
+	sum := 0
+	for k := range vals {
+		sum += k
+	}
+	return sum
+}
+
+func cleanup() {}

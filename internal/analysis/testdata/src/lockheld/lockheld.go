@@ -1,0 +1,79 @@
+// Package lockheldfix is a lint fixture: the analyzer applies to methods on
+// any type named Manager or Server, so the fixture defines its own.
+package lockheldfix
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+type Manager struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Server struct {
+	mu sync.RWMutex
+}
+
+func (m *Manager) sleepHeld() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while m\.mu is held`
+	m.mu.Unlock()
+}
+
+func (m *Manager) fileIOHeld(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return os.ReadFile(path) // want `blocking call os\.ReadFile while m\.mu is held`
+}
+
+func (m *Manager) earlyReturn(fail bool) error {
+	m.mu.Lock()
+	if fail {
+		return errFail // want `return while m\.mu is held \(missing unlock\)`
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) leaks() {
+	m.mu.Lock()
+	m.n++
+} // want `function exits while m\.mu is held \(missing unlock\)`
+
+func (s *Server) readHeld(r io.Reader) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return io.ReadAll(r) // want `blocking call io\.ReadAll while s\.mu is held`
+}
+
+func (m *Manager) deferredClean() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n // deferred unlock: return is fine
+}
+
+func (m *Manager) releasedBeforeBlocking() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	time.Sleep(time.Millisecond) // lock already released: no finding
+}
+
+func (m *Manager) closureOutOfScope() {
+	m.mu.Lock()
+	f := func() { time.Sleep(time.Millisecond) } // runs later: no finding
+	m.mu.Unlock()
+	f()
+}
+
+func (m *Manager) suppressed() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) //pcc:allow-lockheld fixture-sanctioned wait
+	m.mu.Unlock()
+}
+
+var errFail = io.EOF

@@ -1,0 +1,25 @@
+// Package metricfix is a lint fixture: metric names registered here must
+// claim the pcc_metricfix_ component and follow the counter suffix rule.
+package metricfix
+
+import "persistcc/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+var dynamic = "pcc_metricfix_dynamic_total"
+
+var (
+	good      = reg.Counter("pcc_metricfix_ops_total", "well formed")
+	goodGauge = reg.Gauge("pcc_metricfix_depth", "well formed")
+
+	bare     = reg.Counter("ops_total", "no prefix")                   // want `does not follow pcc_<component>_<metric> naming`
+	twoParts = reg.Gauge("pcc_metricfix", "too few parts")             // want `does not follow pcc_<component>_<metric> naming`
+	alien    = reg.Counter("pcc_other_ops_total", "foreign component") // want `component "other" is not owned by package metricfix`
+	noTotal  = reg.Counter("pcc_metricfix_ops", "counter suffix")      // want `counter "pcc_metricfix_ops" must end in _total`
+	badGauge = reg.Gauge("pcc_metricfix_depth_total", "gauge suffix")  // want `non-counter "pcc_metricfix_depth_total" must not end in _total`
+	computed = reg.Counter(dynamic, "not a literal")                   // want `must be a constant string literal`
+	dupA     = reg.Counter("pcc_metricfix_dup_total", "first is fine")
+	dupB     = reg.Counter("pcc_metricfix_dup_total", "second is not") // want `registered more than once`
+
+	allowed = reg.Counter("pcc_elsewhere_ops_total", "escape hatch") //pcc:allow-metricname fixture-sanctioned
+)

@@ -1,0 +1,63 @@
+package cacheserver
+
+import (
+	"bytes"
+	"testing"
+
+	"persistcc/internal/core"
+)
+
+// FuzzDecodeFrame checks the wire protocol's receive path end to end: the
+// frame reader must be total on arbitrary byte streams, every frame it
+// accepts must re-encode to the identical bytes it consumed, and every
+// payload decoder must reject (never panic on) arbitrary payloads. The
+// server feeds readFrame bytes from untrusted clients, so this boundary
+// has to hold under any input.
+func FuzzDecodeFrame(f *testing.F) {
+	frame := func(tag uint8, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, tag, payload, MaxFrame); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(frame(OpLookup, encodeKeyRequest(core.KeySet{}, true)))
+	f.Add(frame(OpStats, nil))
+	f.Add(frame(StatusOK, encodeLookupInfo(&LookupInfo{File: "a.pcc", AppPath: "/bin/a", Traces: 3})))
+	f.Add(frame(StatusOK, encodeCommitReport(&core.CommitReport{Traces: 2, File: "a.pcc"})))
+	f.Add(frame(StatusOK, encodeDBStats(&core.DBStats{Files: 1, Classes: []core.KeyClassCount{{VM: "v", Tool: "t", Entries: 1}}})))
+	f.Add(frame(StatusOK, encodePruneReport(&core.PruneReport{DroppedEntries: 1})))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1}) // hostile length field
+	f.Add([]byte{0, 0, 0, 0, 0})             // zero length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 20
+		tag, payload, err := readFrame(bytes.NewReader(data), max)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, tag, payload, max); err != nil {
+			t.Fatalf("re-encode of an accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatalf("frame round trip changed bytes: % x != % x", buf.Bytes(), data[:buf.Len()])
+		}
+		// Every payload decoder must be total on whatever tag the frame
+		// claims: a hostile client controls both. Rejection is fine; only
+		// a panic is a bug. Decoders that accept must round-trip.
+		_, _, _ = decodeKeyRequest(payload)
+		_, _ = decodeDBStats(payload)
+		_, _ = decodePruneReport(payload)
+		if li, err := decodeLookupInfo(payload); err == nil {
+			if li2, err := decodeLookupInfo(encodeLookupInfo(li)); err != nil || *li2 != *li {
+				t.Fatalf("LookupInfo round trip: %+v vs %+v (%v)", li, li2, err)
+			}
+		}
+		if rep, err := decodeCommitReport(payload); err == nil {
+			if rep2, err := decodeCommitReport(encodeCommitReport(rep)); err != nil || *rep2 != *rep {
+				t.Fatalf("CommitReport round trip: %+v vs %+v (%v)", rep, rep2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"persistcc/internal/core"
+	"persistcc/internal/isa"
+)
+
+// corruptBranch flips one conditional-branch immediate in the cache file so
+// its target lands outside every recorded module, then re-signs the file by
+// writing it back through the normal marshaling path. The result is the
+// exact adversary the deep verifier exists for: a file whose integrity
+// trailer is valid but whose code is semantically corrupt.
+func corruptBranch(t *testing.T, path string) {
+	t.Helper()
+	cf, err := core.ReadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end uint32
+	for _, m := range cf.Modules {
+		if m.Base+m.Size > end {
+			end = m.Base + m.Size
+		}
+	}
+	for _, tr := range cf.Traces {
+		for i, in := range tr.Insts {
+			if !in.IsCondBranch() {
+				continue
+			}
+			pc := tr.Start + uint32(i)*isa.InstSize
+			target := (end + 0x10000) &^ 7 // aligned, beyond every module
+			tr.Insts[i].Imm = int32(target - pc)
+			if err := cf.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no conditional branch found to corrupt")
+}
+
+// TestDeepVerifyRejectsSemanticCorruption drives the acceptance path:
+// a semantically corrupted trace (valid checksum, out-of-bounds branch
+// target) passes the plain parser, is rejected by VerifyDeep, and a
+// -verify-install manager quarantines the file, counts the rejection in
+// pcc_core_verify_reject_total, and falls back to re-translation.
+func TestDeepVerifyRejectsSemanticCorruption(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	baseline := w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+
+	files, err := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one cache file, got %v (err %v)", files, err)
+	}
+	path := files[0]
+	corruptBranch(t, path)
+
+	// The byte-level layer is blind to the corruption: checksum and caps
+	// all pass.
+	cf, err := core.ReadCacheFile(path)
+	if err != nil {
+		t.Fatalf("checksum layer rejected the semantically corrupt file: %v", err)
+	}
+	// The deep verifier is not.
+	rep := cf.VerifyDeep()
+	if rep.OK() {
+		t.Fatal("VerifyDeep accepted an out-of-bounds branch target")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "branch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a branch finding, got %v", rep.Findings)
+	}
+
+	// A deep-verifying manager turns the bad file into a miss + quarantine
+	// and the run re-translates to the same result.
+	vmgr, err := core.NewManager(mgr.Dir(), core.WithDeepVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep core.PrimeReport
+	res := w.run(t, vmgr, runOpts{input: []uint64{50}, prime: true, wantPrime: &prep})
+	if prep.Found {
+		t.Fatal("prime reported a hit from a quarantined file")
+	}
+	if res.ExitCode != baseline.ExitCode || string(res.Output) != string(baseline.Output) {
+		t.Fatal("re-translated run diverged from baseline")
+	}
+	if res.Stats.TracesTranslated == 0 {
+		t.Fatal("expected re-translation after the deep-verify rejection")
+	}
+
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file still in the database: %v", err)
+	}
+	qfiles, _ := filepath.Glob(filepath.Join(vmgr.Dir(), core.QuarantineDir, "*.pcc*"))
+	if len(qfiles) == 0 {
+		t.Fatal("corrupt file was not quarantined")
+	}
+
+	var sb strings.Builder
+	if err := vmgr.Metrics().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pcc_core_verify_reject_total{check="branch"}`) {
+		t.Fatalf("pcc_core_verify_reject_total not incremented; metrics:\n%s", sb.String())
+	}
+}
+
+// TestDeepVerifyAcceptsHealthyDatabase guards against the verifier being
+// stricter than the translator: everything a real run commits must verify.
+func TestDeepVerifyAcceptsHealthyDatabase(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+
+	files, err := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no cache files: %v (err %v)", files, err)
+	}
+	for _, f := range files {
+		cf, err := core.ReadCacheFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := cf.VerifyDeep(); !rep.OK() {
+			t.Fatalf("healthy cache file failed deep verification: %v", rep.Findings)
+		}
+	}
+
+	// And a deep-verifying manager still primes from it.
+	vmgr, err := core.NewManager(mgr.Dir(), core.WithDeepVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep core.PrimeReport
+	w.run(t, vmgr, runOpts{input: []uint64{50}, prime: true, wantPrime: &prep})
+	if !prep.Found || prep.Installed == 0 {
+		t.Fatalf("deep-verifying manager failed to prime a healthy cache: %+v", prep)
+	}
+}
+
+// TestDeepVerifyDanglingReloc proves the relocation cross-check catches a
+// note whose target offset no longer points inside its module — corruption
+// the checksum (re-signed) and the byte-level caps both accept.
+func TestDeepVerifyDanglingReloc(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+
+	files, _ := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
+	if len(files) != 1 {
+		t.Fatalf("want one cache file, got %v", files)
+	}
+	cf, err := core.ReadCacheFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, tr := range cf.Traces {
+		if len(tr.Notes) > 0 {
+			tr.Notes[0].TargetOff = cf.Modules[tr.Notes[0].Target].Size + 0x1000
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("no relocation notes in the committed cache")
+	}
+	if err := cf.WriteFile(files[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	reread, err := core.ReadCacheFile(files[0])
+	if err != nil {
+		t.Fatalf("checksum layer rejected the dangling relocation: %v", err)
+	}
+	rep := reread.VerifyDeep()
+	if rep.OK() {
+		t.Fatal("VerifyDeep accepted a dangling relocation")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "reloc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a reloc finding, got %v", rep.Findings)
+	}
+}
+
+// TestRecoverIndexQuarantinesSemanticCorruption checks that the repair path
+// applies the deep verifier unconditionally: after corruption, RecoverIndex
+// moves the file to quarantine and rebuilds an index without it.
+func TestRecoverIndexQuarantinesSemanticCorruption(t *testing.T) {
+	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := newMgr(t)
+	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+
+	files, _ := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
+	if len(files) != 1 {
+		t.Fatalf("want one cache file, got %v", files)
+	}
+	corruptBranch(t, files[0])
+
+	rep, err := mgr.RecoverIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesQuarantined != 1 || rep.EntriesRebuilt != 0 {
+		t.Fatalf("recovery kept the corrupt file: %+v", rep)
+	}
+	entries, err := mgr.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("rebuilt index still references the corrupt file: %v", entries)
+	}
+}

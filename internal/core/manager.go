@@ -26,6 +26,7 @@ import (
 type Manager struct {
 	dir         string
 	relocatable bool
+	deepVerify  bool
 	fs          fsx.FS
 	lockWait    time.Duration
 	mu          sync.Mutex

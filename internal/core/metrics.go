@@ -16,7 +16,8 @@ type coreMetrics struct {
 	mergeDropped  *metrics.Counter
 	fileBytes     *metrics.CounterVec // dir=read|written
 
-	quarantines      *metrics.CounterVec // kind=cachefile|index
+	quarantines      *metrics.CounterVec // kind=cachefile|index|verify
+	verifyRejects    *metrics.CounterVec // check=module|modref|bounds|instr|branch|reloc|dup
 	recoveries       *metrics.Counter
 	recoveredEntries *metrics.Counter
 
@@ -37,6 +38,8 @@ func newCoreMetrics(r *metrics.Registry) *coreMetrics {
 		fileBytes:     r.CounterVec("pcc_core_file_bytes_total", "cache-file bytes moved", "dir"),
 		quarantines: r.CounterVec("pcc_core_quarantine_total",
 			"corrupt database files moved into quarantine/", "kind"),
+		verifyRejects: r.CounterVec("pcc_core_verify_reject_total",
+			"cache files rejected by the deep trace verifier, by failed check", "check"),
 		recoveries: r.Counter("pcc_core_index_recoveries_total",
 			"index rebuilds from surviving verifiable cache files"),
 		recoveredEntries: r.Counter("pcc_core_recovered_entries_total",

@@ -32,6 +32,13 @@ func (m *Manager) readVerified(path string) (*CacheFile, error) {
 		m.quarantine(path, "cachefile")
 		return nil, fmt.Errorf("%w: %s: %v", errQuarantined, path, err)
 	}
+	if m.deepVerify {
+		if rep := cf.VerifyDeep(); !rep.OK() {
+			m.countVerifyRejects(rep)
+			m.quarantine(path, "verify")
+			return nil, fmt.Errorf("%w: %s: %v", errQuarantined, path, rep.Err())
+		}
+	}
 	return cf, nil
 }
 
@@ -160,6 +167,16 @@ func (m *Manager) recoverIndexLocked() (*indexFile, *RecoverReport, error) {
 		cf := new(CacheFile)
 		if err != nil || cf.UnmarshalBinary(b) != nil {
 			m.quarantine(f, "cachefile")
+			rep.FilesQuarantined++
+			rep.BytesReclaimed += size
+			continue
+		}
+		// Recovery exists because the database is suspect, so every
+		// surviving file also has to pass the deep trace verifier before
+		// it re-enters the index.
+		if vrep := cf.VerifyDeep(); !vrep.OK() {
+			m.countVerifyRejects(vrep)
+			m.quarantine(f, "verify")
 			rep.FilesQuarantined++
 			rep.BytesReclaimed += size
 			continue

@@ -1,0 +1,275 @@
+// Package verify is the deep static verifier for persisted VR64
+// translations. The cache-file layer (internal/core) already guards the
+// byte level — checksums, caps, module-index bounds — but a file can pass
+// all of that and still carry code that is semantically wrong for the
+// recorded module table: a branch immediate flipped to point outside every
+// mapped region, a relocation note whose patched immediate no longer
+// matches its declared target, overlapping module records. Executing such
+// a trace is exactly the "stale or corrupt persisted translation" failure
+// the paper's validity checks exist to prevent, so this package re-derives
+// the control-flow and relocation facts from the instruction stream and
+// cross-checks them against the declared metadata before anything is
+// installed into a VM.
+//
+// The package depends only on the instruction set (isa), the object format
+// (obj) and the trace model (vm); internal/core imports it, not the other
+// way around.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+)
+
+// Module is the slice of a module record the verifier needs: where the
+// module was mapped when the traces were translated (or last rebased).
+type Module struct {
+	Path string
+	Base uint32
+	Size uint32
+}
+
+// Finding is one verification failure. Trace is the index of the offending
+// trace in the input slice, or -1 for module-table findings. Check is a
+// stable machine-readable name (metrics label, test assertions): one of
+// "module", "modref", "bounds", "instr", "branch", "reloc", "dup".
+type Finding struct {
+	Trace int
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	if f.Trace < 0 {
+		return fmt.Sprintf("[%s] %s", f.Check, f.Msg)
+	}
+	return fmt.Sprintf("trace %d [%s]: %s", f.Trace, f.Check, f.Msg)
+}
+
+// Report is the outcome of verifying one module table + trace set.
+type Report struct {
+	Traces   int
+	Findings []Finding
+
+	bad map[int]bool
+}
+
+// OK reports whether verification passed with no findings.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+// TraceOK reports whether trace i produced no findings (module-table
+// findings poison every trace, since all address checks depend on it).
+func (r *Report) TraceOK(i int) bool { return !r.bad[-1] && !r.bad[i] }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// first finding and the totals.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d finding(s) across %d trace(s); first: %s",
+		len(r.Findings), r.Traces, r.Findings[0])
+}
+
+func (r *Report) add(trace int, check, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Trace: trace, Check: check, Msg: fmt.Sprintf(format, args...)})
+	r.bad[trace] = true
+}
+
+// Traces deep-verifies traces against the module table they were persisted
+// with. All checks are static: nothing is executed and nothing is mutated.
+func Traces(mods []Module, traces []*vm.Trace) *Report {
+	r := &Report{Traces: len(traces), bad: make(map[int]bool)}
+	checkModuleTable(r, mods)
+	heads := make(map[uint64]int, len(traces)) // (module, modoff) -> first trace index
+	for i, t := range traces {
+		checkTrace(r, mods, i, t)
+		if t.Module >= 0 {
+			key := uint64(uint32(t.Module))<<32 | uint64(t.ModOff)
+			if first, dup := heads[key]; dup {
+				r.add(i, "dup", "same head (module %d offset %#x) as trace %d", t.Module, t.ModOff, first)
+			} else {
+				heads[key] = i
+			}
+		}
+	}
+	return r
+}
+
+// checkModuleTable rejects module records that overlap, wrap the 32-bit
+// address space, or are empty: every later address check resolves targets
+// through this table, so it must partition the address space cleanly.
+func checkModuleTable(r *Report, mods []Module) {
+	type span struct {
+		idx    int
+		lo, hi uint64 // [lo, hi)
+	}
+	spans := make([]span, 0, len(mods))
+	for i, m := range mods {
+		if m.Size == 0 {
+			r.add(-1, "module", "module %d (%s) has zero size", i, m.Path)
+			continue
+		}
+		hi := uint64(m.Base) + uint64(m.Size)
+		if hi > 1<<32 {
+			r.add(-1, "module", "module %d (%s) wraps the address space: base %#x size %#x", i, m.Path, m.Base, m.Size)
+			continue
+		}
+		spans = append(spans, span{idx: i, lo: uint64(m.Base), hi: hi})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			r.add(-1, "module", "modules %d and %d overlap: [%#x,%#x) vs [%#x,%#x)",
+				spans[i-1].idx, spans[i].idx, spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+}
+
+func checkTrace(r *Report, mods []Module, i int, t *vm.Trace) {
+	if len(t.Insts) == 0 {
+		r.add(i, "bounds", "empty instruction sequence")
+		return
+	}
+	if t.Module < 0 || int(t.Module) >= len(mods) {
+		r.add(i, "modref", "head module %d outside table of %d", t.Module, len(mods))
+		return
+	}
+	m := mods[t.Module]
+	if t.Start != m.Base+t.ModOff {
+		r.add(i, "bounds", "start %#x inconsistent with module base %#x + offset %#x", t.Start, m.Base, t.ModOff)
+		return
+	}
+	if t.ModOff%isa.InstSize != 0 {
+		r.add(i, "bounds", "head offset %#x not on an instruction boundary", t.ModOff)
+		return
+	}
+	codeLen := uint64(len(t.Insts)) * isa.InstSize
+	if uint64(t.ModOff)+codeLen > uint64(m.Size) {
+		r.add(i, "bounds", "code [%#x,+%#x) spills past module %d size %#x", t.ModOff, codeLen, t.Module, m.Size)
+		return
+	}
+
+	for idx, in := range t.Insts {
+		if _, err := isa.DecodeWord(in.EncodeWord()); err != nil {
+			r.add(i, "instr", "instruction %d does not round-trip: %v", idx, err)
+		}
+	}
+
+	checkBranches(r, mods, i, t)
+	checkRelocs(r, mods, i, t)
+}
+
+// checkBranches rebuilds the trace's control flow from the instruction
+// stream and requires every static branch target to land on an instruction
+// boundary — inside the trace itself, or inside a mapped module via a
+// declared exit. A checksum cannot catch a flipped immediate that was
+// flipped before the file was signed; this does.
+func checkBranches(r *Report, mods []Module, i int, t *vm.Trace) {
+	end := t.Start + uint32(len(t.Insts))*isa.InstSize
+	exits := make(map[uint32][]vm.Exit, len(t.Exits))
+	for _, e := range t.Exits {
+		exits[uint32(e.Index)] = append(exits[uint32(e.Index)], e)
+	}
+	for idx, in := range t.Insts {
+		pc := t.Start + uint32(idx)*isa.InstSize
+		var targets []uint32
+		if in.IsCondBranch() {
+			targets = append(targets, pc+uint32(in.Imm))
+		}
+		if in.Op == isa.OpJal {
+			targets = append(targets, pc+uint32(in.Imm))
+		}
+		for _, target := range targets {
+			if target >= t.Start && target < end {
+				if (target-t.Start)%isa.InstSize != 0 {
+					r.add(i, "branch", "instruction %d branches to %#x, inside the trace but off an instruction boundary", idx, target)
+				}
+				continue
+			}
+			if !declaredExit(exits[uint32(idx)], target) {
+				r.add(i, "branch", "instruction %d branches to %#x with no declared exit", idx, target)
+				continue
+			}
+			mi, ok := moduleAt(mods, target)
+			if !ok {
+				r.add(i, "branch", "instruction %d branches to %#x, outside every mapped module", idx, target)
+				continue
+			}
+			if (target-mods[mi].Base)%isa.InstSize != 0 {
+				r.add(i, "branch", "instruction %d branches to %#x, off an instruction boundary in module %d", idx, target, mi)
+			}
+		}
+	}
+}
+
+func declaredExit(exits []vm.Exit, target uint32) bool {
+	for _, e := range exits {
+		if (e.Kind == vm.ExitCond || e.Kind == vm.ExitDirect) && e.Target == target {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleAt returns the index of the module whose mapped region contains
+// addr.
+func moduleAt(mods []Module, addr uint32) (int, bool) {
+	for i, m := range mods {
+		if addr >= m.Base && uint64(addr) < uint64(m.Base)+uint64(m.Size) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// checkRelocs validates every relocation note against the loader's patch
+// equations: the note must reference a real instruction and a real link
+// slot (an offset inside the target module), use an immediate-width
+// relocation type, and the instruction's immediate must equal what the
+// loader (or the relocatable-translation rebase) would have written for
+// the recorded module bases. A dangling or inconsistent note means the
+// trace would be rebased into garbage on its next prime.
+func checkRelocs(r *Report, mods []Module, i int, t *vm.Trace) {
+	patched := make(map[uint16]int, len(t.Notes))
+	for ni, n := range t.Notes {
+		if int(n.InstIdx) >= len(t.Insts) {
+			r.add(i, "reloc", "note %d patches instruction %d of %d", ni, n.InstIdx, len(t.Insts))
+			continue
+		}
+		if first, dup := patched[n.InstIdx]; dup {
+			r.add(i, "reloc", "notes %d and %d both patch instruction %d", first, ni, n.InstIdx)
+			continue
+		}
+		patched[n.InstIdx] = ni
+		if n.Target < 0 || int(n.Target) >= len(mods) {
+			r.add(i, "reloc", "note %d targets module %d outside table of %d", ni, n.Target, len(mods))
+			continue
+		}
+		tm := mods[n.Target]
+		if uint64(n.TargetOff) > uint64(tm.Size) {
+			r.add(i, "reloc", "note %d dangles: offset %#x past module %d size %#x", ni, n.TargetOff, n.Target, tm.Size)
+			continue
+		}
+		pc := t.Start + uint32(n.InstIdx)*isa.InstSize
+		tgtAbs := tm.Base + n.TargetOff
+		imm := t.Insts[n.InstIdx].Imm
+		switch n.Type {
+		case obj.RelPC32:
+			if imm != int32(tgtAbs-pc) {
+				r.add(i, "reloc", "note %d: immediate %#x does not match pc-relative target %#x (want %#x)",
+					ni, uint32(imm), tgtAbs, uint32(int32(tgtAbs-pc)))
+			}
+		case obj.RelAbs32:
+			if imm != int32(tgtAbs) {
+				r.add(i, "reloc", "note %d: immediate %#x does not match absolute target %#x", ni, uint32(imm), tgtAbs)
+			}
+		default:
+			r.add(i, "reloc", "note %d: relocation type %v cannot patch an instruction immediate", ni, n.Type)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package verify
+
+import (
+	"testing"
+
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+)
+
+// mkTrace builds a trace at mods[mod].Base+off with derived static
+// metadata, the way translation and unmarshaling leave real traces.
+func mkTrace(mods []Module, mod int32, off uint32, insts []isa.Inst) *vm.Trace {
+	t := &vm.Trace{
+		Start:  mods[mod].Base + off,
+		Module: mod,
+		ModOff: off,
+		Insts:  insts,
+	}
+	t.RecomputeStatic()
+	return t
+}
+
+// healthy returns a module table and a trace set that pass every check:
+// a conditional branch inside the trace, a relocated cross-module call,
+// and a halt.
+func healthy() ([]Module, []*vm.Trace) {
+	mods := []Module{
+		{Path: "app", Base: 0x1000, Size: 0x200},
+		{Path: "lib.so", Base: 0x4000, Size: 0x100},
+	}
+	insts := []isa.Inst{
+		{Op: isa.OpAddI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.OpBeq, Rs1: 0, Rs2: 0, Imm: -isa.InstSize},                 // back to inst 0
+		{Op: isa.OpJal, Rd: 1, Imm: int32(0x4000 + 0x10 - (0x1000 + 0x10))}, // call into lib.so
+		{Op: isa.OpHalt},
+	}
+	tr := mkTrace(mods, 0, 0, insts)
+	tr.Notes = []vm.RelocNote{{
+		InstIdx: 2, Type: obj.RelPC32, Target: 1, TargetOff: 0x10,
+	}}
+	return mods, []*vm.Trace{tr}
+}
+
+func findingChecks(r *Report) map[string]bool {
+	m := make(map[string]bool)
+	for _, f := range r.Findings {
+		m[f.Check] = true
+	}
+	return m
+}
+
+func TestHealthyTracesVerify(t *testing.T) {
+	mods, traces := healthy()
+	if r := Traces(mods, traces); !r.OK() {
+		t.Fatalf("healthy set rejected: %v", r.Findings)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace)
+		want   string // expected Finding.Check
+	}{
+		{
+			name: "module overlap",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				mods[1].Base = mods[0].Base + 0x10
+				return mods, nil // traces would all fail too; module finding suffices
+			},
+			want: "module",
+		},
+		{
+			name: "zero-size module",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				mods[1].Size = 0
+				return mods, nil
+			},
+			want: "module",
+		},
+		{
+			name: "address-space wrap",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				mods[1].Base = 0xFFFFFF00
+				mods[1].Size = 0x200
+				return mods, nil
+			},
+			want: "module",
+		},
+		{
+			name: "module reference out of table",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Module = 7
+				return mods, traces
+			},
+			want: "modref",
+		},
+		{
+			name: "start inconsistent with module",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Start += 8
+				return mods, traces
+			},
+			want: "bounds",
+		},
+		{
+			name: "code spills past module end",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].ModOff = mods[0].Size - isa.InstSize
+				traces[0].Start = mods[0].Base + traces[0].ModOff
+				traces[0].RecomputeStatic()
+				traces[0].Notes = nil
+				return mods, traces
+			},
+			want: "bounds",
+		},
+		{
+			name: "undecodable instruction",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Insts[0].Rd = isa.NumRegs + 3
+				return mods, traces
+			},
+			want: "instr",
+		},
+		{
+			name: "branch outside every module",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Insts[1].Imm = 0x100000 // aligned, but mapped nowhere
+				traces[0].RecomputeStatic()       // exits re-derived, as after unmarshal
+				return mods, traces
+			},
+			want: "branch",
+		},
+		{
+			name: "branch off instruction boundary inside trace",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Insts[1].Imm = -isa.InstSize + 4
+				traces[0].RecomputeStatic()
+				return mods, traces
+			},
+			want: "branch",
+		},
+		{
+			name: "branch with no declared exit",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				// Flip the immediate without recomputing exits: the declared
+				// exit table still advertises the old target.
+				traces[0].Insts[1].Imm = 0x2000
+				return mods, traces
+			},
+			want: "branch",
+		},
+		{
+			name: "reloc patches missing instruction",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Notes[0].InstIdx = 99
+				return mods, traces
+			},
+			want: "reloc",
+		},
+		{
+			name: "dangling reloc target offset",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Notes[0].TargetOff = mods[1].Size + 0x40
+				return mods, traces
+			},
+			want: "reloc",
+		},
+		{
+			name: "reloc immediate mismatch",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Notes[0].TargetOff += isa.InstSize // imm no longer matches
+				return mods, traces
+			},
+			want: "reloc",
+		},
+		{
+			name: "64-bit reloc in instruction text",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				traces[0].Notes[0].Type = obj.RelAbs64
+				return mods, traces
+			},
+			want: "reloc",
+		},
+		{
+			name: "duplicate trace heads",
+			mutate: func(mods []Module, traces []*vm.Trace) ([]Module, []*vm.Trace) {
+				dup := mkTrace(mods, 0, 0, []isa.Inst{{Op: isa.OpHalt}})
+				return mods, append(traces, dup)
+			},
+			want: "dup",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mods, traces := healthy()
+			mods, traces = tc.mutate(mods, traces)
+			r := Traces(mods, traces)
+			if r.OK() {
+				t.Fatal("corruption not detected")
+			}
+			if !findingChecks(r)[tc.want] {
+				t.Fatalf("want a %q finding, got %v", tc.want, r.Findings)
+			}
+		})
+	}
+}
+
+func TestTraceOKIsolation(t *testing.T) {
+	mods, traces := healthy()
+	bad := mkTrace(mods, 0, 0x80, []isa.Inst{{Op: isa.OpBeq, Imm: 0x300000}, {Op: isa.OpHalt}})
+	bad.RecomputeStatic()
+	traces = append(traces, bad)
+	r := Traces(mods, traces)
+	if r.OK() {
+		t.Fatal("bad trace not detected")
+	}
+	if !r.TraceOK(0) {
+		t.Fatal("healthy trace poisoned by an unrelated bad one")
+	}
+	if r.TraceOK(1) {
+		t.Fatal("bad trace reported OK")
+	}
+}
+
+// TestRelocAbs32Equation exercises the absolute-relocation equation both
+// ways; healthy() only covers the pc-relative form.
+func TestRelocAbs32Equation(t *testing.T) {
+	mods := []Module{{Path: "app", Base: 0x1000, Size: 0x100}}
+	insts := []isa.Inst{
+		{Op: isa.OpMovI, Rd: 5, Imm: int32(0x1000 + 0x20)}, // address of a local symbol
+		{Op: isa.OpHalt},
+	}
+	tr := mkTrace(mods, 0, 0, insts)
+	tr.Notes = []vm.RelocNote{{InstIdx: 0, Type: obj.RelAbs32, Target: 0, TargetOff: 0x20}}
+	if r := Traces(mods, []*vm.Trace{tr}); !r.OK() {
+		t.Fatalf("valid abs32 reloc rejected: %v", r.Findings)
+	}
+	tr.Insts[0].Imm++
+	if r := Traces(mods, []*vm.Trace{tr}); r.OK() {
+		t.Fatal("abs32 immediate mismatch not detected")
+	}
+}

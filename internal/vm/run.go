@@ -19,6 +19,8 @@ const (
 
 // exec executes one instruction at pc against the architectural state.
 // Jump targets are returned, not applied.
+//
+//pcc:hotpath
 func (v *VM) exec(in isa.Inst, pc uint32) (ctl, uint32, error) {
 	if v.execLog != nil && v.execLogged < v.execLogLimit {
 		v.execLogged++
@@ -363,6 +365,8 @@ func (v *VM) RunNative() (*Result, error) {
 
 // Run executes the program under the run-time compiler: all code is
 // translated into the code cache and executed from there.
+//
+//pcc:hotpath
 func (v *VM) Run() (*Result, error) {
 	if err := v.start(); err != nil {
 		return nil, err
@@ -396,17 +400,17 @@ func (v *VM) Run() (*Result, error) {
 
 // execTrace runs one trace to an exit. It returns the next trace when the
 // exit is linked (control stays in the code cache) and nil when control
-// must return to the VM (v.pc holds the resume address).
+// must return to the VM (v.pc holds the resume address). Accumulated
+// execution ticks are flushed through addExecTicks on every exit path
+// (rather than a defer) to keep the per-dispatch frame cost flat.
+//
+//pcc:hotpath
 func (v *VM) execTrace(t *Trace) (*Trace, error) {
 	t.execs++
 	v.stats.TraceExecs++
 	n := len(t.Insts)
 	opIdx := 0
 	execTicks := uint64(0)
-	defer func() {
-		v.clock += execTicks
-		v.stats.ExecTicks += execTicks
-	}()
 	if v.stats.InstsExecuted >= v.maxInsts {
 		return nil, fmt.Errorf("vm: instruction budget (%d) exceeded at pc %#x", v.maxInsts, t.Start)
 	}
@@ -418,6 +422,7 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 		pc := t.Start + uint32(i)*isa.InstSize
 		c, target, err := v.exec(t.Insts[i], pc)
 		if err != nil {
+			v.addExecTicks(execTicks)
 			return nil, err
 		}
 		v.stats.InstsExecuted++
@@ -426,6 +431,7 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 		case ctlNext:
 			// continue within the trace
 		case ctlJump:
+			v.addExecTicks(execTicks)
 			if t.Insts[i].Op == isa.OpJalr {
 				return v.indirectTransfer(target)
 			}
@@ -433,17 +439,21 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 			return v.directTransfer(t, i, target)
 		case ctlSys:
 			if err := v.doSyscall(pc); err != nil {
+				v.addExecTicks(execTicks)
 				return nil, err
 			}
 			if v.halted {
+				v.addExecTicks(execTicks)
 				return nil, nil
 			}
 			// Control returns to the VM after emulation (as in Pin);
 			// the resume address re-enters via the dispatcher.
 			v.pc = pc + isa.InstSize
+			v.addExecTicks(execTicks)
 			return nil, nil
 		case ctlHalt:
 			v.halted = true
+			v.addExecTicks(execTicks)
 			return nil, nil
 		}
 	}
@@ -452,11 +462,21 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 		v.execOp(t, t.Ops[opIdx], n-1)
 		opIdx++
 	}
+	v.addExecTicks(execTicks)
 	return v.directTransfer(t, n, t.Start+uint32(n)*isa.InstSize)
+}
+
+// addExecTicks folds one trace execution's accumulated cache-execution
+// ticks into the virtual clock and the run statistics.
+func (v *VM) addExecTicks(ticks uint64) {
+	v.clock += ticks
+	v.stats.ExecTicks += ticks
 }
 
 // directTransfer follows (or establishes) the link for exit slot `slot`
 // of t toward target.
+//
+//pcc:hotpath
 func (v *VM) directTransfer(t *Trace, slot int, target uint32) (*Trace, error) {
 	if linked := t.links[slot]; linked != nil {
 		return linked, nil // stays in the code cache, no VM involvement
@@ -486,6 +506,8 @@ func (v *VM) directTransfer(t *Trace, slot int, target uint32) (*Trace, error) {
 
 // indirectTransfer models the inline indirect-branch lookup: a hit stays in
 // the code cache; a miss falls back to the full dispatcher.
+//
+//pcc:hotpath
 func (v *VM) indirectTransfer(target uint32) (*Trace, error) {
 	v.clock += v.cost.IndirectLookup
 	v.stats.IndirectTicks += v.cost.IndirectLookup

@@ -203,6 +203,8 @@ func (c *CodeCache) trackPages(t *Trace, delta int) {
 }
 
 // Lookup consults the translation map.
+//
+//pcc:hotpath
 func (c *CodeCache) Lookup(addr uint32) (*Trace, bool) {
 	t, ok := c.byAddr[addr]
 	return t, ok
@@ -216,6 +218,8 @@ func (c *CodeCache) WouldOverflow(t *Trace) bool {
 
 // Insert adds a trace to the cache and translation map. The caller is
 // responsible for flushing first if WouldOverflow reports true.
+//
+//pcc:hotpath
 func (c *CodeCache) Insert(t *Trace) {
 	if old, ok := c.byAddr[t.Start]; ok {
 		// Re-translation of a flushed-and-reinstalled address: replace.

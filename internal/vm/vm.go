@@ -273,6 +273,8 @@ func (v *VM) recordCoverage(t *Trace) {
 // InstallPersisted installs a trace recovered from a persistent cache into
 // the code cache, charging the (cheap) install cost instead of translation.
 // The persistence manager is responsible for having validated the trace.
+//
+//pcc:hotpath
 func (v *VM) InstallPersisted(t *Trace) {
 	t.Persisted = true
 	if v.cache.WouldOverflow(t) {

@@ -9,7 +9,7 @@ GO ?= go
 
 # The CI smoke set: fast, fully deterministic experiments whose *_ticks
 # metrics are gated against bench_baseline.json by pcc-benchdiff.
-BENCH_SMOKE = fig2b,fig5a,tracelog
+BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline
 MAX_REGRESS = 0.25
 
 # Per-target budget for the CI fuzz smoke; long exploratory runs are a
@@ -58,13 +58,15 @@ bench-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/pcc-bench -run chaos
 
-# Brief native-fuzz pass over the three parser trust boundaries: VR64
-# instruction decode, wire-protocol frames, and cache-file bytes. Seed
+# Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
+# decode, wire-protocol frames, cache-file bytes) plus the differential
+# translate/interpret equivalence property over generated workloads. Seed
 # corpora are checked in under each package's testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/isa/ -fuzz FuzzDecodeInstr -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cacheserver/ -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzReadCacheFile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/workload/ -fuzz FuzzTranslateEquivalence -fuzztime $(FUZZTIME)
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:

@@ -244,3 +244,5 @@ func BenchmarkMultiProcWarmup(b *testing.B) { benchExperiment(b, "multiproc") }
 func BenchmarkSpecInstrumented(b *testing.B) { benchExperiment(b, "spec-instr") }
 
 func BenchmarkShellTools(b *testing.B) { benchExperiment(b, "shelltools") }
+
+func BenchmarkPipelineWarmup(b *testing.B) { benchExperiment(b, "pipeline") }

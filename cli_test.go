@@ -18,39 +18,11 @@ import (
 	"time"
 
 	"persistcc/internal/metrics"
+	"persistcc/internal/testutil"
 )
 
-func buildTools(t *testing.T) string {
-	t.Helper()
-	if testing.Short() {
-		t.Skip("skipping CLI integration in -short mode")
-	}
-	dir := t.TempDir()
-	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
-	}
-	return dir
-}
-
-func runTool(t *testing.T, dir, name string, args ...string) (stdout, stderr string, code int) {
-	t.Helper()
-	cmd := exec.Command(filepath.Join(dir, name), args...)
-	var so, se strings.Builder
-	cmd.Stdout, cmd.Stderr = &so, &se
-	err := cmd.Run()
-	code = 0
-	if ee, ok := err.(*exec.ExitError); ok {
-		code = ee.ExitCode()
-	} else if err != nil {
-		t.Fatalf("%s %v: %v", name, args, err)
-	}
-	return so.String(), se.String(), code
-}
-
 func TestCLIPipeline(t *testing.T) {
-	bin := buildTools(t)
+	bin := testutil.BuildTools(t)
 	work := t.TempDir()
 	write := func(name, content string) string {
 		t.Helper()
@@ -89,22 +61,22 @@ msg: .ascii "ok!\n"
 
 	// Assemble.
 	for _, src := range []string{"lib.s", "main.s"} {
-		if out, se, code := runTool(t, bin, "pcc-asm", filepath.Join(work, src)); code != 0 {
+		if out, se, code := testutil.RunTool(t, bin, "pcc-asm", filepath.Join(work, src)); code != 0 {
 			t.Fatalf("pcc-asm %s failed (%d): %s%s", src, code, out, se)
 		}
 	}
 	// Link library and executable.
-	if _, se, code := runTool(t, bin, "pcc-ld", "-lib", "-o", filepath.Join(work, "libsq.so"),
+	if _, se, code := testutil.RunTool(t, bin, "pcc-ld", "-lib", "-o", filepath.Join(work, "libsq.so"),
 		"-name", "libsq.so", filepath.Join(work, "lib.vxo")); code != 0 {
 		t.Fatalf("pcc-ld lib failed: %s", se)
 	}
-	if _, se, code := runTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
+	if _, se, code := testutil.RunTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
 		"-L", filepath.Join(work, "libsq.so"), filepath.Join(work, "main.vxo")); code != 0 {
 		t.Fatalf("pcc-ld exe failed: %s", se)
 	}
 
 	// Disassemble: the cross-module call shows as loader-patched.
-	dump, se, code := runTool(t, bin, "pcc-objdump", filepath.Join(work, "main.vxe"))
+	dump, se, code := testutil.RunTool(t, bin, "pcc-objdump", filepath.Join(work, "main.vxe"))
 	if code != 0 {
 		t.Fatalf("pcc-objdump failed: %s", se)
 	}
@@ -114,7 +86,7 @@ msg: .ascii "ok!\n"
 
 	// First persistent run: exit code 36, translates and commits.
 	db := filepath.Join(work, "db")
-	so, se, code := runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	so, se, code := testutil.RunTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
 	if code != 36 {
 		t.Fatalf("first run exit %d, want 36\n%s", code, se)
 	}
@@ -127,7 +99,7 @@ msg: .ascii "ok!\n"
 	}
 
 	// Second run: full reuse, zero translation.
-	so, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	so, se, code = testutil.RunTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
 	if code != 36 || so != "ok!\n" {
 		t.Fatalf("second run: exit %d stdout %q", code, so)
 	}
@@ -140,11 +112,11 @@ msg: .ascii "ok!\n"
 	}
 
 	// Database inspection.
-	listOut, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "list")
+	listOut, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-dir", db, "list")
 	if code != 0 || !strings.Contains(listOut, "main") {
 		t.Errorf("cachectl list (%d): %s%s", code, listOut, se)
 	}
-	if _, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
 		t.Errorf("cachectl verify failed: %s", se)
 	}
 
@@ -161,10 +133,10 @@ _start:
 	sys
 	halt
 `)
-	runTool(t, bin, "pcc-asm", filepath.Join(work, "main.s"))
-	runTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
+	testutil.RunTool(t, bin, "pcc-asm", filepath.Join(work, "main.s"))
+	testutil.RunTool(t, bin, "pcc-ld", "-o", filepath.Join(work, "main.vxe"), "-name", "main",
 		"-L", filepath.Join(work, "libsq.so"), filepath.Join(work, "main.vxo"))
-	_, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
+	_, se, code = testutil.RunTool(t, bin, "pcc-run", "-json", "-persist", db, filepath.Join(work, "main.vxe"))
 	if code != 49 {
 		t.Fatalf("rebuilt run exit %d, want 49\n%s", code, se)
 	}
@@ -215,11 +187,11 @@ _start:
 `), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, se, code := runTool(t, bin, "pcc-asm", src); code != 0 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-asm", src); code != 0 {
 		t.Fatalf("pcc-asm failed: %s", se)
 	}
 	exe := filepath.Join(work, "tiny.vxe")
-	if _, se, code := runTool(t, bin, "pcc-ld", "-o", exe, "-name", "tiny",
+	if _, se, code := testutil.RunTool(t, bin, "pcc-ld", "-o", exe, "-name", "tiny",
 		filepath.Join(work, "tiny.vxo")); code != 0 {
 		t.Fatalf("pcc-ld failed: %s", se)
 	}
@@ -243,7 +215,7 @@ func readSnapshot(t *testing.T, path string) *metrics.Snapshot {
 // through a cold/warm persistent pair and checks the snapshots tell the
 // right story: the warm run reuses every trace from the persistent cache.
 func TestCLIMetricsAndEvents(t *testing.T) {
-	bin := buildTools(t)
+	bin := testutil.BuildTools(t)
 	work := t.TempDir()
 	exe := buildTinyExe(t, bin, work)
 	db := filepath.Join(work, "db")
@@ -251,11 +223,11 @@ func TestCLIMetricsAndEvents(t *testing.T) {
 	warmM := filepath.Join(work, "warm.metrics.json")
 	events := filepath.Join(work, "events.ndjson")
 
-	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db,
+	if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-persist", db,
 		"-metrics-out", coldM, "-events-out", events, exe); code != 35 {
 		t.Fatalf("cold run exit %d, want 35\n%s", code, se)
 	}
-	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db,
+	if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-persist", db,
 		"-metrics-out", warmM, exe); code != 35 {
 		t.Fatalf("warm run exit %d, want 35\n%s", code, se)
 	}
@@ -304,7 +276,7 @@ func TestCLIMetricsAndEvents(t *testing.T) {
 	}
 
 	// pcc-cachectl renders a snapshot file as Prometheus text.
-	out, se, code := runTool(t, bin, "pcc-cachectl", "metrics", warmM)
+	out, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "metrics", warmM)
 	if code != 0 {
 		t.Fatalf("cachectl metrics failed: %s", se)
 	}
@@ -318,12 +290,12 @@ func TestCLIMetricsAndEvents(t *testing.T) {
 // `pcc-cachectl repair` quarantines the damage, rebuilds the index, and the
 // database keeps serving warm runs.
 func TestCLIRepair(t *testing.T) {
-	bin := buildTools(t)
+	bin := testutil.BuildTools(t)
 	work := t.TempDir()
 	exe := buildTinyExe(t, bin, work)
 	db := filepath.Join(work, "db")
 
-	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
 		t.Fatalf("cold run exit %d, want 35\n%s", code, se)
 	}
 	// A second application so repair has both a victim and a survivor.
@@ -339,19 +311,19 @@ _start:
 `), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	runTool(t, bin, "pcc-asm", filepath.Join(work, "tiny2.s"))
-	if _, se, code := runTool(t, bin, "pcc-ld", "-o", exe2, "-name", "tiny2",
+	testutil.RunTool(t, bin, "pcc-asm", filepath.Join(work, "tiny2.s"))
+	if _, se, code := testutil.RunTool(t, bin, "pcc-ld", "-o", exe2, "-name", "tiny2",
 		filepath.Join(work, "tiny2.vxo")); code != 0 {
 		t.Fatalf("pcc-ld failed: %s", se)
 	}
-	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe2); code != 9 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-persist", db, exe2); code != 9 {
 		t.Fatalf("second app cold run exit %d, want 9\n%s", code, se)
 	}
 
 	// Corrupt the first app's cache file in place, the index entirely, and
 	// strand a fake crashed writer's temp file. The list output maps cache
 	// file names (content hashes) back to applications.
-	listing, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "list")
+	listing, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-dir", db, "list")
 	if code != 0 {
 		t.Fatalf("list failed: %s", se)
 	}
@@ -374,7 +346,7 @@ _start:
 		t.Fatal(err)
 	}
 
-	out, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "repair")
+	out, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-dir", db, "repair")
 	if code != 0 {
 		t.Fatalf("repair failed (%d): %s%s", code, out, se)
 	}
@@ -391,18 +363,18 @@ _start:
 	if _, err := os.Stat(filepath.Join(db, "quarantine")); err != nil {
 		t.Error("repair left no quarantine directory")
 	}
-	if _, se, code := runTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-dir", db, "verify"); code != 0 {
 		t.Errorf("verify after repair failed: %s", se)
 	}
 	// The surviving entry still serves; the quarantined one re-translates.
-	_, se, code = runTool(t, bin, "pcc-run", "-json", "-persist", db, exe2)
+	_, se, code = testutil.RunTool(t, bin, "pcc-run", "-json", "-persist", db, exe2)
 	if code != 9 {
 		t.Fatalf("post-repair run exit %d, want 9\n%s", code, se)
 	}
 	if st := parseStats(t, se); st.Stats.TracesTranslated != 0 {
 		t.Errorf("surviving entry not reused: translated %d", st.Stats.TracesTranslated)
 	}
-	if _, se, code := runTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
+	if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-persist", db, exe); code != 35 {
 		t.Fatalf("quarantined app rerun exit %d, want 35\n%s", code, se)
 	}
 }
@@ -411,7 +383,7 @@ _start:
 // listener, runs two clients against it, and round-trips /metrics, /healthz
 // and the wire-protocol METRICS op.
 func TestCLIDaemonMetricsHTTP(t *testing.T) {
-	bin := buildTools(t)
+	bin := testutil.BuildTools(t)
 	work := t.TempDir()
 	exe := buildTinyExe(t, bin, work)
 	sdb := filepath.Join(work, "sdb")
@@ -461,7 +433,7 @@ func TestCLIDaemonMetricsHTTP(t *testing.T) {
 	// Two clients: the first publishes, the second gets a remote hit.
 	for i := 0; i < 2; i++ {
 		db := filepath.Join(work, "ldb", string(rune('a'+i)))
-		if _, se, code := runTool(t, bin, "pcc-run", "-cache-server", a.serve,
+		if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-cache-server", a.serve,
 			"-persist", db, exe); code != 35 {
 			t.Fatalf("client run %d exit %d, want 35\n%s", i, code, se)
 		}
@@ -502,7 +474,7 @@ func TestCLIDaemonMetricsHTTP(t *testing.T) {
 	}
 
 	// The same families over the wire protocol's METRICS op.
-	out, se, code := runTool(t, bin, "pcc-cachectl", "-server", a.serve, "metrics")
+	out, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-server", a.serve, "metrics")
 	if code != 0 {
 		t.Fatalf("cachectl -server metrics failed: %s", se)
 	}
@@ -512,8 +484,8 @@ func TestCLIDaemonMetricsHTTP(t *testing.T) {
 }
 
 func TestCLIWorkloadAndBenchList(t *testing.T) {
-	bin := buildTools(t)
-	out, se, code := runTool(t, bin, "pcc-bench", "-list")
+	bin := testutil.BuildTools(t)
+	out, se, code := testutil.RunTool(t, bin, "pcc-bench", "-list")
 	if code != 0 {
 		t.Fatalf("pcc-bench -list failed: %s", se)
 	}
@@ -523,7 +495,7 @@ func TestCLIWorkloadAndBenchList(t *testing.T) {
 		}
 	}
 	dir := t.TempDir()
-	out, se, code = runTool(t, bin, "pcc-workload", "-suite", "oracle", "-out", dir)
+	out, se, code = testutil.RunTool(t, bin, "pcc-workload", "-suite", "oracle", "-out", dir)
 	if code != 0 {
 		t.Fatalf("pcc-workload failed: %s", se)
 	}

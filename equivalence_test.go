@@ -1,0 +1,357 @@
+package persistcc_test
+
+// Differential-equivalence suite for the translation system: every workload
+// runs cold-interpreted, cold-translated, warm-from-disk, server-warmed and
+// pipelined (4 workers, prefetch, batched commits), and the five executions
+// must agree bit for bit on the final architectural state — registers,
+// memory image, output — and on every execution-behavior invariant of
+// Stats. The pipeline's determinism contract is stronger still: at equal
+// cache warmth it must match the synchronous dispatcher on the cache-
+// behavior counters too, so a speculative install that perturbed execution
+// order (or tool observation order) fails this suite immediately.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/core"
+	"persistcc/internal/instr"
+	"persistcc/internal/isa"
+	"persistcc/internal/loader"
+	"persistcc/internal/testutil"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// snap is everything one execution mode is compared on.
+type snap struct {
+	mode    string
+	res     *vm.Result
+	regs    [isa.NumRegs]uint64
+	memSum  [sha256.Size]byte
+	markIDs []uint64
+}
+
+func takeSnap(mode string, v *vm.VM, res *vm.Result) *snap {
+	s := &snap{mode: mode, res: res}
+	for r := 0; r < isa.NumRegs; r++ {
+		s.regs[r] = v.Reg(uint8(r))
+	}
+	h := sha256.New()
+	as := v.Process().AS
+	var word [8]byte
+	for _, m := range as.Mappings() {
+		binary.LittleEndian.PutUint64(word[:], uint64(m.Base)<<32|uint64(m.Size))
+		h.Write(word[:])
+		buf := make([]byte, m.Size)
+		if err := as.ReadBytes(m.Base, buf); err == nil {
+			h.Write(buf)
+		}
+	}
+	copy(s.memSum[:], h.Sum(nil))
+	for _, mk := range res.Stats.Marks {
+		s.markIDs = append(s.markIDs, mk.ID)
+	}
+	return s
+}
+
+// eqRow is one workload of the suite. newVM returns a fresh VM with the
+// input attached and the given extra options applied; the build itself is
+// cached across modes so all five executions load identical binaries.
+type eqRow struct {
+	name  string
+	tool  func() vm.Tool // fresh tool instance per mode; nil = uninstrumented
+	newVM func(t *testing.T, opts ...vm.Option) *vm.VM
+}
+
+func worldRow(name, src string, libs map[string]string, input []uint64, tool func() vm.Tool) eqRow {
+	var w *testutil.World
+	return eqRow{
+		name: name,
+		tool: tool,
+		newVM: func(t *testing.T, opts ...vm.Option) *vm.VM {
+			if w == nil {
+				w = testutil.BuildWorld(t, name, src, libs)
+			}
+			return w.NewVM(t, testutil.RunOpts{Input: input, Options: opts})
+		},
+	}
+}
+
+func genRow(name string, seed uint64, tool func() vm.Tool) eqRow {
+	var prog *workload.Program
+	in := workload.Input{Name: "eq", Units: []workload.Unit{{Entry: 0, Iters: 9}, {Entry: 1, Iters: 5}, {Entry: 0, Iters: 3}}}
+	return eqRow{
+		name: name,
+		tool: tool,
+		newVM: func(t *testing.T, opts ...vm.Option) *vm.VM {
+			if prog == nil {
+				p, err := workload.BuildProgram(workload.ProgSpec{
+					Name: name, Seed: seed,
+					PrivateLibs: []string{"libpriv.so"},
+					Regions:     []workload.RegionSpec{{Funcs: 12, Module: 0}, {Funcs: 8, Module: 1}},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog = p
+			}
+			v, err := prog.NewVM(loader.Config{Placement: loader.PlaceHashed}, in, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+	}
+}
+
+func equivalenceRows() []eqRow {
+	return []eqRow{
+		worldRow("eq-loop", testutil.MainSrc, map[string]string{"libwork.so": testutil.LibWork},
+			[]uint64{50}, nil),
+		worldRow("eq-loop-bbcount", testutil.MainSrc, map[string]string{"libwork.so": testutil.LibWork},
+			[]uint64{37}, func() vm.Tool { return &instr.BBCount{} }),
+		worldRow("eq-loop-memtrace", testutil.MainSrc, map[string]string{"libwork.so": testutil.LibWork},
+			[]uint64{23}, func() vm.Tool { return &instr.MemTrace{} }),
+		genRow("eq-gen", 77, nil),
+		genRow("eq-gen-opmix", 1234, func() vm.Tool { return &instr.OpcodeMix{} }),
+	}
+}
+
+func TestDifferentialEquivalence(t *testing.T) {
+	var adoptedTotal uint64
+	for _, row := range equivalenceRows() {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			mgr := testutil.NewMgr(t)
+			freshVM := func(extra ...vm.Option) *vm.VM {
+				if row.tool != nil {
+					extra = append([]vm.Option{vm.WithTool(row.tool())}, extra...)
+				}
+				return row.newVM(t, extra...)
+			}
+
+			// Mode 1: cold, interpreted — the reference semantics.
+			vI := freshVM()
+			resI, err := vI.RunNative()
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp := takeSnap("interpreted", vI, resI)
+
+			// Mode 2: cold, synchronously translated; commits the database
+			// every warm mode reuses.
+			vC := freshVM()
+			resC, err := vC.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mgr.Commit(vC); err != nil {
+				t.Fatal(err)
+			}
+			cold := takeSnap("cold-translated", vC, resC)
+
+			// Mode 2b: cold, pipelined — nothing primed, so every miss goes
+			// through the speculative decode/adopt path, and batched commits
+			// land in a throwaway database. This is the mode that catches a
+			// speculative install corrupting execution order.
+			pipeC := vm.NewPipeline(4)
+			defer pipeC.Shutdown()
+			vPC := freshVM(vm.WithPipeline(pipeC))
+			pipeC.SetCommit(testutil.NewMgr(t).BatchCommitter(vPC))
+			resPC, err := vPC.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldPiped := takeSnap("cold-pipelined", vPC, resPC)
+			adoptedTotal += resPC.Stats.SpecTranslated
+
+			// Mode 3: warm from disk, synchronous dispatch.
+			vW := freshVM()
+			wrep, err := mgr.Prime(vW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wrep.Installed == 0 {
+				t.Fatal("warm mode installed nothing; equivalence would be vacuous")
+			}
+			resW, err := vW.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := takeSnap("warm-disk", vW, resW)
+
+			// Mode 4: server-warmed — the cache arrives over the wire and
+			// installs through the fallback's validation path.
+			server := serverSnap(t, row, freshVM, vC)
+
+			// Mode 5: pipelined — prefetch bulk install, speculative
+			// workers, batched commits, against the same database.
+			pipe := vm.NewPipeline(4, vm.PipelinePrefetch())
+			defer pipe.Shutdown()
+			vP := freshVM(vm.WithPipeline(pipe))
+			pipe.SetCommit(mgr.BatchCommitter(vP))
+			prep, err := mgr.Prime(vP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resP, err := vP.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			piped := takeSnap("pipelined", vP, resP)
+			if resP.Stats.PrefetchInstalls != uint64(prep.Installed) {
+				t.Errorf("prefetch installed %d of %d primed traces", resP.Stats.PrefetchInstalls, prep.Installed)
+			}
+
+			all := []*snap{interp, cold, coldPiped, warm, server, piped}
+			translated := all[1:]
+			warmTrio := []*snap{warm, server, piped}
+			checkArchitectural(t, all)
+			checkBehavior(t, translated)
+			checkCacheBehavior(t, warmTrio)
+		})
+	}
+	if adoptedTotal == 0 {
+		t.Error("no speculative translation was adopted in any workload; the pipelined modes never exercised the speculative-install path")
+	}
+}
+
+// serverSnap runs the server-warmed mode: an in-process daemon is seeded
+// with the cold run's cache file, and the run primes through a Fallback
+// whose local database is empty — every installed trace travelled the wire.
+func serverSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
+	t.Helper()
+	smgr, err := core.NewManager(testutil.TempDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cacheserver.New(smgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := cacheserver.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	client := cacheserver.NewClient(ln.Addr().String(),
+		cacheserver.WithRetry(1, time.Millisecond), cacheserver.WithDialTimeout(time.Second))
+	t.Cleanup(func() { client.Close() })
+	cf, _ := core.BuildCacheFile(committed)
+	if _, err := client.Publish(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := core.NewManager(testutil.TempDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := cacheserver.NewFallback(client, local)
+	v := freshVM()
+	rep, err := fb.Prime(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Installed == 0 || v.Stats().RemoteHits == 0 {
+		t.Fatalf("server mode installed nothing remotely: %+v", rep)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return takeSnap("server-warmed", v, res)
+}
+
+// checkArchitectural asserts the invariants every mode — including the
+// interpreter — must agree on: final architectural state and the
+// execution-behavior facts of the program itself.
+func checkArchitectural(t *testing.T, snaps []*snap) {
+	t.Helper()
+	ref := snaps[0]
+	for _, s := range snaps[1:] {
+		if s.res.ExitCode != ref.res.ExitCode {
+			t.Errorf("%s: exit %d, %s has %d", s.mode, s.res.ExitCode, ref.mode, ref.res.ExitCode)
+		}
+		if !reflect.DeepEqual(s.res.Output, ref.res.Output) {
+			t.Errorf("%s: output differs from %s (%d vs %d bytes)", s.mode, ref.mode, len(s.res.Output), len(ref.res.Output))
+		}
+		if s.regs != ref.regs {
+			t.Errorf("%s: final registers differ from %s", s.mode, ref.mode)
+		}
+		if s.memSum != ref.memSum {
+			t.Errorf("%s: final memory image differs from %s", s.mode, ref.mode)
+		}
+		if s.res.Stats.InstsExecuted != ref.res.Stats.InstsExecuted {
+			t.Errorf("%s: executed %d insts, %s executed %d", s.mode, s.res.Stats.InstsExecuted, ref.mode, ref.res.Stats.InstsExecuted)
+		}
+		if !reflect.DeepEqual(s.res.Stats.Syscalls, ref.res.Stats.Syscalls) {
+			t.Errorf("%s: syscall profile differs from %s", s.mode, ref.mode)
+		}
+		if !reflect.DeepEqual(s.markIDs, ref.markIDs) {
+			t.Errorf("%s: mark sequence %v differs from %s %v", s.mode, s.markIDs, ref.mode, ref.markIDs)
+		}
+	}
+}
+
+// checkBehavior asserts the invariants shared by every translated mode
+// regardless of cache warmth: what the program (and its tool) observed.
+func checkBehavior(t *testing.T, snaps []*snap) {
+	t.Helper()
+	ref := snaps[0]
+	for _, s := range snaps[1:] {
+		rs, ss := &ref.res.Stats, &s.res.Stats
+		if ss.TraceExecs != rs.TraceExecs {
+			t.Errorf("%s: %d trace execs, %s has %d", s.mode, ss.TraceExecs, ref.mode, rs.TraceExecs)
+		}
+		if !reflect.DeepEqual(ss.Counters, rs.Counters) {
+			t.Errorf("%s: tool counters differ from %s", s.mode, ref.mode)
+		}
+		if ss.MemRefs != rs.MemRefs || ss.MemRefHash != rs.MemRefHash {
+			t.Errorf("%s: memory-trace profile differs from %s", s.mode, ref.mode)
+		}
+		if ss.OpcodeMix != rs.OpcodeMix {
+			t.Errorf("%s: opcode mix differs from %s", s.mode, ref.mode)
+		}
+	}
+}
+
+// checkCacheBehavior asserts the pipeline determinism contract: at equal
+// warmth, speculative installs and bulk prefetch must leave the cache-
+// behavior counters exactly where the synchronous dispatcher leaves them.
+func checkCacheBehavior(t *testing.T, snaps []*snap) {
+	t.Helper()
+	ref := snaps[0]
+	for _, s := range snaps[1:] {
+		rs, ss := &ref.res.Stats, &s.res.Stats
+		if ss.TracesTranslated != rs.TracesTranslated || ss.InstsTranslated != rs.InstsTranslated {
+			t.Errorf("%s: translated %d traces/%d insts, %s has %d/%d",
+				s.mode, ss.TracesTranslated, ss.InstsTranslated, ref.mode, rs.TracesTranslated, rs.InstsTranslated)
+		}
+		if ss.TracesReused != rs.TracesReused {
+			t.Errorf("%s: reused %d traces, %s has %d", s.mode, ss.TracesReused, ref.mode, rs.TracesReused)
+		}
+		if ss.Dispatches != rs.Dispatches {
+			t.Errorf("%s: %d dispatches, %s has %d", s.mode, ss.Dispatches, ref.mode, rs.Dispatches)
+		}
+		if ss.IndirectHits != rs.IndirectHits || ss.IndirectMisses != rs.IndirectMisses {
+			t.Errorf("%s: indirect %d/%d, %s has %d/%d",
+				s.mode, ss.IndirectHits, ss.IndirectMisses, ref.mode, rs.IndirectHits, rs.IndirectMisses)
+		}
+		if ss.LinksPatched != rs.LinksPatched {
+			t.Errorf("%s: %d links patched, %s has %d", s.mode, ss.LinksPatched, ref.mode, rs.LinksPatched)
+		}
+		if ss.Flushes != rs.Flushes {
+			t.Errorf("%s: %d flushes, %s has %d", s.mode, ss.Flushes, ref.mode, rs.Flushes)
+		}
+	}
+}
+
+var _ = errors.Is // keep errors imported if assertions above change

@@ -507,3 +507,93 @@ func TestDaemonKilledMidRun(t *testing.T) {
 		t.Fatalf("post-kill run not served locally: prime=%+v translated=%d", prep2, second.Stats.TracesTranslated)
 	}
 }
+
+// TestFetchBulkRoundTrip covers the bulk-FETCH op the pipeline's prefetch
+// uses: the exact entry must come first, inter-application candidates
+// follow, and an empty result is ErrNoCache — on both sides of the wire.
+func TestFetchBulkRoundTrip(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := newClient(addr)
+	defer c.Close()
+
+	wa := buildWorld(t, "appa", 1)
+	va, _ := wa.ranVM(t, 50)
+	cfa, ksa := core.BuildCacheFile(va)
+	if _, err := c.FetchBulk(ksa, true); !errors.Is(err, core.ErrNoCache) {
+		t.Fatalf("bulk fetch on empty server: want ErrNoCache, got %v", err)
+	}
+	if _, err := c.Publish(cfa); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := c.FetchBulk(ksa, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || len(files[0].Traces) != len(cfa.Traces) {
+		t.Fatalf("exact-only bulk fetch: got %d files, first has %d traces, want 1 file with %d",
+			len(files), len(files[0].Traces), len(cfa.Traces))
+	}
+
+	wb := buildWorld(t, "appb", 2)
+	vbr, _ := wb.ranVM(t, 50)
+	cfb, ksb := core.BuildCacheFile(vbr)
+	if ksb.App == ksa.App {
+		t.Fatal("worlds share an application key; test is vacuous")
+	}
+	if _, err := c.Publish(cfb); err != nil {
+		t.Fatal(err)
+	}
+
+	// App A with inter-app enabled: its own entry first, B's behind it.
+	files, err = c.FetchBulk(ksa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("bulk fetch with inter-app: got %d files, want 2", len(files))
+	}
+	if len(files[0].Traces) != len(cfa.Traces) {
+		t.Errorf("exact entry not first: %d traces, want %d", len(files[0].Traces), len(cfa.Traces))
+	}
+	if len(files[1].Traces) != len(cfb.Traces) {
+		t.Errorf("inter-app candidate wrong: %d traces, want %d", len(files[1].Traces), len(cfb.Traces))
+	}
+
+	// An app the server has never seen: nothing exact-only, candidates via
+	// the shared library with inter-app enabled.
+	wc := buildWorld(t, "appc", 3)
+	vc := wc.freshVM(t, 50)
+	ksc := core.KeysFor(vc)
+	if _, err := c.FetchBulk(ksc, false); !errors.Is(err, core.ErrNoCache) {
+		t.Fatalf("exact-only bulk fetch for unknown app: want ErrNoCache, got %v", err)
+	}
+	files, err = c.FetchBulk(ksc, true)
+	if err != nil {
+		t.Fatalf("inter-app bulk fetch for unknown app: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no inter-app candidates despite shared library")
+	}
+
+	// The bulk payload primes a fresh run end to end.
+	local, err := core.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := wa.freshVM(t, 50)
+	bulk, err := c.FetchBulk(core.KeysFor(v2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.PrimeFrom(v2, bulk[0]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TracesTranslated != 0 {
+		t.Errorf("bulk-primed run still translated %d traces", res.Stats.TracesTranslated)
+	}
+}

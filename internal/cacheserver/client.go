@@ -292,6 +292,33 @@ func (c *Client) Fetch(ks core.KeySet, interApp bool) (*core.CacheFile, error) {
 	return cf, nil
 }
 
+// FetchBulk retrieves every cache file the server holds for the key
+// request — the exact match plus, in inter-application mode, same-class
+// candidates — in one round trip. Each image is decoded (re-verifying its
+// integrity trailer) independently.
+func (c *Client) FetchBulk(ks core.KeySet, interApp bool) ([]*core.CacheFile, error) {
+	resp, err := c.do(OpFetchBulk, encodeKeyRequest(ks, interApp))
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := decodeBulkFiles(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.CacheFile, 0, len(blobs))
+	for _, b := range blobs {
+		cf := new(core.CacheFile)
+		if err := cf.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		out = append(out, cf)
+	}
+	if len(out) == 0 {
+		return nil, core.ErrNoCache
+	}
+	return out, nil
+}
+
 // Publish sends a serialized cache file for server-side merge.
 func (c *Client) Publish(cf *core.CacheFile) (*core.CommitReport, error) {
 	b, err := cf.MarshalBinary()
@@ -388,11 +415,70 @@ func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 	}
 }
 
+// PrimeBulk is the prefetch-mode warm path: one bulk round trip brings
+// back every matching cache file (the exact entry plus inter-application
+// candidates when interApp is set) and all of them are installed through
+// the local validation path, so the pipeline's bulk installer sees the
+// whole index-matching trace set at load time. Degrades exactly like
+// Prime: a server miss or failure falls back to the local database.
+func (f *Fallback) PrimeBulk(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
+	ks := core.KeysFor(v)
+	cfs, err := f.client.FetchBulk(ks, interApp)
+	switch {
+	case err == nil:
+		agg := &core.PrimeReport{}
+		okAny := false
+		for _, cf := range cfs {
+			rep, err := f.local.PrimeFrom(v, cf)
+			if err != nil {
+				continue // this candidate failed key validation; try the rest
+			}
+			okAny = true
+			agg.Found = true
+			agg.CacheTraces += rep.CacheTraces
+			agg.Installed += rep.Installed
+			agg.Rebased += rep.Rebased
+			agg.InvalidMissing += rep.InvalidMissing
+			agg.InvalidContent += rep.InvalidContent
+			agg.InvalidBase += rep.InvalidBase
+		}
+		if !okAny {
+			v.RecordRemote(1, 0, 1)
+			f.client.m.fallbacks.With("prime").Inc()
+			return f.localPrimeAll(v, interApp)
+		}
+		v.RecordRemote(1, uint64(agg.Installed), 0)
+		v.EventLog().Record(tracelog.Event{
+			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: agg.Installed,
+			Detail: "bulk " + f.client.addr,
+		})
+		return agg, nil
+	case errors.Is(err, core.ErrNoCache):
+		v.RecordRemote(1, 0, 0)
+		return f.localPrimeAll(v, interApp)
+	default:
+		v.RecordRemote(1, 0, 1)
+		f.client.m.fallbacks.With("prime").Inc()
+		return f.localPrimeAll(v, interApp)
+	}
+}
+
 func (f *Fallback) localPrime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 	if interApp {
 		return f.local.PrimeInterApp(v)
 	}
 	return f.local.Prime(v)
+}
+
+// localPrimeAll is the degraded PrimeBulk: the exact local entry first,
+// then the inter-application candidate — the same order the facade uses
+// when no server is configured.
+func (f *Fallback) localPrimeAll(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
+	rep, err := f.local.Prime(v)
+	if errors.Is(err, core.ErrNoCache) && interApp {
+		return f.local.PrimeInterApp(v)
+	}
+	return rep, err
 }
 
 // Prime implements Manager.

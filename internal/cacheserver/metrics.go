@@ -67,6 +67,8 @@ func opName(op uint8) string {
 		return "prune"
 	case OpMetrics:
 		return "metrics"
+	case OpFetchBulk:
+		return "fetchbulk"
 	}
 	return "unknown"
 }

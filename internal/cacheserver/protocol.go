@@ -29,13 +29,18 @@ import (
 
 // Op codes (client → server).
 const (
-	OpLookup  = 1 // key set + mode → cache metadata, no payload transfer
-	OpFetch   = 2 // key set + mode → serialized CacheFile
-	OpPublish = 3 // serialized CacheFile → server-side merge, CommitReport
-	OpStats   = 4 // → per-database totals (core.DBStats)
-	OpPrune   = 5 // → reconcile index and files (core.PruneReport)
-	OpMetrics = 6 // → the daemon's metrics registry snapshot (JSON)
+	OpLookup    = 1 // key set + mode → cache metadata, no payload transfer
+	OpFetch     = 2 // key set + mode → serialized CacheFile
+	OpPublish   = 3 // serialized CacheFile → server-side merge, CommitReport
+	OpStats     = 4 // → per-database totals (core.DBStats)
+	OpPrune     = 5 // → reconcile index and files (core.PruneReport)
+	OpMetrics   = 6 // → the daemon's metrics registry snapshot (JSON)
+	OpFetchBulk = 7 // key set + mode → every index-matching serialized CacheFile
 )
+
+// maxBulkFiles bounds how many cache files one bulk fetch may return (the
+// exact match plus inter-application candidates); both ends enforce it.
+const maxBulkFiles = 64
 
 // Status codes (server → client).
 const (
@@ -113,6 +118,37 @@ func decodeKeyRequest(b []byte) (core.KeySet, bool, error) {
 	copy(ks.Tool[:], r.Raw(32))
 	interApp := r.Bool()
 	return ks, interApp, r.Done()
+}
+
+// encodeBulkFiles builds the FETCHBULK response: a count followed by each
+// serialized cache file, length-prefixed. Every image keeps its own
+// integrity trailer, so the transfer stays verified end to end per file.
+func encodeBulkFiles(files [][]byte) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(files)))
+	for _, b := range files {
+		w.U32(uint32(len(b)))
+		w.Raw(b)
+	}
+	return w.Buf
+}
+
+func decodeBulkFiles(b []byte) ([][]byte, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxBulkFiles)
+	files := make([][]byte, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		ln := int(r.U32())
+		if r.Err == nil && (ln < 0 || ln > MaxFrame) {
+			return nil, fmt.Errorf("cacheserver: bulk file length %d out of range", ln)
+		}
+		raw := r.Raw(ln)
+		if r.Err != nil {
+			break
+		}
+		files = append(files, append([]byte(nil), raw...))
+	}
+	return files, r.Done()
 }
 
 // LookupInfo is the metadata LOOKUP returns without transferring traces.

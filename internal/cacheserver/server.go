@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"net"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -389,6 +390,8 @@ func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
 	case OpMetrics:
 		s.mgr.Stats() // refresh the database gauges before snapshotting
 		resp = s.metrics.Snapshot().JSON()
+	case OpFetchBulk:
+		resp, err = s.handleFetchBulk(payload)
 	default:
 		err = fmt.Errorf("unknown op %d", op)
 	}
@@ -461,6 +464,85 @@ func (s *Server) handleLookup(payload []byte, fetch bool) ([]byte, error) {
 		}), nil
 	}
 	return s.fileBytes(e, meta.File)
+}
+
+// handleFetchBulk serves every cache file matching the key request in one
+// round trip: the exact entry first, then — in inter-application mode —
+// every other entry of the same VM/Tool class, ordered best-first the same
+// way resolve breaks ties (most traces, then file name). The client's
+// prefetch path installs them all at load time, replacing one FETCH round
+// trip per candidate with a single bulk transfer. Unreadable files are
+// skipped; the response is capped by maxBulkFiles and the frame bound.
+func (s *Server) handleFetchBulk(payload []byte) ([]byte, error) {
+	ks, interApp, err := decodeKeyRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	var files [][]byte
+	total := 0
+	add := func(e *entry, file string) bool {
+		b, err := s.fileBytes(e, file)
+		if err != nil {
+			return true // unreadable or pruned since indexed: skip
+		}
+		// Leave room for the count/length framing and the status byte.
+		if total+len(b)+8*(len(files)+2) > s.maxFrame {
+			return false
+		}
+		files = append(files, b)
+		total += len(b)
+		return true
+	}
+
+	exact := ks.CacheFileName()
+	sh := s.shardFor(exact)
+	sh.mu.RLock()
+	e := sh.entries[exact]
+	var exactMeta core.IndexEntry
+	if e != nil {
+		exactMeta = e.meta
+	}
+	sh.mu.RUnlock()
+	if e != nil && exactMeta.File != "" {
+		add(e, exactMeta.File)
+	}
+
+	if interApp {
+		type cand struct {
+			e    *entry
+			meta core.IndexEntry
+		}
+		var cands []cand
+		for _, sh := range s.shards {
+			sh.mu.RLock()
+			for _, e := range sh.entries {
+				m := e.meta
+				if m.File == "" || m.File == exact || m.VM != ks.VM.Hex() || m.Tool != ks.Tool.Hex() || m.App == ks.App.Hex() {
+					continue
+				}
+				cands = append(cands, cand{e, m})
+			}
+			sh.mu.RUnlock()
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].meta.Traces != cands[j].meta.Traces {
+				return cands[i].meta.Traces > cands[j].meta.Traces
+			}
+			return cands[i].meta.File < cands[j].meta.File
+		})
+		for _, c := range cands {
+			if len(files) >= maxBulkFiles {
+				break
+			}
+			if !add(c.e, c.meta.File) {
+				break
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, core.ErrNoCache
+	}
+	return encodeBulkFiles(files), nil
 }
 
 // fileBytes returns the serialized cache file, from the per-entry byte

@@ -12,6 +12,7 @@ import (
 	"persistcc/internal/fsx"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
+	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 )
 
@@ -69,9 +70,9 @@ type chaosEnv struct {
 	ksB        core.KeySet
 }
 
-func chaosRan(t *testing.T, w *world, input uint64) *vm.VM {
+func chaosRan(t *testing.T, w *testutil.World, input uint64) *vm.VM {
 	t.Helper()
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,8 +85,8 @@ func chaosRan(t *testing.T, w *world, input uint64) *vm.VM {
 
 func buildChaosEnv(t *testing.T) *chaosEnv {
 	t.Helper()
-	wA := buildWorld(t, "appa", fmt.Sprintf(chaosMainSrc, 1), map[string]string{"libwork.so": chaosLibSrc})
-	wB := buildWorld(t, "appb", fmt.Sprintf(chaosMainSrc, 2), map[string]string{"libwork.so": chaosLibSrc})
+	wA := testutil.BuildWorld(t, "appa", fmt.Sprintf(chaosMainSrc, 1), map[string]string{"libwork.so": chaosLibSrc})
+	wB := testutil.BuildWorld(t, "appb", fmt.Sprintf(chaosMainSrc, 2), map[string]string{"libwork.so": chaosLibSrc})
 	env := &chaosEnv{}
 	env.cfA, env.ksA = core.BuildCacheFile(chaosRan(t, wA, 10))
 	// Input 0 never runs the loop body: B's first commit holds a strict

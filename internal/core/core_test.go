@@ -12,129 +12,26 @@ import (
 	"persistcc/internal/instr"
 	"persistcc/internal/isa"
 	"persistcc/internal/loader"
-	"persistcc/internal/obj"
 	"persistcc/internal/testprog"
+	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 )
 
-const libWork = `
-.text
-.global compute
-compute:            ; a0 = a0*2 + 1
-	add  t0, a0, a0
-	addi a0, t0, 1
-	ret
-.global coldf
-coldf:
-	movi a0, 99
-	ret
-`
-
-const mainSrc = `
-.text
-.global _start
-_start:
-	movi t1, 0x08000000
-	ld   s0, 0(t1)      ; n iterations
-	movi s1, 0
-loop:
-	beqz s0, done
-	mv   a0, s1
-	call compute        ; cross-module call: loader-patched, position-dependent
-	mv   s1, a0
-	addi s0, s0, -1
-	j    loop
-done:
-	mv   a1, s1
-	movi a0, 1
-	sys
-	halt
-`
-
-// world bundles one application build.
-type world struct {
-	exe  *obj.File
-	libs []*obj.File
-}
-
-func buildWorld(t testing.TB, name, src string, libSrcs map[string]string) *world {
-	t.Helper()
-	exe, libs, err := testprog.Build(name, src, libSrcs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return &world{exe: exe, libs: libs}
-}
-
-type runOpts struct {
-	input     []uint64
-	tool      vm.Tool
-	cfg       loader.Config
-	prime     bool
-	interApp  bool
-	commit    bool
-	wantPrime *core.PrimeReport // filled in when prime succeeded
-}
-
-func (w *world) run(t testing.TB, mgr *core.Manager, o runOpts) *vm.Result {
-	t.Helper()
-	p, err := testprog.Load(w.exe, w.libs, o.cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := []vm.Option{vm.WithInput(o.input)}
-	if o.tool != nil {
-		opts = append(opts, vm.WithTool(o.tool))
-	}
-	v := vm.New(p, opts...)
-	if o.prime {
-		rep, err := mgr.Prime(v)
-		if err != nil && !errors.Is(err, core.ErrNoCache) {
-			t.Fatalf("prime: %v", err)
-		}
-		if o.wantPrime != nil {
-			*o.wantPrime = *rep
-		}
-	} else if o.interApp {
-		rep, err := mgr.PrimeInterApp(v)
-		if err != nil && !errors.Is(err, core.ErrNoCache) {
-			t.Fatalf("prime inter-app: %v", err)
-		}
-		if o.wantPrime != nil {
-			*o.wantPrime = *rep
-		}
-	}
-	res, err := v.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if o.commit {
-		crep, err := mgr.Commit(v)
-		if err != nil {
-			t.Fatalf("commit: %v", err)
-		}
-		res.Stats.PersistTicks += crep.Ticks
-		res.Stats.Ticks += crep.Ticks
-	}
-	return res
-}
-
-func newMgr(t testing.TB, opts ...core.ManagerOption) *core.Manager {
-	t.Helper()
-	mgr, err := core.NewManager(t.TempDir(), opts...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return mgr
-}
+// The cold/warm-run scaffolding (world building, prime/run/commit driver,
+// temporary databases) lives in internal/testutil, shared with the root
+// package's CLI and equivalence suites.
+const (
+	libWork = testutil.LibWork
+	mainSrc = testutil.MainSrc
+)
 
 func TestSameInputPersistence(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
 
-	first := w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+	first := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Commit: true})
 	var rep core.PrimeReport
-	second := w.run(t, mgr, runOpts{input: []uint64{50}, prime: true, wantPrime: &rep})
+	second := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Prime: true, WantPrime: &rep})
 
 	if first.ExitCode != second.ExitCode {
 		t.Fatalf("exit codes differ: %d vs %d", first.ExitCode, second.ExitCode)
@@ -157,10 +54,10 @@ func TestSameInputPersistence(t *testing.T) {
 }
 
 func TestNoCacheIsGraceful(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
 	var rep core.PrimeReport
-	res := w.run(t, mgr, runOpts{input: []uint64{5}, prime: true, wantPrime: &rep})
+	res := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{5}, Prime: true, WantPrime: &rep})
 	if rep.Found {
 		t.Error("found a cache in an empty database")
 	}
@@ -205,16 +102,16 @@ fa:	addi a0, a0, 3
 fb:	addi a0, a0, 7
 	ret
 `
-	w := buildWorld(t, "prog", src, nil)
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", src, nil)
+	mgr := testutil.NewMgr(t)
 
 	// Input A (selector 0) creates the cache.
-	w.run(t, mgr, runOpts{input: []uint64{0, 40}, commit: true})
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{0, 40}, Commit: true})
 
 	// Input B (selector 1) reuses common code (startup, dispatcher) but
 	// must translate its own loop, then accumulates it.
 	var repB core.PrimeReport
-	resB := w.run(t, mgr, runOpts{input: []uint64{1, 40}, prime: true, commit: true, wantPrime: &repB})
+	resB := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{1, 40}, Prime: true, Commit: true, WantPrime: &repB})
 	if repB.Installed == 0 {
 		t.Fatal("cross-input reuse installed nothing")
 	}
@@ -227,8 +124,8 @@ fb:	addi a0, a0, 7
 
 	// After accumulation, both inputs hit 100%.
 	var repA2, repB2 core.PrimeReport
-	a2 := w.run(t, mgr, runOpts{input: []uint64{0, 40}, prime: true, wantPrime: &repA2})
-	b2 := w.run(t, mgr, runOpts{input: []uint64{1, 40}, prime: true, wantPrime: &repB2})
+	a2 := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{0, 40}, Prime: true, WantPrime: &repA2})
+	b2 := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{1, 40}, Prime: true, WantPrime: &repB2})
 	if a2.Stats.TracesTranslated != 0 || b2.Stats.TracesTranslated != 0 {
 		t.Errorf("accumulated cache incomplete: A translated %d, B translated %d",
 			a2.Stats.TracesTranslated, b2.Stats.TracesTranslated)
@@ -239,15 +136,15 @@ fb:	addi a0, a0, 7
 }
 
 func TestBaseConflictInvalidation(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
 
 	seed1 := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 11}
 	seed2 := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 22}
-	first := w.run(t, mgr, runOpts{input: []uint64{30}, cfg: seed1, commit: true})
+	first := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{30}, Cfg: seed1, Commit: true})
 
 	var rep core.PrimeReport
-	second := w.run(t, mgr, runOpts{input: []uint64{30}, cfg: seed2, prime: true, wantPrime: &rep})
+	second := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{30}, Cfg: seed2, Prime: true, WantPrime: &rep})
 	if second.ExitCode != first.ExitCode {
 		t.Fatalf("relocated run produced wrong result: %d vs %d", second.ExitCode, first.ExitCode)
 	}
@@ -262,15 +159,15 @@ func TestBaseConflictInvalidation(t *testing.T) {
 }
 
 func TestRelocatableExtensionRebases(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t, core.WithRelocatable())
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t, core.WithRelocatable())
 
 	seed1 := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 11}
 	seed2 := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: 22}
-	first := w.run(t, mgr, runOpts{input: []uint64{30}, cfg: seed1, commit: true})
+	first := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{30}, Cfg: seed1, Commit: true})
 
 	var rep core.PrimeReport
-	second := w.run(t, mgr, runOpts{input: []uint64{30}, cfg: seed2, prime: true, wantPrime: &rep})
+	second := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{30}, Cfg: seed2, Prime: true, WantPrime: &rep})
 	if second.ExitCode != first.ExitCode {
 		t.Fatalf("rebased run produced wrong result: %d vs %d (report %+v)", second.ExitCode, first.ExitCode, rep)
 	}
@@ -286,12 +183,12 @@ func TestRelocatableExtensionRebases(t *testing.T) {
 }
 
 func TestModifiedBinaryInvalidates(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 
 	// "Recompile" the library: same exported layout, different body.
-	w2 := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": `
+	w2 := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": `
 .text
 .global compute
 compute:            ; a0 = a0*2 + 1, computed differently
@@ -303,9 +200,9 @@ coldf:
 	movi a0, 98
 	ret
 `})
-	w2.exe = w.exe // same executable binary
+	w2.Exe = w.Exe // same executable binary
 	var rep core.PrimeReport
-	res := w2.run(t, mgr, runOpts{input: []uint64{10}, prime: true, wantPrime: &rep})
+	res := w2.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true, WantPrime: &rep})
 	if rep.InvalidContent == 0 {
 		t.Errorf("modified library not detected: %+v", rep)
 	}
@@ -315,18 +212,18 @@ coldf:
 }
 
 func TestToolKeyMismatch(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, tool: &instr.BBCount{}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Tool: &instr.BBCount{}, Commit: true})
 
 	// Same app, different tool: the lookup key differs, so nothing found.
 	var rep core.PrimeReport
-	w.run(t, mgr, runOpts{input: []uint64{10}, tool: &instr.MemTrace{}, prime: true, wantPrime: &rep})
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Tool: &instr.MemTrace{}, Prime: true, WantPrime: &rep})
 	if rep.Found {
 		t.Error("cache found despite different tool key")
 	}
 	// Explicit PrimeFrom with mismatched tool key must hard-fail.
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,13 +235,13 @@ func TestToolKeyMismatch(t *testing.T) {
 }
 
 func TestVMKeyMismatch(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
 	// Build a cache with the default trace limit, then try to reuse it
 	// under a different limit (different VM key → different shapes).
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +253,7 @@ func TestVMKeyMismatch(t *testing.T) {
 
 func TestInterApplicationPersistence(t *testing.T) {
 	lib := map[string]string{"libwork.so": libWork}
-	w1 := buildWorld(t, "app1", mainSrc, lib)
+	w1 := testutil.BuildWorld(t, "app1", mainSrc, lib)
 	// app2 shares the library but has its own main.
 	app2Src := `
 .text
@@ -377,14 +274,14 @@ done:
 	sys
 	halt
 `
-	w2 := buildWorld(t, "app2", app2Src, lib)
-	mgr := newMgr(t)
+	w2 := testutil.BuildWorld(t, "app2", app2Src, lib)
+	mgr := testutil.NewMgr(t)
 	hashed := loader.Config{Placement: loader.PlaceHashed}
 
-	w1.run(t, mgr, runOpts{input: []uint64{40}, cfg: hashed, commit: true})
+	w1.Run(t, mgr, testutil.RunOpts{Input: []uint64{40}, Cfg: hashed, Commit: true})
 
 	var rep core.PrimeReport
-	res := w2.run(t, mgr, runOpts{cfg: hashed, interApp: true, wantPrime: &rep})
+	res := w2.Run(t, mgr, testutil.RunOpts{Cfg: hashed, InterApp: true, WantPrime: &rep})
 	if !rep.Found {
 		t.Fatal("inter-app lookup found nothing")
 	}
@@ -396,7 +293,7 @@ done:
 		t.Errorf("other app's exe traces not invalidated: %+v", rep)
 	}
 	// Correctness: compute() still produces the right chain.
-	base := w2.run(t, newMgr(t), runOpts{cfg: hashed})
+	base := w2.Run(t, testutil.NewMgr(t), testutil.RunOpts{Cfg: hashed})
 	if res.ExitCode != base.ExitCode {
 		t.Fatalf("inter-app run wrong: %d vs %d", res.ExitCode, base.ExitCode)
 	}
@@ -407,13 +304,13 @@ done:
 }
 
 func TestCommitAccumulationCounts(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	dir := t.TempDir()
 	mgr, err := core.NewManager(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, _ := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, _ := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	v := vm.New(p, vm.WithInput([]uint64{20}))
 	if _, err := v.Run(); err != nil {
 		t.Fatal(err)
@@ -426,7 +323,7 @@ func TestCommitAccumulationCounts(t *testing.T) {
 		t.Errorf("first commit report: %+v", rep1)
 	}
 	// Second identical run: primes everything, commits; no new traces.
-	p2, _ := testprog.Load(w.exe, w.libs, loader.Config{})
+	p2, _ := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	v2 := vm.New(p2, vm.WithInput([]uint64{20}))
 	if _, err := mgr.Prime(v2); err != nil {
 		t.Fatal(err)
@@ -449,9 +346,9 @@ func TestCommitAccumulationCounts(t *testing.T) {
 }
 
 func TestIndexAndEntries(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{5}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{5}, Commit: true})
 	entries, err := mgr.Entries()
 	if err != nil {
 		t.Fatal(err)
@@ -469,9 +366,9 @@ func TestIndexAndEntries(t *testing.T) {
 }
 
 func TestCorruptCacheFileRejected(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{5}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{5}, Commit: true})
 	entries, _ := mgr.Entries()
 	path := filepath.Join(mgr.Dir(), entries[0].File)
 	b, err := os.ReadFile(path)
@@ -498,9 +395,9 @@ func TestCorruptCacheFileRejected(t *testing.T) {
 }
 
 func TestCacheFileRoundTrip(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{25}, tool: &instr.BBCount{}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{25}, Tool: &instr.BBCount{}, Commit: true})
 	entries, _ := mgr.Entries()
 	path := filepath.Join(mgr.Dir(), entries[0].File)
 	cf, err := core.ReadCacheFile(path)
@@ -536,7 +433,7 @@ func TestCacheFileRoundTrip(t *testing.T) {
 }
 
 func TestConcurrentCommits(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	dir := t.TempDir()
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
@@ -549,7 +446,7 @@ func TestConcurrentCommits(t *testing.T) {
 				errs <- err
 				return
 			}
-			p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+			p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 			if err != nil {
 				errs <- err
 				return
@@ -585,9 +482,9 @@ func TestConcurrentCommits(t *testing.T) {
 }
 
 func TestKeyProperties(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	p1, _ := testprog.Load(w.exe, w.libs, loader.Config{})
-	p2, _ := testprog.Load(w.exe, w.libs, loader.Config{})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	p1, _ := testprog.Load(w.Exe, w.Libs, loader.Config{})
+	p2, _ := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	ks1 := core.KeysFor(vm.New(p1))
 	ks2 := core.KeysFor(vm.New(p2))
 	if ks1 != ks2 {
@@ -624,10 +521,10 @@ func TestKeyProperties(t *testing.T) {
 func TestInstrumentedPersistenceReplaysAnalysis(t *testing.T) {
 	// Analysis results (bb counts, mem refs) must be identical whether
 	// traces were translated fresh or reloaded from the cache.
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	fresh := w.run(t, mgr, runOpts{input: []uint64{33}, tool: &instr.MemTrace{}, commit: true})
-	reused := w.run(t, mgr, runOpts{input: []uint64{33}, tool: &instr.MemTrace{}, prime: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	fresh := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{33}, Tool: &instr.MemTrace{}, Commit: true})
+	reused := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{33}, Tool: &instr.MemTrace{}, Prime: true})
 	if fresh.Stats.MemRefs != reused.Stats.MemRefs {
 		t.Errorf("memrefs differ: %d vs %d", fresh.Stats.MemRefs, reused.Stats.MemRefs)
 	}
@@ -666,9 +563,9 @@ blob:
 	gen2 := isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}.EncodeWord()
 	src += "\t.word64 " + itoa(gen1) + "\n\t.word64 " + itoa(gen2) + "\n"
 
-	w := buildWorld(t, "prog", src, nil)
-	mgr := newMgr(t)
-	res := w.run(t, mgr, runOpts{commit: true})
+	w := testutil.BuildWorld(t, "prog", src, nil)
+	mgr := testutil.NewMgr(t)
+	res := w.Run(t, mgr, testutil.RunOpts{Commit: true})
 	if res.ExitCode != 77 {
 		t.Fatalf("generated code did not run: exit %d", res.ExitCode)
 	}
@@ -684,9 +581,9 @@ blob:
 	}
 }
 
-func keysOf(t *testing.T, w *world) core.KeySet {
+func keysOf(t *testing.T, w *testutil.World) core.KeySet {
 	t.Helper()
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

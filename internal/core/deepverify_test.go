@@ -9,6 +9,7 @@ import (
 
 	"persistcc/internal/core"
 	"persistcc/internal/isa"
+	"persistcc/internal/testutil"
 )
 
 // corruptBranch flips one conditional-branch immediate in the cache file so
@@ -51,9 +52,9 @@ func corruptBranch(t *testing.T, path string) {
 // -verify-install manager quarantines the file, counts the rejection in
 // pcc_core_verify_reject_total, and falls back to re-translation.
 func TestDeepVerifyRejectsSemanticCorruption(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	baseline := w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	baseline := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Commit: true})
 
 	files, err := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
 	if err != nil || len(files) != 1 {
@@ -90,7 +91,7 @@ func TestDeepVerifyRejectsSemanticCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	var prep core.PrimeReport
-	res := w.run(t, vmgr, runOpts{input: []uint64{50}, prime: true, wantPrime: &prep})
+	res := w.Run(t, vmgr, testutil.RunOpts{Input: []uint64{50}, Prime: true, WantPrime: &prep})
 	if prep.Found {
 		t.Fatal("prime reported a hit from a quarantined file")
 	}
@@ -121,9 +122,9 @@ func TestDeepVerifyRejectsSemanticCorruption(t *testing.T) {
 // TestDeepVerifyAcceptsHealthyDatabase guards against the verifier being
 // stricter than the translator: everything a real run commits must verify.
 func TestDeepVerifyAcceptsHealthyDatabase(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Commit: true})
 
 	files, err := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
 	if err != nil || len(files) == 0 {
@@ -145,7 +146,7 @@ func TestDeepVerifyAcceptsHealthyDatabase(t *testing.T) {
 		t.Fatal(err)
 	}
 	var prep core.PrimeReport
-	w.run(t, vmgr, runOpts{input: []uint64{50}, prime: true, wantPrime: &prep})
+	w.Run(t, vmgr, testutil.RunOpts{Input: []uint64{50}, Prime: true, WantPrime: &prep})
 	if !prep.Found || prep.Installed == 0 {
 		t.Fatalf("deep-verifying manager failed to prime a healthy cache: %+v", prep)
 	}
@@ -155,9 +156,9 @@ func TestDeepVerifyAcceptsHealthyDatabase(t *testing.T) {
 // note whose target offset no longer points inside its module — corruption
 // the checksum (re-signed) and the byte-level caps both accept.
 func TestDeepVerifyDanglingReloc(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Commit: true})
 
 	files, _ := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
 	if len(files) != 1 {
@@ -205,9 +206,9 @@ func TestDeepVerifyDanglingReloc(t *testing.T) {
 // applies the deep verifier unconditionally: after corruption, RecoverIndex
 // moves the file to quarantine and rebuilds an index without it.
 func TestRecoverIndexQuarantinesSemanticCorruption(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{50}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{50}, Commit: true})
 
 	files, _ := filepath.Glob(filepath.Join(mgr.Dir(), "*.pcc"))
 	if len(files) != 1 {

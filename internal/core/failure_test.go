@@ -14,15 +14,16 @@ import (
 	"persistcc/internal/fsx"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
+	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 	"persistcc/internal/workload"
 )
 
 // failure injection: the database layer must degrade loudly but safely.
 
-func preparedVM(t *testing.T, w *world) *vm.VM {
+func preparedVM(t *testing.T, w *testutil.World) *vm.VM {
 	t.Helper()
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestCommitToUnwritableDir(t *testing.T) {
 	if os.Getuid() == 0 {
 		t.Skip("running as root: directory permissions are not enforced")
 	}
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	dir := t.TempDir()
 	mgr, err := core.NewManager(dir)
 	if err != nil {
@@ -57,9 +58,9 @@ func TestCommitToUnwritableDir(t *testing.T) {
 // from the surviving verifiable cache files — no entry backed by a good
 // file is lost, and both reads and commits keep working.
 func TestCorruptIndexSelfHeals(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	if err := os.WriteFile(filepath.Join(mgr.Dir(), "index.json"), []byte("{nope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -96,9 +97,9 @@ func TestCorruptIndexSelfHeals(t *testing.T) {
 // to a miss (the run re-translates), moves the file into quarantine/, and
 // bumps the quarantine metric — the acceptance shape for self-healing.
 func TestCorruptCacheFileQuarantined(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	entries, err := mgr.Entries()
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("entries: %v %v", entries, err)
@@ -108,7 +109,7 @@ func TestCorruptCacheFileQuarantined(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The run completes cold instead of failing.
-	res := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true, commit: true})
+	res := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true, Commit: true})
 	if res.Stats.TracesTranslated == 0 {
 		t.Error("run against corrupt cache neither failed nor re-translated")
 	}
@@ -119,7 +120,7 @@ func TestCorruptCacheFileQuarantined(t *testing.T) {
 		t.Errorf("pcc_core_quarantine_total{cachefile} = %v (ok=%t), want >= 1", v, ok)
 	}
 	// The re-commit healed the database: warm again, end to end.
-	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	warm := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true})
 	if warm.Stats.TracesTranslated != 0 {
 		t.Errorf("post-quarantine warm run translated %d traces", warm.Stats.TracesTranslated)
 	}
@@ -128,9 +129,9 @@ func TestCorruptCacheFileQuarantined(t *testing.T) {
 // TestRecoverIndexRebuild: RecoverIndex quarantines what does not verify,
 // clears temp debris, and rebuilds exactly the verifiable entries.
 func TestRecoverIndexRebuild(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	entries, err := mgr.Entries()
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("entries: %v %v", entries, err)
@@ -159,7 +160,7 @@ func TestRecoverIndexRebuild(t *testing.T) {
 		t.Errorf("rebuilt entries %v, %v; want just %s", after, err, entries[0].File)
 	}
 	// Warm hits still served from the rebuilt index.
-	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	warm := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true})
 	if warm.Stats.TracesTranslated != 0 {
 		t.Errorf("post-recovery warm run translated %d traces", warm.Stats.TracesTranslated)
 	}
@@ -170,9 +171,9 @@ func TestRecoverIndexRebuild(t *testing.T) {
 	}
 }
 
-func vmFresh(t *testing.T, w *world) *vm.VM {
+func vmFresh(t *testing.T, w *testutil.World) *vm.VM {
 	t.Helper()
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,8 +183,8 @@ func vmFresh(t *testing.T, w *world) *vm.VM {
 func TestStaleLockIsStolen(t *testing.T) {
 	restore := core.SetLockTimeout(50 * time.Millisecond)
 	defer restore()
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
 	// A crashed writer left the lock behind.
 	if err := os.WriteFile(filepath.Join(mgr.Dir(), ".lock"), nil, 0o644); err != nil {
 		t.Fatal(err)
@@ -202,9 +203,9 @@ func TestStaleLockIsStolen(t *testing.T) {
 }
 
 func TestMissingCacheFileAfterIndexEntry(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	entries, err := mgr.Entries()
 	if err != nil {
 		t.Fatal(err)
@@ -311,9 +312,9 @@ func TestConcurrentPhasesSharedDatabase(t *testing.T) {
 }
 
 func TestPrune(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	entries, err := mgr.Entries()
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("entries: %v %v", entries, err)
@@ -360,10 +361,10 @@ func mgrWithFS(t *testing.T, inj *fsx.InjectFS) *core.Manager {
 // file's temp leaves the database exactly as it was — the prior cache file
 // and the index both stay readable and warm-serving.
 func TestPartialWriteCacheFile(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	inj := fsx.NewInject(fsx.OS)
 	mgr := mgrWithFS(t, inj)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	before, err := mgr.Entries()
 	if err != nil || len(before) != 1 {
 		t.Fatalf("entries: %v %v", before, err)
@@ -386,7 +387,7 @@ func TestPartialWriteCacheFile(t *testing.T) {
 	if _, err := core.ReadCacheFile(filepath.Join(mgr.Dir(), after[0].File)); err != nil {
 		t.Errorf("prior cache file no longer verifies: %v", err)
 	}
-	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	warm := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true})
 	if warm.Stats.TracesTranslated != 0 {
 		t.Errorf("warm run after failed commit translated %d traces", warm.Stats.TracesTranslated)
 	}
@@ -400,10 +401,10 @@ func TestPartialWriteCacheFile(t *testing.T) {
 // TestPartialWriteIndexTmp: a short write on index.json.tmp must never
 // touch the live index — the rename that would publish it never runs.
 func TestPartialWriteIndexTmp(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	inj := fsx.NewInject(fsx.OS)
 	mgr := mgrWithFS(t, inj)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 
 	inj.TruncateAt(fsx.OpWrite, "index.json.tmp", 1, 0.5, nil)
 	v := preparedVM(t, w)
@@ -421,7 +422,7 @@ func TestPartialWriteIndexTmp(t *testing.T) {
 	if _, err := core.ReadCacheFile(filepath.Join(mgr.Dir(), entries[0].File)); err != nil {
 		t.Errorf("index entry points at unverifiable file: %v", err)
 	}
-	warm := w.run(t, mgr, runOpts{input: []uint64{10}, prime: true})
+	warm := w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Prime: true})
 	if warm.Stats.TracesTranslated != 0 {
 		t.Errorf("warm run after torn index write translated %d traces", warm.Stats.TracesTranslated)
 	}
@@ -430,7 +431,7 @@ func TestPartialWriteIndexTmp(t *testing.T) {
 // TestHardWriteErrorSurfaces: a flat write failure (no torn file) surfaces
 // to the committer and leaves no trace of the attempt.
 func TestHardWriteErrorSurfaces(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
 	inj := fsx.NewInject(fsx.OS)
 	mgr := mgrWithFS(t, inj)
 	eio := errors.New("input/output error")
@@ -446,9 +447,9 @@ func TestHardWriteErrorSurfaces(t *testing.T) {
 }
 
 func TestCacheFormatVersionRejected(t *testing.T) {
-	w := buildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
-	mgr := newMgr(t)
-	w.run(t, mgr, runOpts{input: []uint64{10}, commit: true})
+	w := testutil.BuildWorld(t, "prog", mainSrc, map[string]string{"libwork.so": libWork})
+	mgr := testutil.NewMgr(t)
+	w.Run(t, mgr, testutil.RunOpts{Input: []uint64{10}, Commit: true})
 	entries, _ := mgr.Entries()
 	path := filepath.Join(mgr.Dir(), entries[0].File)
 	b, err := os.ReadFile(path)

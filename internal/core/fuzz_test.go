@@ -7,6 +7,7 @@ import (
 	"persistcc/internal/core"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
+	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 )
 
@@ -36,7 +37,7 @@ func TestRandomProgramsPersistCorrectly(t *testing.T) {
 		}
 
 		// Same layout.
-		mgr := newMgr(t)
+		mgr := testutil.NewMgr(t)
 		v1 := newVM(loader.Config{})
 		if _, err := v1.Run(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -60,7 +61,7 @@ func TestRandomProgramsPersistCorrectly(t *testing.T) {
 		}
 
 		// Relocated layout with the relocatable extension.
-		mgrR := newMgr(t, core.WithRelocatable())
+		mgrR := testutil.NewMgr(t, core.WithRelocatable())
 		a := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: uint64(seed) + 1}
 		b := loader.Config{Placement: loader.PlaceASLR, ASLRSeed: uint64(seed) + 2}
 		va := newVM(a)

@@ -8,17 +8,18 @@ import (
 	"persistcc/internal/core"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
+	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 )
 
 // ranVMs executes n VMs of the world to completion with distinct iteration
 // counts, so their trace sets differ and concurrent commits genuinely
 // accumulate rather than all writing the identical file.
-func ranVMs(t *testing.T, w *world, n int) []*vm.VM {
+func ranVMs(t *testing.T, w *testutil.World, n int) []*vm.VM {
 	t.Helper()
 	vms := make([]*vm.VM, n)
 	for i := range vms {
-		p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+		p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,8 +38,8 @@ func ranVMs(t *testing.T, w *world, n int) []*vm.VM {
 // file is intact. Run under -race this also exercises the Manager's
 // internal locking.
 func TestCommitConcurrentGoroutines(t *testing.T) {
-	w := buildWorld(t, "raceapp", mainSrc, map[string]string{"libwork": libWork})
-	mgr := newMgr(t)
+	w := testutil.BuildWorld(t, "raceapp", mainSrc, map[string]string{"libwork": libWork})
+	mgr := testutil.NewMgr(t)
 	vms := ranVMs(t, w, 8)
 
 	var wg sync.WaitGroup
@@ -63,7 +64,7 @@ func TestCommitConcurrentGoroutines(t *testing.T) {
 // goroutine over the same directory — the multi-process shape, serialized
 // only by the on-disk database lock.
 func TestCommitConcurrentManagers(t *testing.T) {
-	w := buildWorld(t, "raceapp2", mainSrc, map[string]string{"libwork": libWork})
+	w := testutil.BuildWorld(t, "raceapp2", mainSrc, map[string]string{"libwork": libWork})
 	dir := t.TempDir()
 	vms := ranVMs(t, w, 8)
 
@@ -96,7 +97,7 @@ func TestCommitConcurrentManagers(t *testing.T) {
 
 // checkAccumulated verifies the database holds exactly one intact cache
 // file for the application whose trace set covers every committed run.
-func checkAccumulated(t *testing.T, w *world, mgr *core.Manager, vms []*vm.VM) {
+func checkAccumulated(t *testing.T, w *testutil.World, mgr *core.Manager, vms []*vm.VM) {
 	t.Helper()
 	entries, err := mgr.Entries()
 	if err != nil {
@@ -128,7 +129,7 @@ func checkAccumulated(t *testing.T, w *world, mgr *core.Manager, vms []*vm.VM) {
 			len(cf.Traces), most)
 	}
 	// A fresh run must be able to prime from the accumulated file.
-	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	p, err := testprog.Load(w.Exe, w.Libs, loader.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

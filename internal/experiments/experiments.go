@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -250,7 +251,17 @@ func tmpMgr(opts ...core.ManagerOption) (*core.Manager, func(), error) {
 		os.RemoveAll(dir)
 		return nil, nil, err
 	}
-	return mgr, func() { os.RemoveAll(dir) }, nil
+	return mgr, func() {
+		// Recovery paths may leave permission-stripped quarantine files;
+		// reopen modes so the tree never outlives the experiment.
+		_ = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err == nil {
+				_ = os.Chmod(p, 0o755)
+			}
+			return nil
+		})
+		os.RemoveAll(dir)
+	}, nil
 }
 
 // withTool wraps a tool option list.

@@ -67,8 +67,8 @@ func OracleRegression() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
 	persisted, err := total(nil, mgr, true, false, false)
-	cleanup()
 	if err != nil {
 		return nil, err
 	}
@@ -81,8 +81,8 @@ func OracleRegression() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cleanupI()
 	persistedInstr, err := total(mt, mgrI, true, false, false)
-	cleanupI()
 	if err != nil {
 		return nil, err
 	}

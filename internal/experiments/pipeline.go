@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"persistcc/internal/core"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// pipelineWorkers is the pool size the experiment (and the CI benchmark)
+// measures; it matches the -pipeline-workers 4 acceptance configuration.
+const pipelineWorkers = 4
+
+// firstMark is the translated-ticks-to-first-output proxy: the tick of the
+// run's first MARK syscall (every GUI app emits one when its first window
+// is up), or the whole run when the program never marks.
+func firstMark(res *vm.Result) uint64 {
+	if len(res.Stats.Marks) > 0 {
+		return res.Stats.Marks[0].Tick
+	}
+	return res.Stats.Ticks
+}
+
+// pipelinedRun executes one GUI launch under the asynchronous pipeline:
+// prefetch-primed from mgr, speculating successors, batching new-trace
+// commits through the manager.
+func pipelinedRun(app *workload.GUIApp, mgr *core.Manager) (*vm.Result, error) {
+	pipe := vm.NewPipeline(pipelineWorkers, vm.PipelinePrefetch())
+	defer pipe.Shutdown()
+	v, err := app.Prog.NewVM(guiCfg(), app.Startup, vm.WithPipeline(pipe))
+	if err != nil {
+		return nil, err
+	}
+	pipe.SetCommit(mgr.BatchCommitter(v))
+	if _, err := mgr.Prime(v); err != nil && !errors.Is(err, core.ErrNoCache) {
+		return nil, err
+	}
+	res, err := v.Run()
+	if err != nil {
+		return nil, err
+	}
+	crep, err := mgr.Commit(v)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Ticks += crep.Ticks
+	return res, nil
+}
+
+// Pipeline measures the asynchronous translation pipeline against the
+// synchronous baseline on the GUI suite. Round one (cold database) shows
+// speculation hiding translation latency behind the interpreter; round two
+// (warm database) shows bulk prefetch installing the whole cached trace set
+// across the worker pool, pulling in the time to first output.
+func Pipeline() (*Report, error) {
+	gui, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+	syncMgr, syncCleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer syncCleanup()
+	pipeMgr, pipeCleanup, err := tmpMgr()
+	if err != nil {
+		return nil, err
+	}
+	defer pipeCleanup()
+
+	tb := stats.NewTable("sync vs pipelined (4 workers, prefetch, batched commits), cold then warm",
+		"round", "application", "sync", "pipelined", "gain", "first out sync", "first out piped", "adopted", "wasted", "prefetched")
+
+	var (
+		coldSyncSum, coldPipeSum   uint64
+		warmSyncSum, warmPipeSum   uint64
+		warmSyncMark, warmPipeMark uint64
+		adopted, wasted, enqueued  uint64
+		prefetched, batchCommits   uint64
+		wastedTicks                uint64
+		queuePeak                  int
+		warmFaster, warmMarkWins   int
+	)
+	for round := 1; round <= 2; round++ {
+		name := "cold"
+		if round == 2 {
+			name = "warm"
+		}
+		for _, app := range gui.Apps {
+			// Synchronous baseline against its own database.
+			sync, err := run(runSpec{Prog: app.Prog, In: app.Startup, Cfg: guiCfg(),
+				Mgr: syncMgr, Prime: primeSame, Commit: true})
+			if err != nil {
+				return nil, err
+			}
+			piped, err := pipelinedRun(app, pipeMgr)
+			if err != nil {
+				return nil, err
+			}
+			pst := &piped.Stats
+			syncTicks := sync.Res.Stats.Ticks
+			pipeTicks := piped.Stats.Ticks
+			tb.AddRow(name, app.Name, stats.Ms(syncTicks), stats.Ms(pipeTicks),
+				stats.Pct(stats.Improvement(syncTicks, pipeTicks)),
+				stats.Ms(firstMark(sync.Res)), stats.Ms(firstMark(piped)),
+				fmt.Sprintf("%d", pst.SpecTranslated), fmt.Sprintf("%d", pst.SpecWasted),
+				fmt.Sprintf("%d", pst.PrefetchInstalls))
+			adopted += pst.SpecTranslated
+			wasted += pst.SpecWasted
+			enqueued += pst.SpecEnqueued
+			prefetched += pst.PrefetchInstalls
+			batchCommits += pst.BatchCommits
+			wastedTicks += pst.SpecWastedTicks
+			if pst.PipelineMaxQueue > queuePeak {
+				queuePeak = pst.PipelineMaxQueue
+			}
+			switch round {
+			case 1:
+				coldSyncSum += syncTicks
+				coldPipeSum += pipeTicks
+			case 2:
+				warmSyncSum += syncTicks
+				warmPipeSum += pipeTicks
+				warmSyncMark += firstMark(sync.Res)
+				warmPipeMark += firstMark(piped)
+				if pipeTicks <= syncTicks {
+					warmFaster++
+				}
+				if firstMark(piped) < firstMark(sync.Res) {
+					warmMarkWins++
+				}
+			}
+		}
+	}
+
+	rep := &Report{ID: "pipeline", Title: "Asynchronous translation pipeline (speculate + prefetch + batched commits)", Body: tb.Render()}
+	rep.AddMetric("warm_sync_first_mark_ticks", float64(warmSyncMark))
+	rep.AddMetric("warm_pipelined_first_mark_ticks", float64(warmPipeMark))
+	rep.AddMetric("warm_sync_total_ticks", float64(warmSyncSum))
+	rep.AddMetric("warm_pipelined_total_ticks", float64(warmPipeSum))
+	rep.AddMetric("cold_pipelined_total_ticks", float64(coldPipeSum))
+	rep.AddMetric("spec_wasted_ticks", float64(wastedTicks))
+	rep.AddMetric("spec_enqueued", float64(enqueued))
+	rep.AddMetric("spec_adopted", float64(adopted))
+	rep.AddMetric("spec_wasted", float64(wasted))
+	rep.AddMetric("prefetch_installs", float64(prefetched))
+	rep.AddMetric("batch_commits", float64(batchCommits))
+	rep.AddMetric("queue_depth_peak", float64(queuePeak))
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("cold round: pipelined %s vs sync (speculation hides translation latency)",
+			stats.Pct(stats.Improvement(coldSyncSum, coldPipeSum))),
+		fmt.Sprintf("warm round: pipelined %s vs sync; time-to-first-output %s faster (%d/%d apps)",
+			stats.Pct(stats.Improvement(warmSyncSum, warmPipeSum)),
+			stats.Pct(stats.Improvement(warmSyncMark, warmPipeMark)),
+			warmMarkWins, len(gui.Apps)),
+		fmt.Sprintf("speculation: %d enqueued, %d adopted, %d wasted; %d prefetch installs, %d batched commits",
+			enqueued, adopted, wasted, prefetched, batchCommits))
+	if warmPipeMark >= warmSyncMark {
+		rep.Notes = append(rep.Notes, "WARNING: warm pipelined first output was not faster than synchronous")
+	}
+	if warmFaster != len(gui.Apps) {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("WARNING: only %d/%d warm pipelined runs were at least as fast as sync", warmFaster, len(gui.Apps)))
+	}
+	return rep, nil
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "pipeline", Title: "Asynchronous translation pipeline with persistent-cache prefetch", Run: Pipeline,
+	})
+}

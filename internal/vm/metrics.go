@@ -25,6 +25,13 @@ type vmMetrics struct {
 	flushes    *metrics.CounterVec // cause=capacity|smc
 	remote     *metrics.CounterVec // event=lookup|hit|fallback
 	syscalls   *metrics.CounterVec // num=<syscall number>
+
+	// Asynchronous translation pipeline (zero without WithPipeline).
+	pipeSpec     *metrics.CounterVec // outcome=enqueued|translated|wasted|dropped
+	pipeTicks    *metrics.CounterVec // kind=stall|install|offload|wasted
+	pipeBatch    *metrics.CounterVec // event=commit|trace|error
+	pipePrefetch *metrics.Counter
+	pipeQueue    *metrics.Gauge
 }
 
 func newVMMetrics(r *metrics.Registry) *vmMetrics {
@@ -40,6 +47,12 @@ func newVMMetrics(r *metrics.Registry) *vmMetrics {
 		flushes:    r.CounterVec("pcc_vm_cache_flushes_total", "code cache flushes", "cause"),
 		remote:     r.CounterVec("pcc_vm_remote_total", "shared cache-server interactions", "event"),
 		syscalls:   r.CounterVec("pcc_vm_syscalls_total", "emulated system calls", "num"),
+
+		pipeSpec:     r.CounterVec("pcc_vm_pipeline_spec_total", "speculative translation jobs by outcome", "outcome"),
+		pipeTicks:    r.CounterVec("pcc_vm_pipeline_ticks_total", "pipeline virtual ticks by kind (offload/wasted are modeled worker time, not run time)", "kind"),
+		pipeBatch:    r.CounterVec("pcc_vm_pipeline_batch_total", "batched persistent-cache commits", "event"),
+		pipePrefetch: r.Counter("pcc_vm_pipeline_prefetch_installs_total", "persistent traces bulk-installed at load time"),
+		pipeQueue:    r.Gauge("pcc_vm_pipeline_queue_depth", "peak in-flight speculative jobs"),
 	}
 }
 
@@ -77,6 +90,19 @@ func (v *VM) syncMetrics() {
 	m.remote.With("lookup").Set(s.RemoteLookups)
 	m.remote.With("hit").Set(s.RemoteHits)
 	m.remote.With("fallback").Set(s.RemoteFallbacks)
+	m.pipeSpec.With("enqueued").Set(s.SpecEnqueued)
+	m.pipeSpec.With("translated").Set(s.SpecTranslated)
+	m.pipeSpec.With("wasted").Set(s.SpecWasted)
+	m.pipeSpec.With("dropped").Set(s.SpecDropped)
+	m.pipeTicks.With("stall").Set(s.SpecStallTicks)
+	m.pipeTicks.With("install").Set(s.SpecInstallTicks)
+	m.pipeTicks.With("offload").Set(s.SpecOffloadTicks)
+	m.pipeTicks.With("wasted").Set(s.SpecWastedTicks)
+	m.pipeBatch.With("commit").Set(s.BatchCommits)
+	m.pipeBatch.With("trace").Set(s.BatchTraces)
+	m.pipeBatch.With("error").Set(s.BatchErrors)
+	m.pipePrefetch.Set(s.PrefetchInstalls)
+	m.pipeQueue.Set(float64(s.PipelineMaxQueue))
 	for num, n := range s.Syscalls {
 		m.syscalls.With(fmt.Sprintf("%d", num)).Set(n)
 	}

@@ -371,6 +371,9 @@ func (v *VM) Run() (*Result, error) {
 	if err := v.start(); err != nil {
 		return nil, err
 	}
+	if v.pipe != nil {
+		v.pipe.begin(v)
+	}
 	var cur *Trace
 	for !v.halted {
 		if cur == nil {
@@ -382,7 +385,7 @@ func (v *VM) Run() (*Result, error) {
 			t, ok := v.cache.Lookup(v.pc)
 			if !ok {
 				var err error
-				t, err = v.translate(v.pc)
+				t, err = v.translateOrAdopt(v.pc)
 				if err != nil {
 					return nil, err
 				}
@@ -490,7 +493,7 @@ func (v *VM) directTransfer(t *Trace, slot int, target uint32) (*Trace, error) {
 	next, ok := v.cache.Lookup(target)
 	if !ok {
 		var err error
-		next, err = v.translate(target)
+		next, err = v.translateOrAdopt(target)
 		if err != nil {
 			return nil, err
 		}
@@ -519,11 +522,24 @@ func (v *VM) indirectTransfer(target uint32) (*Trace, error) {
 	v.clock += v.cost.Dispatch
 	v.stats.DispatchTicks += v.cost.Dispatch
 	v.stats.Dispatches++
-	next, err := v.translate(target)
+	next, err := v.translateOrAdopt(target)
 	if err != nil {
 		return nil, err
 	}
 	return next, nil
+}
+
+// translateOrAdopt resolves a translation-map miss: through the attached
+// pipeline when one exists (adopting a speculatively decoded trace or
+// translating synchronously, then seeding successor speculation), plain
+// synchronous translation otherwise.
+//
+//pcc:hotpath
+func (v *VM) translateOrAdopt(pc uint32) (*Trace, error) {
+	if v.pipe == nil {
+		return v.translate(pc)
+	}
+	return v.pipe.resolveMiss(v, pc)
 }
 
 func (v *VM) execOp(t *Trace, op AnalysisOp, instIdx int) {

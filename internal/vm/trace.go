@@ -294,6 +294,33 @@ func (v *VM) translate(pc uint32) (*Trace, error) {
 		}
 		cur += isa.InstSize
 	}
+	v.prepareTrace(t)
+
+	// Cost accounting and bookkeeping.
+	ticks := v.cost.TransFixed +
+		(v.cost.TransFetch+v.cost.TransPerInst)*uint64(len(t.Insts)) +
+		v.cost.TransPerOp*uint64(len(t.Ops))
+	v.clock += ticks
+	v.stats.TransTicks += ticks
+	v.stats.TracesTranslated++
+	v.stats.InstsTranslated += uint64(len(t.Insts))
+	if v.recordTimeline {
+		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
+	}
+	v.events.Record(tracelog.Event{
+		Kind: tracelog.KindTranslate, Tick: v.clock, PC: pc, Insts: len(t.Insts),
+	})
+	v.recordCoverage(t)
+	v.installTrace(t)
+	return t, nil
+}
+
+// prepareTrace derives everything a decoded trace needs before install:
+// static exits and liveness, relocation notes, and tool instrumentation.
+// Shared by synchronous translation and pipeline adoption; instrumentation
+// must run here — on the dispatch thread, in dispatch order — because tools
+// may be stateful.
+func (v *VM) prepareTrace(t *Trace) {
 	t.RecomputeStatic()
 
 	// Relocation notes: which instructions contain loader-patched fields.
@@ -320,29 +347,18 @@ func (v *VM) translate(pc uint32) (*Trace, error) {
 		t.Ops = tc.ops
 		sortOps(t.Ops)
 	}
+}
 
-	// Cost accounting and bookkeeping.
-	ticks := v.cost.TransFixed +
-		(v.cost.TransFetch+v.cost.TransPerInst)*uint64(len(t.Insts)) +
-		v.cost.TransPerOp*uint64(len(t.Ops))
-	v.clock += ticks
-	v.stats.TransTicks += ticks
-	v.stats.TracesTranslated++
-	v.stats.InstsTranslated += uint64(len(t.Insts))
-	if v.recordTimeline {
-		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
-	}
-	v.events.Record(tracelog.Event{
-		Kind: tracelog.KindTranslate, Tick: v.clock, PC: pc, Insts: len(t.Insts),
-	})
-	v.recordCoverage(t)
-
+// installTrace inserts a prepared trace into the code cache, flushing first
+// when either pool would overflow.
+//
+//pcc:hotpath
+func (v *VM) installTrace(t *Trace) {
 	if v.cache.WouldOverflow(t) {
 		v.cache.Flush()
 		v.stats.Flushes++
 	}
 	v.cache.Insert(t)
-	return t, nil
 }
 
 func sortOps(ops []AnalysisOp) {

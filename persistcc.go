@@ -143,6 +143,18 @@ type RunOptions struct {
 	// the daemon is unreachable the run degrades to purely local caching.
 	CacheServer string
 
+	// PipelineWorkers enables the asynchronous translation pipeline with
+	// that many background decode workers: translation-map misses adopt
+	// speculatively decoded traces instead of translating synchronously,
+	// and new translations are committed in batches. 0 keeps translation
+	// synchronous (unless Prefetch implies one worker).
+	PipelineWorkers int
+	// Prefetch bulk-installs every index-matching persistent trace at
+	// startup (instead of on first dispatch) and seeds successor
+	// speculation from their recorded exits. Implies the pipeline;
+	// requires Persist.
+	Prefetch bool
+
 	// Loader controls placement/ASLR; zero value = defaults.
 	Loader LoaderConfig
 	// MaxInsts bounds execution (0 = default budget).
@@ -184,6 +196,25 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 	if o.MaxInsts > 0 {
 		opts = append(opts, vm.WithMaxInsts(o.MaxInsts))
 	}
+	var pipe *vm.Pipeline
+	if o.PipelineWorkers > 0 || o.Prefetch {
+		if o.Prefetch && !o.Persist {
+			return nil, errors.New("persistcc: Prefetch requires Persist")
+		}
+		workers := o.PipelineWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		var popts []vm.PipelineOption
+		if o.Prefetch {
+			popts = append(popts, vm.PipelinePrefetch())
+		}
+		pipe = vm.NewPipeline(workers, popts...)
+		opts = append(opts, vm.WithPipeline(pipe))
+		// The run drains the pipeline itself; Shutdown only reaps the
+		// workers on early-error paths.
+		defer pipe.Shutdown()
+	}
 	v := vm.New(proc, opts...)
 
 	out := &RunOutcome{}
@@ -204,14 +235,30 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 			return nil, err
 		}
 		mgr = local
+		var fb *cacheserver.Fallback
 		if o.CacheServer != "" {
 			client := cacheserver.NewClient(o.CacheServer)
 			defer client.Close()
-			mgr = cacheserver.NewFallback(client, local)
+			fb = cacheserver.NewFallback(client, local)
+			mgr = fb
 		}
-		rep, err := mgr.Prime(v)
-		if errors.Is(err, core.ErrNoCache) && o.InterApp {
-			rep, err = mgr.PrimeInterApp(v)
+		if pipe != nil {
+			// Batched commits always land in the local database: the
+			// final Commit publishes the full accumulated file to the
+			// server, so batches are the crash-loss bound, not the
+			// sharing path.
+			pipe.SetCommit(local.BatchCommitter(v))
+		}
+		var rep *PrimeReport
+		if fb != nil && o.Prefetch {
+			// One bulk round trip: the exact entry plus (with InterApp)
+			// every inter-application candidate, installed together.
+			rep, err = fb.PrimeBulk(v, o.InterApp)
+		} else {
+			rep, err = mgr.Prime(v)
+			if errors.Is(err, core.ErrNoCache) && o.InterApp {
+				rep, err = mgr.PrimeInterApp(v)
+			}
 		}
 		if err != nil && !errors.Is(err, core.ErrNoCache) {
 			return nil, err

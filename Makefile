@@ -9,18 +9,18 @@ GO ?= go
 
 # The CI smoke set: fast, fully deterministic experiments whose *_ticks
 # metrics are gated against bench_baseline.json by pcc-benchdiff.
-BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline
+BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline,dedup
 MAX_REGRESS = 0.25
 
 # Per-target budget for the CI fuzz smoke; long exploratory runs are a
 # local activity (`make fuzz FUZZTIME=10m`).
 FUZZTIME = 10s
 
-.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke fuzz-smoke clean
+.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fuzz-smoke clean
 
 check: fmt-check lint build test-race
 
-ci: check bench-smoke chaos-smoke fuzz-smoke
+ci: check bench-smoke chaos-smoke migrate-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-smoke:
 # violation); deterministic, so also the CI chaos job.
 chaos-smoke:
 	$(GO) run ./cmd/pcc-bench -run chaos
+
+# Legacy-to-store migration gate: legacy fixture database (one entry
+# corrupted) -> in-place migrate -> deep verify -> warm run. Exits
+# non-zero if corruption is laundered, verification fails, or a surviving
+# entry stops warm-serving.
+migrate-smoke:
+	$(GO) run ./cmd/pcc-bench -run migrate
 
 # Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
 # decode, wire-protocol frames, cache-file bytes) plus the differential

@@ -246,3 +246,51 @@ func BenchmarkSpecInstrumented(b *testing.B) { benchExperiment(b, "spec-instr") 
 func BenchmarkShellTools(b *testing.B) { benchExperiment(b, "shelltools") }
 
 func BenchmarkPipelineWarmup(b *testing.B) { benchExperiment(b, "pipeline") }
+
+func BenchmarkDedup(b *testing.B) { benchExperiment(b, "dedup") }
+
+func BenchmarkStoreWarmup(b *testing.B) {
+	// BenchmarkPersistPrime over the content-addressed store format: the
+	// warm path resolves the manifest and materializes every trace from
+	// shared blobs (L1 decoded map after the first iteration).
+	gcc, err := workload.BuildSpecBenchmark("176.gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "pcc-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := core.NewManager(dir, core.WithStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := gcc.Prog.NewVM(loader.Config{}, gcc.Train[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mgr.Commit(v); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var installed int
+	for i := 0; i < b.N; i++ {
+		v2, err := gcc.Prog.NewVM(loader.Config{}, gcc.Train[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := mgr.Prime(v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		installed += rep.Installed
+	}
+	if installed == 0 {
+		b.Fatal("store prime installed nothing")
+	}
+}

@@ -10,6 +10,8 @@
 //	pcc-cachectl -dir DB verify -deep    # + static CFG/relocation verification
 //	pcc-cachectl -dir DB prune           # drop entries whose files are gone
 //	pcc-cachectl -dir DB repair          # quarantine corrupt files, rebuild index
+//	pcc-cachectl -dir DB migrate         # convert legacy files to manifest+blob format
+//	pcc-cachectl -dir DB compact         # deduplicating generational store compaction
 //	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
 //	pcc-cachectl -server ADDR metrics    # the daemon's metrics registry
 //	pcc-cachectl metrics FILE            # render a pcc-run -metrics-out file
@@ -24,12 +26,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/core"
 	"persistcc/internal/metrics"
 	"persistcc/internal/stats"
+	"persistcc/internal/store"
 )
 
 func main() {
@@ -37,7 +41,7 @@ func main() {
 	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
 	flag.Parse()
 	if flag.NArg() < 1 || (*dir == "" && *server == "" && flag.Arg(0) != "metrics") {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify [-deep]|prune|repair}")
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify [-deep]|prune|repair|migrate|compact}")
 		os.Exit(2)
 	}
 	var mgr *core.Manager
@@ -104,6 +108,12 @@ func main() {
 		}
 		fmt.Printf("cache files: %d\ntraces: %d\ncode pool: %s\ndata pool: %s\n",
 			st.Files, st.Traces, stats.Bytes(st.CodePool), stats.Bytes(st.DataPool))
+		if ss := st.Store; ss != nil {
+			fmt.Printf("store: %d manifests over %d shared blobs (%s physical)\n",
+				ss.Manifests, ss.Blobs, stats.Bytes(ss.BlobBytes))
+			fmt.Printf("dedup: %s logical → %.1f%% saved by content addressing\n",
+				stats.Bytes(ss.LogicalBytes), 100*ss.DedupRatio)
+		}
 		tb := stats.NewTable("key classes", "VM key", "tool key", "entries", "traces")
 		for _, c := range st.Classes {
 			tb.AddRow(c.VM[:8], c.Tool[:8], fmt.Sprintf("%d", c.Entries), fmt.Sprintf("%d", c.Traces))
@@ -139,11 +149,30 @@ func main() {
 		}
 		bad := 0
 		for _, e := range entries {
-			cf, err := core.ReadCacheFile(filepath.Join(*dir, e.File))
-			if err != nil {
-				fmt.Printf("BAD  %s: %v\n", e.File, err)
-				bad++
-				continue
+			var cf *core.CacheFile
+			if strings.HasSuffix(e.File, ".pcm") {
+				// Store-format entry: decode the manifest and materialize it
+				// from the blob store (each blob is content-verified on read).
+				var man *store.Manifest
+				b, err := os.ReadFile(filepath.Join(*dir, e.File))
+				if err == nil {
+					man, err = store.DecodeManifest(b)
+				}
+				if err == nil {
+					cf, err = mgr.MaterializeManifest(man)
+				}
+				if err != nil {
+					fmt.Printf("BAD  %s: %v\n", e.File, err)
+					bad++
+					continue
+				}
+			} else {
+				cf, err = core.ReadCacheFile(filepath.Join(*dir, e.File))
+				if err != nil {
+					fmt.Printf("BAD  %s: %v\n", e.File, err)
+					bad++
+					continue
+				}
 			}
 			if deep {
 				if rep := cf.VerifyDeep(); !rep.OK() {
@@ -188,6 +217,39 @@ func main() {
 		fmt.Printf("rebuilt: %d index entries from verified files\n", rep.EntriesRebuilt)
 		fmt.Printf("removed: %d temp files from interrupted writes\n", rep.TmpFilesRemoved)
 		fmt.Printf("reclaimed: %s from the live database\n", stats.Bytes(rep.BytesReclaimed))
+	case "migrate":
+		// Migration, like repair, runs when no healthy writer exists.
+		smgr, err := core.NewManager(*dir, core.WithStore(), core.WithLockTimeout(2*time.Second))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := smgr.MigrateToStore()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scanned: %d legacy cache files\n", rep.Scanned)
+		fmt.Printf("migrated: %d to manifest+blob format\n", rep.Migrated)
+		fmt.Printf("quarantined: %d that failed verification (moved to %s)\n",
+			rep.Quarantined, filepath.Join(*dir, core.QuarantineDir))
+		fmt.Printf("blobs: %d written, %d shared via dedup\n", rep.BlobsAdded, rep.BlobsShared)
+		if rep.BytesBefore > 0 {
+			fmt.Printf("bytes: %s → %s (%.1f%% saved)\n",
+				stats.Bytes(rep.BytesBefore), stats.Bytes(rep.BytesAfter),
+				100*(1-float64(rep.BytesAfter)/float64(rep.BytesBefore)))
+		}
+	case "compact":
+		smgr, err := core.NewManager(*dir, core.WithLockTimeout(2*time.Second))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := smgr.CompactStore(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generation: %d\n", rep.Gen)
+		fmt.Printf("carried: %d live blobs\n", rep.Carried)
+		fmt.Printf("pruned: %d orphan blobs, %d cold blobs\n", rep.PrunedOrphans, rep.PrunedCold)
+		fmt.Printf("reclaimed: %s\n", stats.Bytes(rep.ReclaimedBytes))
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", flag.Arg(0)))
 	}

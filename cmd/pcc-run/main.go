@@ -38,6 +38,8 @@ func main() {
 	cacheServer := flag.String("cache-server", "", `shared cache daemon address ("host:port" or "unix:/path.sock"); -persist becomes the local fallback database`)
 	interApp := flag.Bool("interapp", false, "fall back to another application's cache")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations")
+	storeFmt := flag.Bool("store", false, "commit in the content-addressed store format (manifest + shared blobs); reads both formats either way")
+	storeDir := flag.String("store-dir", "", "shared blob store directory for machine-wide dedup (default: <persist>/store)")
 	verifyInstall := flag.Bool("verify-install", false, "deep-verify cached traces (CFG + relocations) before installing; failures quarantine the file and re-translate")
 	inputStr := flag.String("input", "", "comma-separated input words for the guest input block")
 	libpath := flag.String("libpath", "", "colon-separated library search path (default: exe dir)")
@@ -160,6 +162,12 @@ func main() {
 		if *verifyInstall {
 			mopts = append(mopts, core.WithDeepVerify())
 		}
+		if *storeFmt {
+			mopts = append(mopts, core.WithStore())
+		}
+		if *storeDir != "" {
+			mopts = append(mopts, core.WithStoreDir(*storeDir))
+		}
 		local, err := core.NewManager(*persistDir, mopts...)
 		if err != nil {
 			fatal(err)
@@ -176,7 +184,11 @@ func main() {
 		}
 		var rep *core.PrimeReport
 		if fb != nil && *prefetch {
-			rep, err = fb.PrimeBulk(v, *interApp)
+			if *storeFmt {
+				rep, err = fb.PrimeStoreBulk(v, *interApp)
+			} else {
+				rep, err = fb.PrimeBulk(v, *interApp)
+			}
 		} else {
 			rep, err = mgr.Prime(v)
 			if err == core.ErrNoCache && *interApp {

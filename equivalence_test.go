@@ -1,9 +1,9 @@
 package persistcc_test
 
 // Differential-equivalence suite for the translation system: every workload
-// runs cold-interpreted, cold-translated, warm-from-disk, server-warmed and
-// pipelined (4 workers, prefetch, batched commits), and the five executions
-// must agree bit for bit on the final architectural state — registers,
+// runs cold-interpreted, cold-translated, warm-from-disk, store-warmed,
+// server-warmed and pipelined (4 workers, prefetch, batched commits), and all
+// executions must agree bit for bit on the final architectural state — registers,
 // memory image, output — and on every execution-behavior invariant of
 // Stats. The pipeline's determinism contract is stronger still: at equal
 // cache warmth it must match the synchronous dispatcher on the cache-
@@ -62,7 +62,7 @@ func takeSnap(mode string, v *vm.VM, res *vm.Result) *snap {
 
 // eqRow is one workload of the suite. newVM returns a fresh VM with the
 // input attached and the given extra options applied; the build itself is
-// cached across modes so all five executions load identical binaries.
+// cached across modes so all executions load identical binaries.
 type eqRow struct {
 	name  string
 	tool  func() vm.Tool // fresh tool instance per mode; nil = uninstrumented
@@ -186,6 +186,29 @@ func TestDifferentialEquivalence(t *testing.T) {
 			}
 			warm := takeSnap("warm-disk", vW, resW)
 
+			// Mode 3b: warm from the content-addressed store — the cold
+			// run's entry is committed through a store-format manager
+			// (manifest + shared blobs) and primed back. The store round
+			// trip must be invisible: bit-identical architectural state
+			// AND identical cache-behavior counters.
+			smgr := testutil.NewMgr(t, core.WithStore())
+			if _, err := smgr.Commit(vC); err != nil {
+				t.Fatal(err)
+			}
+			vS := freshVM()
+			srep, err := smgr.Prime(vS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if srep.Installed == 0 {
+				t.Fatal("store-warm mode installed nothing; equivalence would be vacuous")
+			}
+			resS, err := vS.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			storeWarm := takeSnap("store-warmed", vS, resS)
+
 			// Mode 4: server-warmed — the cache arrives over the wire and
 			// installs through the fallback's validation path.
 			server := serverSnap(t, row, freshVM, vC)
@@ -209,12 +232,12 @@ func TestDifferentialEquivalence(t *testing.T) {
 				t.Errorf("prefetch installed %d of %d primed traces", resP.Stats.PrefetchInstalls, prep.Installed)
 			}
 
-			all := []*snap{interp, cold, coldPiped, warm, server, piped}
+			all := []*snap{interp, cold, coldPiped, warm, storeWarm, server, piped}
 			translated := all[1:]
-			warmTrio := []*snap{warm, server, piped}
+			warmQuad := []*snap{warm, storeWarm, server, piped}
 			checkArchitectural(t, all)
 			checkBehavior(t, translated)
-			checkCacheBehavior(t, warmTrio)
+			checkCacheBehavior(t, warmQuad)
 		})
 	}
 	if adoptedTotal == 0 {

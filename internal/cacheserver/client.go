@@ -12,6 +12,7 @@ import (
 	"persistcc/internal/core"
 	"persistcc/internal/metrics"
 	tracelog "persistcc/internal/metrics/trace"
+	"persistcc/internal/store"
 	"persistcc/internal/vm"
 )
 
@@ -319,6 +320,54 @@ func (c *Client) FetchBulk(ks core.KeySet, interApp bool) ([]*core.CacheFile, er
 	return out, nil
 }
 
+// FetchManifests retrieves every matching entry in its compact form: raw
+// manifests for store-format entries, legacy images otherwise. The
+// store-aware warm path resolves the manifests' blobs separately, hitting
+// the machine-local store before the wire.
+func (c *Client) FetchManifests(ks core.KeySet, interApp bool) ([]manifestItem, error) {
+	resp, err := c.do(OpFetchManifests, encodeKeyRequest(ks, interApp))
+	if err != nil {
+		return nil, err
+	}
+	items, err := decodeManifestItems(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, core.ErrNoCache
+	}
+	return items, nil
+}
+
+// FetchBlobs retrieves encoded blobs by hash, batching oversized requests;
+// hashes the server does not hold are absent from the result. This makes
+// the client tier L3 of the store's lookup path (store.RemoteBlobs): the
+// local store verifies and persists each fetched blob, so it crosses the
+// network once per machine.
+func (c *Client) FetchBlobs(hashes []store.Hash) (map[store.Hash][]byte, error) {
+	out := make(map[store.Hash][]byte, len(hashes))
+	for start := 0; start < len(hashes); start += maxBlobFetch {
+		end := start + maxBlobFetch
+		if end > len(hashes) {
+			end = len(hashes)
+		}
+		resp, err := c.do(OpFetchBlobs, encodeBlobRequest(hashes[start:end]))
+		if err != nil {
+			return out, err
+		}
+		items, err := decodeBlobItems(resp)
+		if err != nil {
+			return out, err
+		}
+		for h, b := range items {
+			out[h] = b
+		}
+	}
+	return out, nil
+}
+
+var _ store.RemoteBlobs = (*Client)(nil)
+
 // Publish sends a serialized cache file for server-side merge.
 func (c *Client) Publish(cf *core.CacheFile) (*core.CommitReport, error) {
 	b, err := cf.MarshalBinary()
@@ -374,8 +423,12 @@ type Fallback struct {
 	local  *core.Manager
 }
 
-// NewFallback combines a client and the local fallback manager.
+// NewFallback combines a client and the local fallback manager. The
+// client is attached as the local store's remote blob tier, so any
+// manifest the local manager materializes can pull missing blobs over the
+// wire (write-through to the machine-local store).
 func NewFallback(client *Client, local *core.Manager) *Fallback {
+	local.SetRemoteBlobs(client)
 	return &Fallback{client: client, local: local}
 }
 
@@ -451,6 +504,67 @@ func (f *Fallback) PrimeBulk(v *vm.VM, interApp bool) (*core.PrimeReport, error)
 		v.EventLog().Record(tracelog.Event{
 			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: agg.Installed,
 			Detail: "bulk " + f.client.addr,
+		})
+		return agg, nil
+	case errors.Is(err, core.ErrNoCache):
+		v.RecordRemote(1, 0, 0)
+		return f.localPrimeAll(v, interApp)
+	default:
+		v.RecordRemote(1, 0, 1)
+		f.client.m.fallbacks.With("prime").Inc()
+		return f.localPrimeAll(v, interApp)
+	}
+}
+
+// PrimeStoreBulk is PrimeBulk for store-aware runs: entries arrive as
+// compact manifests (or legacy images from an unmigrated server), and only
+// blobs the machine-local store is missing cross the wire — the
+// deduplicated transfer path. Degrades exactly like PrimeBulk.
+func (f *Fallback) PrimeStoreBulk(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
+	ks := core.KeysFor(v)
+	items, err := f.client.FetchManifests(ks, interApp)
+	switch {
+	case err == nil:
+		agg := &core.PrimeReport{}
+		okAny := false
+		for _, it := range items {
+			var cf *core.CacheFile
+			if it.Kind == itemKindManifest {
+				man, derr := store.DecodeManifest(it.Data)
+				if derr != nil {
+					continue // corrupt on the wire; try the rest
+				}
+				if cf, derr = f.local.MaterializeManifest(man); derr != nil {
+					continue // blobs unresolvable or inconsistent; re-translate
+				}
+			} else {
+				cf = new(core.CacheFile)
+				if cf.UnmarshalBinary(it.Data) != nil {
+					continue
+				}
+			}
+			rep, perr := f.local.PrimeFrom(v, cf)
+			if perr != nil {
+				continue // failed key validation; try the rest
+			}
+			okAny = true
+			agg.Found = true
+			agg.CacheTraces += rep.CacheTraces
+			agg.Installed += rep.Installed
+			agg.Rebased += rep.Rebased
+			agg.InvalidMissing += rep.InvalidMissing
+			agg.InvalidContent += rep.InvalidContent
+			agg.InvalidBase += rep.InvalidBase
+		}
+		if !okAny {
+			v.RecordRemote(1, 0, 1)
+			f.client.m.fallbacks.With("prime").Inc()
+			return f.localPrimeAll(v, interApp)
+		}
+		v.RecordRemote(1, uint64(agg.Installed), 0)
+		v.EventLog().Record(tracelog.Event{
+			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: agg.Installed,
+			Detail: "store " + f.client.addr,
 		})
 		return agg, nil
 	case errors.Is(err, core.ErrNoCache):

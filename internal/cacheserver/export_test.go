@@ -22,6 +22,13 @@ func WithDispatchDelay(d time.Duration) Option {
 	}
 }
 
+// Manifest-item kinds, exported so the black-box tests can assert which
+// form a store-aware fetch returned.
+const (
+	ItemKindLegacyForTest   = itemKindLegacy
+	ItemKindManifestForTest = itemKindManifest
+)
+
 // BreakerOpenForTest reports the client's breaker state.
 func (c *Client) BreakerOpenForTest() bool {
 	c.mu.Lock()

@@ -69,6 +69,10 @@ func opName(op uint8) string {
 		return "metrics"
 	case OpFetchBulk:
 		return "fetchbulk"
+	case OpFetchManifests:
+		return "fetchmanifests"
+	case OpFetchBlobs:
+		return "fetchblobs"
 	}
 	return "unknown"
 }

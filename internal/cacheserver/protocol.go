@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"persistcc/internal/binenc"
 	"persistcc/internal/core"
+	"persistcc/internal/store"
 )
 
 // Op codes (client → server).
@@ -36,6 +38,13 @@ const (
 	OpPrune     = 5 // → reconcile index and files (core.PruneReport)
 	OpMetrics   = 6 // → the daemon's metrics registry snapshot (JSON)
 	OpFetchBulk = 7 // key set + mode → every index-matching serialized CacheFile
+
+	// Manifest-aware ops for store-format databases: FETCHMANIFESTS moves
+	// the (small) per-app manifests, FETCHBLOBS moves only the shared
+	// blobs the client's local store is missing — so each deduplicated
+	// blob crosses the wire once per machine, not once per application.
+	OpFetchManifests = 8 // key set + mode → per-entry manifest (or legacy image)
+	OpFetchBlobs     = 9 // blob hashes → encoded blobs for those the server holds
 )
 
 // maxBulkFiles bounds how many cache files one bulk fetch may return (the
@@ -151,6 +160,116 @@ func decodeBulkFiles(b []byte) ([][]byte, error) {
 	return files, r.Done()
 }
 
+// Manifest-item kinds in FETCHMANIFESTS responses: a store-format entry
+// travels as its raw manifest; a legacy entry travels as its serialized
+// CacheFile image, so mixed-format server databases stay fully servable.
+const (
+	itemKindLegacy   = 0
+	itemKindManifest = 1
+)
+
+// manifestItem is one database entry in a FETCHMANIFESTS response.
+type manifestItem struct {
+	Kind uint8
+	Data []byte
+}
+
+func encodeManifestItems(items []manifestItem) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(items)))
+	for _, it := range items {
+		w.U8(it.Kind)
+		w.U32(uint32(len(it.Data)))
+		w.Raw(it.Data)
+	}
+	return w.Buf
+}
+
+func decodeManifestItems(b []byte) ([]manifestItem, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxBulkFiles)
+	items := make([]manifestItem, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		kind := r.U8()
+		if r.Err == nil && kind != itemKindLegacy && kind != itemKindManifest {
+			return nil, fmt.Errorf("cacheserver: unknown manifest item kind %d", kind)
+		}
+		ln := int(r.U32())
+		if r.Err == nil && (ln < 0 || ln > MaxFrame) {
+			return nil, fmt.Errorf("cacheserver: manifest item length %d out of range", ln)
+		}
+		raw := r.Raw(ln)
+		if r.Err != nil {
+			break
+		}
+		items = append(items, manifestItem{Kind: kind, Data: append([]byte(nil), raw...)})
+	}
+	return items, r.Done()
+}
+
+// maxBlobFetch bounds how many hashes one FETCHBLOBS request may carry;
+// both ends enforce it. Large prefetches simply batch.
+const maxBlobFetch = 4096
+
+func encodeBlobRequest(hashes []store.Hash) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(hashes)))
+	for _, h := range hashes {
+		w.Raw(h[:])
+	}
+	return w.Buf
+}
+
+func decodeBlobRequest(b []byte) ([]store.Hash, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxBlobFetch)
+	hashes := make([]store.Hash, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		var h store.Hash
+		copy(h[:], r.Raw(32))
+		hashes = append(hashes, h)
+	}
+	return hashes, r.Done()
+}
+
+// blobItem is one resolved blob in a FETCHBLOBS response; hashes the
+// server does not hold are simply absent (the client re-translates).
+type blobItem struct {
+	Hash store.Hash
+	Data []byte
+}
+
+func encodeBlobItems(items []blobItem) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(items)))
+	for _, it := range items {
+		w.Raw(it.Hash[:])
+		w.U32(uint32(len(it.Data)))
+		w.Raw(it.Data)
+	}
+	return w.Buf
+}
+
+func decodeBlobItems(b []byte) (map[store.Hash][]byte, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxBlobFetch)
+	out := make(map[store.Hash][]byte, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		var h store.Hash
+		copy(h[:], r.Raw(32))
+		ln := int(r.U32())
+		if r.Err == nil && (ln < 0 || ln > MaxFrame) {
+			return nil, fmt.Errorf("cacheserver: blob length %d out of range", ln)
+		}
+		raw := r.Raw(ln)
+		if r.Err != nil {
+			break
+		}
+		out[h] = append([]byte(nil), raw...)
+	}
+	return out, r.Done()
+}
+
 // LookupInfo is the metadata LOOKUP returns without transferring traces.
 type LookupInfo struct {
 	File     string
@@ -221,6 +340,15 @@ func encodeDBStats(st *core.DBStats) []byte {
 		w.U32(uint32(c.Entries))
 		w.U32(uint32(c.Traces))
 	}
+	w.Bool(st.Store != nil)
+	if st.Store != nil {
+		w.U32(uint32(st.Store.Manifests))
+		w.U32(uint32(st.Store.Blobs))
+		w.U64(st.Store.BlobBytes)
+		w.U64(st.Store.LogicalBytes)
+		w.U64(math.Float64bits(st.Store.DedupRatio))
+		w.U32(uint32(st.Store.Generations))
+	}
 	return w.Buf
 }
 
@@ -238,6 +366,16 @@ func decodeDBStats(b []byte) (*core.DBStats, error) {
 		c.Entries = int(r.U32())
 		c.Traces = int(r.U32())
 		st.Classes = append(st.Classes, c)
+	}
+	if r.Err == nil && r.Bool() {
+		ss := &core.StoreDBStats{}
+		ss.Manifests = int(r.U32())
+		ss.Blobs = int(r.U32())
+		ss.BlobBytes = r.U64()
+		ss.LogicalBytes = r.U64()
+		ss.DedupRatio = math.Float64frombits(r.U64())
+		ss.Generations = int(r.U32())
+		st.Store = ss
 	}
 	return st, r.Done()
 }

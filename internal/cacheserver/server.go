@@ -5,9 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io/fs"
 	"net"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -154,35 +152,38 @@ func (s *Server) reloadIndex() error {
 		sh.mu.Unlock()
 	}
 	for _, e := range entries {
-		sh := s.shardFor(e.File)
+		stem := core.FileStem(e.File)
+		sh := s.shardFor(stem)
 		sh.mu.Lock()
-		sh.entries[e.File] = &entry{meta: e, inflight: make(map[[32]byte]*flight)}
+		sh.entries[stem] = &entry{meta: e, inflight: make(map[[32]byte]*flight)}
 		sh.mu.Unlock()
 	}
 	return nil
 }
 
-func (s *Server) shardFor(file string) *shard {
+// shardFor shards by file stem — the format-independent entry identity —
+// so a publish that migrates an entry between formats stays on one entry.
+func (s *Server) shardFor(stem string) *shard {
 	h := fnv.New32a()
-	h.Write([]byte(file))
+	h.Write([]byte(stem))
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
-// entryFor returns the live entry for a cache file, creating it when create
-// is set (publish of a first cache for a key set).
-func (s *Server) entryFor(file string, create bool) *entry {
-	sh := s.shardFor(file)
+// entryFor returns the live entry for a cache file stem, creating it when
+// create is set (publish of a first cache for a key set).
+func (s *Server) entryFor(stem string, create bool) *entry {
+	sh := s.shardFor(stem)
 	sh.mu.RLock()
-	e := sh.entries[file]
+	e := sh.entries[stem]
 	sh.mu.RUnlock()
 	if e != nil || !create {
 		return e
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e = sh.entries[file]; e == nil {
+	if e = sh.entries[stem]; e == nil {
 		e = &entry{inflight: make(map[[32]byte]*flight)}
-		sh.entries[file] = e
+		sh.entries[stem] = e
 	}
 	return e
 }
@@ -392,6 +393,10 @@ func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
 		resp = s.metrics.Snapshot().JSON()
 	case OpFetchBulk:
 		resp, err = s.handleFetchBulk(payload)
+	case OpFetchManifests:
+		resp, err = s.handleFetchManifests(payload)
+	case OpFetchBlobs:
+		resp, err = s.handleFetchBlobs(payload)
 	default:
 		err = fmt.Errorf("unknown op %d", op)
 	}
@@ -418,10 +423,10 @@ func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
 // application instrumented identically"). Entries whose first publish is
 // still in flight (empty metadata) are invisible.
 func (s *Server) resolve(ks core.KeySet, interApp bool) (*entry, core.IndexEntry, bool) {
-	file := ks.CacheFileName()
-	sh := s.shardFor(file)
+	stem := core.FileStem(ks.CacheFileName())
+	sh := s.shardFor(stem)
 	sh.mu.RLock()
-	if e := sh.entries[file]; e != nil && e.meta.File != "" {
+	if e := sh.entries[stem]; e != nil && e.meta.File != "" {
 		meta := e.meta
 		sh.mu.RUnlock()
 		return e, meta, true
@@ -494,7 +499,32 @@ func (s *Server) handleFetchBulk(payload []byte) ([]byte, error) {
 		return true
 	}
 
-	exact := ks.CacheFileName()
+	for _, c := range s.bulkCandidates(ks, interApp) {
+		if len(files) >= maxBulkFiles {
+			break
+		}
+		if !add(c.e, c.meta.File) {
+			break
+		}
+	}
+	if len(files) == 0 {
+		return nil, core.ErrNoCache
+	}
+	return encodeBulkFiles(files), nil
+}
+
+type bulkCand struct {
+	e    *entry
+	meta core.IndexEntry
+}
+
+// bulkCandidates enumerates the entries a bulk request covers: the exact
+// entry first, then — in inter-application mode — every other entry of the
+// same VM/Tool class, ordered best-first the same way resolve breaks ties
+// (most traces, then file name).
+func (s *Server) bulkCandidates(ks core.KeySet, interApp bool) []bulkCand {
+	var out []bulkCand
+	exact := core.FileStem(ks.CacheFileName())
 	sh := s.shardFor(exact)
 	sh.mu.RLock()
 	e := sh.entries[exact]
@@ -504,59 +534,43 @@ func (s *Server) handleFetchBulk(payload []byte) ([]byte, error) {
 	}
 	sh.mu.RUnlock()
 	if e != nil && exactMeta.File != "" {
-		add(e, exactMeta.File)
+		out = append(out, bulkCand{e, exactMeta})
 	}
-
-	if interApp {
-		type cand struct {
-			e    *entry
-			meta core.IndexEntry
-		}
-		var cands []cand
-		for _, sh := range s.shards {
-			sh.mu.RLock()
-			for _, e := range sh.entries {
-				m := e.meta
-				if m.File == "" || m.File == exact || m.VM != ks.VM.Hex() || m.Tool != ks.Tool.Hex() || m.App == ks.App.Hex() {
-					continue
-				}
-				cands = append(cands, cand{e, m})
-			}
-			sh.mu.RUnlock()
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].meta.Traces != cands[j].meta.Traces {
-				return cands[i].meta.Traces > cands[j].meta.Traces
-			}
-			return cands[i].meta.File < cands[j].meta.File
-		})
-		for _, c := range cands {
-			if len(files) >= maxBulkFiles {
-				break
-			}
-			if !add(c.e, c.meta.File) {
-				break
-			}
-		}
+	if !interApp {
+		return out
 	}
-	if len(files) == 0 {
-		return nil, core.ErrNoCache
+	var cands []bulkCand
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			m := e.meta
+			if m.File == "" || core.FileStem(m.File) == exact || m.VM != ks.VM.Hex() || m.Tool != ks.Tool.Hex() || m.App == ks.App.Hex() {
+				continue
+			}
+			cands = append(cands, bulkCand{e, m})
+		}
+		sh.mu.RUnlock()
 	}
-	return encodeBulkFiles(files), nil
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].meta.Traces != cands[j].meta.Traces {
+			return cands[i].meta.Traces > cands[j].meta.Traces
+		}
+		return cands[i].meta.File < cands[j].meta.File
+	})
+	return append(out, cands...)
 }
 
-// fileBytes returns the serialized cache file, from the per-entry byte
-// cache when warm.
+// fileBytes returns the entry's serialized legacy CacheFile image, from
+// the per-entry byte cache when warm. Store-format entries are
+// materialized and re-encoded by the manager, so legacy clients keep
+// working against a migrated database.
 func (s *Server) fileBytes(e *entry, file string) ([]byte, error) {
 	e.dataMu.Lock()
 	defer e.dataMu.Unlock()
 	if e.data != nil {
 		return e.data, nil
 	}
-	b, err := s.mgr.FS().ReadFile(filepath.Join(s.mgr.Dir(), file))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, core.ErrNoCache
-	}
+	b, err := s.mgr.FileImage(file)
 	if err != nil {
 		return nil, err
 	}
@@ -571,8 +585,7 @@ func (s *Server) handlePublish(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	ks := core.KeySet{App: incoming.AppKey, VM: incoming.VMKey, Tool: incoming.ToolKey}
-	file := ks.CacheFileName()
-	e := s.entryFor(file, true)
+	e := s.entryFor(core.FileStem(ks.CacheFileName()), true)
 
 	// Single-flight: concurrent identical publishes (several processes
 	// exiting the same cold run at once) merge exactly once.
@@ -591,7 +604,7 @@ func (s *Server) handlePublish(payload []byte) ([]byte, error) {
 	e.inflight[digest] = f
 	e.flMu.Unlock()
 
-	f.rep, f.err = s.merge(e, ks, file, incoming)
+	f.rep, f.err = s.merge(e, ks, incoming)
 	e.flMu.Lock()
 	delete(e.inflight, digest)
 	e.flMu.Unlock()
@@ -602,30 +615,39 @@ func (s *Server) handlePublish(payload []byte) ([]byte, error) {
 	return encodeCommitReport(f.rep), nil
 }
 
-// merge performs the per-file accumulation: read prior, merge, write
-// atomically, refresh the on-disk index and the in-memory entry.
-func (s *Server) merge(e *entry, ks core.KeySet, file string, incoming *core.CacheFile) (*core.CommitReport, error) {
+// merge performs the per-file accumulation: read prior (either format),
+// merge, write atomically in the manager's configured format, refresh the
+// on-disk index and the in-memory entry.
+func (s *Server) merge(e *entry, ks core.KeySet, incoming *core.CacheFile) (*core.CommitReport, error) {
 	e.mergeMu.Lock()
 	defer e.mergeMu.Unlock()
 
-	path := filepath.Join(s.mgr.Dir(), file)
 	// A corrupt prior is quarantined by the manager and merged as absent:
 	// a bad file on disk must not wedge every future publish of its key set.
-	prior, err := s.mgr.ReadPrior(file)
+	// The prior may live in either format (a legacy database being served
+	// by a store-format daemon mid-migration, or vice versa).
+	prior, err := s.mgr.ReadPrior(ks.ManifestFileName())
 	if err != nil {
 		return nil, err
+	}
+	if prior == nil {
+		if prior, err = s.mgr.ReadPrior(ks.CacheFileName()); err != nil {
+			return nil, err
+		}
 	}
 	merged, rep, err := core.MergeCacheFiles(incoming, prior, s.mgr.Relocatable())
 	if err != nil {
 		return nil, err
 	}
-	rep.File = file
+	rep.File = s.mgr.CacheFileNameFor(ks)
 	if rep.Skipped {
 		return rep, nil
 	}
-	if err := merged.WriteFileFS(s.mgr.FS(), path); err != nil {
+	file, err := s.mgr.WriteMerged(ks, merged)
+	if err != nil {
 		return nil, err
 	}
+	rep.File = file
 	if err := s.mgr.UpdateIndex(ks, merged, file); err != nil {
 		return nil, err
 	}
@@ -635,7 +657,7 @@ func (s *Server) merge(e *entry, ks core.KeySet, file string, incoming *core.Cac
 		AppPath: merged.AppPath, File: file, Traces: len(merged.Traces),
 		CodePool: merged.CodePool, DataPool: merged.DataPool,
 	}
-	sh := s.shardFor(file)
+	sh := s.shardFor(core.FileStem(file))
 	sh.mu.Lock()
 	e.meta = meta
 	sh.mu.Unlock()
@@ -655,7 +677,90 @@ func (s *Server) handleStats() ([]byte, error) {
 		}
 		sh.mu.RUnlock()
 	}
-	return encodeDBStats(core.AggregateStats(entries)), nil
+	st := core.AggregateStats(entries)
+	if ss, err := s.mgr.StoreStats(); err == nil && ss != nil {
+		st.Store = ss
+	}
+	return encodeDBStats(st), nil
+}
+
+// handleFetchManifests is FETCHBULK for store-aware clients: each entry
+// travels as its compact manifest when store-format (the client resolves
+// blobs separately, hitting its local store first) or as a legacy image
+// otherwise. The response is capped by maxBulkFiles and the frame bound.
+func (s *Server) handleFetchManifests(payload []byte) ([]byte, error) {
+	ks, interApp, err := decodeKeyRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	var items []manifestItem
+	total := 0
+	add := func(e *entry, file string) bool {
+		var it manifestItem
+		if strings.HasSuffix(file, ".pcm") {
+			b, err := s.mgr.ManifestBytes(file)
+			if err != nil {
+				return true // pruned since indexed: skip
+			}
+			it = manifestItem{Kind: itemKindManifest, Data: b}
+		} else {
+			b, err := s.fileBytes(e, file)
+			if err != nil {
+				return true
+			}
+			it = manifestItem{Kind: itemKindLegacy, Data: b}
+		}
+		// Leave room for the count/kind/length framing and the status byte.
+		if total+len(it.Data)+9*(len(items)+2) > s.maxFrame {
+			return false
+		}
+		items = append(items, it)
+		total += len(it.Data)
+		return true
+	}
+	for _, c := range s.bulkCandidates(ks, interApp) {
+		if len(items) >= maxBulkFiles {
+			break
+		}
+		if !add(c.e, c.meta.File) {
+			break
+		}
+	}
+	if len(items) == 0 {
+		return nil, core.ErrNoCache
+	}
+	return encodeManifestItems(items), nil
+}
+
+// handleFetchBlobs serves encoded blobs from the daemon's content store.
+// Hashes it does not hold are simply absent from the response; a database
+// with no store side answers with an empty set.
+func (s *Server) handleFetchBlobs(payload []byte) ([]byte, error) {
+	hashes, err := decodeBlobRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.mgr.StoreIfPresent()
+	if err != nil {
+		return nil, err
+	}
+	var items []blobItem
+	total := 0
+	if st != nil {
+		for _, h := range hashes {
+			b, err := st.GetRaw(h)
+			if err != nil {
+				continue
+			}
+			// Leave room for the count/hash/length framing and the status byte.
+			if total+len(b)+40*(len(items)+2) > s.maxFrame {
+				break
+			}
+			items = append(items, blobItem{Hash: h, Data: b})
+			total += len(b)
+		}
+	}
+	return encodeBlobItems(items), nil
 }
 
 func (s *Server) handlePrune() ([]byte, error) {

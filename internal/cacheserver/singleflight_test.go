@@ -33,7 +33,7 @@ func TestPublishSingleFlight(t *testing.T) {
 	file := ks.CacheFileName()
 
 	// Plant an in-flight merge for the digest by hand.
-	e := s.entryFor(file, true)
+	e := s.entryFor(core.FileStem(file), true)
 	want := &core.CommitReport{Traces: 7, File: file}
 	f := &flight{done: make(chan struct{}), rep: want}
 	e.flMu.Lock()

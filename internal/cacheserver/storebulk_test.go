@@ -1,0 +1,271 @@
+package cacheserver_test
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/core"
+	"persistcc/internal/store"
+)
+
+// Tests for the store-aware wire ops (FETCHMANIFESTS / FETCHBLOBS) and the
+// PrimeStoreBulk warm path that rides on them: manifests cross the wire in
+// compact form, blobs cross once per machine, and every combination of
+// legacy/store client and server still produces a working prime.
+
+// startStoreServer is startServer over a store-format database: published
+// entries land as manifests plus content-addressed blobs.
+func startStoreServer(t testing.TB, opts ...cacheserver.Option) (*cacheserver.Server, string, *core.Manager) {
+	t.Helper()
+	mgr, err := core.NewManager(t.TempDir(), core.WithStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cacheserver.New(mgr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := cacheserver.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String(), mgr
+}
+
+// newStoreFallback builds a Fallback whose local manager is store-format,
+// so primes resolve manifests against the machine-local blob store with
+// the client attached as the remote tier.
+func newStoreFallback(t testing.TB, addr string) *cacheserver.Fallback {
+	t.Helper()
+	local, err := core.NewManager(t.TempDir(), core.WithStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cacheserver.NewFallback(newClient(addr), local)
+}
+
+func TestFetchManifestsAndBlobsRoundTrip(t *testing.T) {
+	_, addr, _ := startStoreServer(t)
+	w := buildWorld(t, "storeprog", 0)
+	v, _ := w.ranVM(t, 50)
+	cf, ks := core.BuildCacheFile(v)
+	if len(cf.Traces) == 0 {
+		t.Fatal("cold run produced no traces")
+	}
+	c := newClient(addr)
+	defer c.Close()
+	if _, err := c.Publish(cf); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	items, err := c.FetchManifests(ks, false)
+	if err != nil {
+		t.Fatalf("FetchManifests: %v", err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("got %d manifest items, want 1", len(items))
+	}
+	if items[0].Kind != cacheserver.ItemKindManifestForTest {
+		t.Fatalf("item kind = %d, want manifest (%d)", items[0].Kind, cacheserver.ItemKindManifestForTest)
+	}
+	man, err := store.DecodeManifest(items[0].Data)
+	if err != nil {
+		t.Fatalf("decode fetched manifest: %v", err)
+	}
+	hashes := man.BlobHashes()
+	if len(hashes) == 0 {
+		t.Fatal("fetched manifest references no blobs")
+	}
+
+	// Every referenced blob is servable and content-verified.
+	blobs, err := c.FetchBlobs(hashes)
+	if err != nil {
+		t.Fatalf("FetchBlobs: %v", err)
+	}
+	for _, h := range hashes {
+		enc, ok := blobs[h]
+		if !ok {
+			t.Fatalf("blob %s missing from response", h)
+		}
+		if store.Sum(enc) != h {
+			t.Errorf("blob %s: returned bytes hash to %s", h, store.Sum(enc))
+		}
+		if _, err := store.DecodeBlob(enc); err != nil {
+			t.Errorf("blob %s: undecodable: %v", h, err)
+		}
+	}
+
+	// Hashes the server does not hold are absent, not errors.
+	var bogus store.Hash
+	copy(bogus[:], bytes.Repeat([]byte{0xAB}, len(bogus)))
+	got, err := c.FetchBlobs([]store.Hash{bogus, hashes[0]})
+	if err != nil {
+		t.Fatalf("FetchBlobs with unknown hash: %v", err)
+	}
+	if _, ok := got[bogus]; ok {
+		t.Error("server invented bytes for an unknown hash")
+	}
+	if _, ok := got[hashes[0]]; !ok {
+		t.Error("known hash dropped when batched with an unknown one")
+	}
+}
+
+func TestFetchManifestsFromLegacyServer(t *testing.T) {
+	// An unmigrated server answers FETCHMANIFESTS with legacy images and
+	// FETCHBLOBS with nothing — store-aware clients degrade cleanly.
+	_, addr, _ := startServer(t)
+	w := buildWorld(t, "legacysrv", 1)
+	v, _ := w.ranVM(t, 50)
+	cf, ks := core.BuildCacheFile(v)
+	c := newClient(addr)
+	defer c.Close()
+	if _, err := c.Publish(cf); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	items, err := c.FetchManifests(ks, false)
+	if err != nil {
+		t.Fatalf("FetchManifests: %v", err)
+	}
+	if len(items) != 1 || items[0].Kind != cacheserver.ItemKindLegacyForTest {
+		t.Fatalf("want 1 legacy item, got %d items (kind %v)", len(items), items[0].Kind)
+	}
+	var got core.CacheFile
+	if err := got.UnmarshalBinary(items[0].Data); err != nil {
+		t.Fatalf("legacy item is not a cache file: %v", err)
+	}
+	if len(got.Traces) != len(cf.Traces) {
+		t.Errorf("legacy item has %d traces, want %d", len(got.Traces), len(cf.Traces))
+	}
+
+	var h store.Hash
+	blobs, err := c.FetchBlobs([]store.Hash{h})
+	if err != nil {
+		t.Fatalf("FetchBlobs on legacy server: %v", err)
+	}
+	if len(blobs) != 0 {
+		t.Errorf("legacy server returned %d blobs, want 0", len(blobs))
+	}
+}
+
+func TestLegacyClientAgainstStoreServer(t *testing.T) {
+	// Old clients speak FETCHBULK; a store-format server materializes the
+	// manifest back into a legacy image on the fly.
+	_, addr, _ := startStoreServer(t)
+	w := buildWorld(t, "oldclient", 2)
+	v, res := w.ranVM(t, 50)
+	cf, ks := core.BuildCacheFile(v)
+	c := newClient(addr)
+	defer c.Close()
+	if _, err := c.Publish(cf); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	files, err := c.FetchBulk(ks, false)
+	if err != nil {
+		t.Fatalf("FetchBulk against store server: %v", err)
+	}
+	if len(files) != 1 || len(files[0].Traces) != len(cf.Traces) {
+		t.Fatalf("FetchBulk: got %d files / %d traces, want 1 / %d",
+			len(files), len(files[0].Traces), len(cf.Traces))
+	}
+
+	// And the full legacy fallback path still warms a run.
+	f := newFallback(t, addr)
+	warm := w.freshVM(t, 50)
+	prep, err := f.PrimeBulk(warm, false)
+	if err != nil {
+		t.Fatalf("PrimeBulk: %v", err)
+	}
+	if !prep.Found || prep.Installed == 0 {
+		t.Fatalf("legacy bulk prime installed nothing: %+v", prep)
+	}
+	wres, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wres.Output, res.Output) {
+		t.Errorf("warmed output %v, want %v", wres.Output, res.Output)
+	}
+}
+
+func TestPrimeStoreBulkWritesThroughLocalStore(t *testing.T) {
+	_, addr, _ := startStoreServer(t)
+	w := buildWorld(t, "storewarm", 3)
+	v, res := w.ranVM(t, 50)
+	cf, _ := core.BuildCacheFile(v)
+	c := newClient(addr)
+	if _, err := c.Publish(cf); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	c.Close()
+
+	f := newStoreFallback(t, addr)
+	warm := w.freshVM(t, 50)
+	prep, err := f.PrimeStoreBulk(warm, false)
+	if err != nil {
+		t.Fatalf("PrimeStoreBulk: %v", err)
+	}
+	if !prep.Found || prep.Installed == 0 {
+		t.Fatalf("store bulk prime installed nothing: %+v", prep)
+	}
+	wres, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wres.Output, res.Output) {
+		t.Errorf("warmed output %v, want %v", wres.Output, res.Output)
+	}
+	if warm.Stats().RemoteHits == 0 {
+		t.Error("warm run recorded no remote hit")
+	}
+
+	// The fetched blobs were written through to the machine-local store,
+	// so the next run on this machine resolves them without the wire.
+	st, err := f.Local().StoreIfPresent()
+	if err != nil || st == nil {
+		t.Fatalf("local store missing after store prime: %v", err)
+	}
+	if got := st.Stats().Blobs; got == 0 {
+		t.Fatal("no blobs written through to the local store")
+	}
+}
+
+func TestPrimeStoreBulkDegradesToLocal(t *testing.T) {
+	// Server unreachable: PrimeStoreBulk falls back to the local database,
+	// which already holds the entry from an earlier commit.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	f := newStoreFallback(t, addr)
+	w := buildWorld(t, "storedown", 4)
+	v, res := w.ranVM(t, 50)
+	if _, err := f.Local().Commit(v); err != nil {
+		t.Fatalf("local commit: %v", err)
+	}
+
+	warm := w.freshVM(t, 50)
+	prep, err := f.PrimeStoreBulk(warm, false)
+	if err != nil && !errors.Is(err, core.ErrNoCache) {
+		t.Fatalf("degraded prime surfaced error: %v", err)
+	}
+	if prep == nil || !prep.Found || prep.Installed == 0 {
+		t.Fatalf("degraded prime installed nothing: %+v", prep)
+	}
+	wres, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wres.Output, res.Output) {
+		t.Errorf("degraded-warm output %v, want %v", wres.Output, res.Output)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"persistcc/internal/metrics"
 	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/obj"
+	"persistcc/internal/store"
 	"persistcc/internal/vm"
 )
 
@@ -33,6 +34,15 @@ type Manager struct {
 
 	metrics *metrics.Registry
 	m       *coreMetrics
+
+	// Content-addressed store side (see storefmt.go). The store opens
+	// lazily so purely legacy databases never grow a store directory.
+	storeFormat bool
+	storeDir    string
+	stOnce      sync.Once
+	st          *store.Store
+	stErr       error
+	remoteBlobs store.RemoteBlobs
 }
 
 // ManagerOption configures a Manager.
@@ -129,9 +139,27 @@ type CommitReport struct {
 // simply proceeds with an empty code cache.
 var ErrNoCache = errors.New("core: no persistent cache for this key set")
 
-// cachePath returns the database file for a key set.
+// cachePath returns the database file for a key set, in the manager's
+// configured commit format.
 func (m *Manager) cachePath(ks KeySet) string {
-	return filepath.Join(m.dir, ks.CacheFileName())
+	return filepath.Join(m.dir, m.CacheFileNameFor(ks))
+}
+
+// lookupPath resolves the on-disk file for a key set across both formats:
+// the configured format's name when it exists, otherwise the other
+// format's if that one does — so store-mode managers read legacy
+// databases and legacy-mode managers read migrated ones.
+func (m *Manager) lookupPath(ks KeySet) string {
+	path := m.cachePath(ks)
+	if _, err := m.fs.Stat(path); err == nil {
+		return path
+	}
+	if alt := altCachePath(path); alt != path {
+		if _, err := m.fs.Stat(alt); err == nil {
+			return alt
+		}
+	}
+	return path
 }
 
 // Lookup loads the cache for the exact key set, if present and valid. A
@@ -139,7 +167,7 @@ func (m *Manager) cachePath(ks KeySet) string {
 // run re-translates instead of failing — corrupt state degrades to cold-run
 // behaviour, never to a broken run.
 func (m *Manager) Lookup(ks KeySet) (*CacheFile, error) {
-	cf, err := m.readVerified(m.cachePath(ks))
+	cf, err := m.readVerified(m.lookupPath(ks))
 	switch {
 	case err == nil:
 		m.m.lookups.With("exact", "hit").Inc()
@@ -540,11 +568,26 @@ func (m *Manager) CommitFile(ks KeySet, incoming *CacheFile) (*CommitReport, err
 		m.m.commits.With("skipped").Inc()
 		return rep, nil
 	}
-	if err := merged.WriteFileFS(m.fs, path); err != nil {
-		return nil, err
+	if m.storeFormat {
+		written, _, err := m.writeStoreFormat(merged, path)
+		if err != nil {
+			return nil, err
+		}
+		m.m.fileBytes.With("written").Add(written)
+	} else {
+		if err := merged.WriteFileFS(m.fs, path); err != nil {
+			return nil, err
+		}
+		m.m.fileBytes.With("written").Add(merged.EncodedBytes)
 	}
 	m.m.commits.With("written").Inc()
-	m.m.fileBytes.With("written").Add(merged.EncodedBytes)
+	// The entry now lives in this manager's format; retire a stale copy in
+	// the other one so lookups cannot resurrect the pre-merge state.
+	if alt := altCachePath(path); alt != path {
+		if _, err := m.fs.Stat(alt); err == nil {
+			m.fs.Remove(alt)
+		}
+	}
 	if err := m.updateIndexLocked(ks, merged, rep.File); err != nil {
 		return nil, err
 	}
@@ -704,9 +747,11 @@ func (m *Manager) updateIndexLocked(ks KeySet, cf *CacheFile, file string) error
 		AppPath: cf.AppPath, File: file, Traces: len(cf.Traces),
 		CodePool: cf.CodePool, DataPool: cf.DataPool,
 	}
+	// Match by stem, not exact name: a commit that switched the entry's
+	// format (.pcc ↔ .pcm) replaces the old-format row.
 	replaced := false
 	for i := range idx.Entries {
-		if idx.Entries[i].File == file {
+		if fileStem(idx.Entries[i].File) == fileStem(file) {
 			idx.Entries[i] = entry
 			replaced = true
 			break
@@ -746,6 +791,10 @@ type DBStats struct {
 	CodePool uint64          `json:"code_pool"`
 	DataPool uint64          `json:"data_pool"`
 	Classes  []KeyClassCount `json:"classes"`
+
+	// Store is the content-addressed side (nil for purely legacy
+	// databases): blob/manifest counts and the deduplication ratio.
+	Store *StoreDBStats `json:"store,omitempty"`
 }
 
 // Stats aggregates the database index into per-database totals, mirroring
@@ -756,6 +805,9 @@ func (m *Manager) Stats() (*DBStats, error) {
 		return nil, err
 	}
 	st := AggregateStats(entries)
+	if ss, err := m.storeStats(); err == nil && ss != nil {
+		st.Store = ss
+	}
 	m.m.dbFiles.Set(float64(st.Files))
 	m.m.dbTraces.Set(float64(st.Traces))
 	m.m.dbCodePool.Set(float64(st.CodePool))
@@ -831,14 +883,16 @@ func (m *Manager) Prune() (*PruneReport, error) {
 	}
 	idx.Entries = kept
 
-	files, err := m.fs.Glob(filepath.Join(m.dir, "*.pcc"))
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range files {
-		if !referenced[filepath.Base(f)] {
-			if err := m.fs.Remove(f); err == nil {
-				rep.RemovedFiles++
+	for _, pat := range []string{"*.pcc", "*.pcm"} {
+		files, err := m.fs.Glob(filepath.Join(m.dir, pat))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if !referenced[filepath.Base(f)] {
+				if err := m.fs.Remove(f); err == nil {
+					rep.RemovedFiles++
+				}
 			}
 		}
 	}

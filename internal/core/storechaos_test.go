@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"persistcc/internal/core"
+	"persistcc/internal/fsx"
+)
+
+// Crash-consistency chaos over the store format: the same
+// crash-at-every-filesystem-op discipline as chaos_test.go, but the
+// injected sequence covers the manifest+blob surface — store-format
+// commits (blob batch + manifest write), accumulation, in-place migration
+// of a legacy entry, and generational compaction. Invariants:
+//
+//  1. the baseline entry committed before the crash stays warm-servable,
+//     whichever format it is in when the crash lands;
+//  2. the in-flight entry is absent or fully valid — a torn manifest or a
+//     missing blob degrades to a miss, never to a broken read;
+//  3. recovery (which heals the blob store, then re-verifies every entry
+//     through the manifest path) always completes and keeps the baseline.
+
+// storeChaosSequence is the injected workload: two store-format commits
+// (fresh + accumulating), migration of the legacy baseline, and a
+// compaction pass — the full blob-write/migrate/compact crash surface.
+func storeChaosSequence(mgr *core.Manager, env *chaosEnv) error {
+	if _, err := mgr.CommitFile(env.ksB, env.cfB1); err != nil {
+		return err
+	}
+	if _, err := mgr.CommitFile(env.ksB, env.cfB2); err != nil {
+		return err
+	}
+	if _, err := mgr.MigrateToStore(); err != nil {
+		return err
+	}
+	if _, err := mgr.CompactStore(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// assertStoreCrashInvariants reopens the database post-crash with a
+// store-mode manager and checks the durability invariants across both
+// formats.
+func assertStoreCrashInvariants(t *testing.T, dir string, env *chaosEnv) {
+	t.Helper()
+	mgr, err := core.NewManager(dir, core.WithStore())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	// Baseline entry always survives, legacy or migrated.
+	cfA, err := mgr.Lookup(env.ksA)
+	if err != nil {
+		t.Fatalf("baseline entry lost: %v", err)
+	}
+	if len(cfA.Traces) != len(env.cfA.Traces) {
+		t.Errorf("baseline lost traces: %d, want %d", len(cfA.Traces), len(env.cfA.Traces))
+	}
+	// The in-flight entry is absent or fully valid — never torn.
+	if cfB, err := mgr.Lookup(env.ksB); err == nil {
+		if n := len(cfB.Traces); n != len(env.cfB1.Traces) && n != len(env.cfB2.Traces) {
+			t.Errorf("in-flight entry has %d traces; want %d (first commit) or %d (merged)",
+				n, len(env.cfB1.Traces), len(env.cfB2.Traces))
+		}
+	} else if !errors.Is(err, core.ErrNoCache) {
+		t.Errorf("in-flight lookup: want hit or ErrNoCache, got %v", err)
+	}
+	// Recovery — blob-store heal plus manifest re-verification — always
+	// completes and keeps the baseline.
+	if _, err := mgr.RecoverIndex(); err != nil {
+		t.Fatalf("post-crash recovery failed: %v", err)
+	}
+	if _, err := mgr.Lookup(env.ksA); err != nil {
+		t.Errorf("baseline lost by recovery: %v", err)
+	}
+}
+
+func TestStoreChaosCrashAtEveryInjectionPoint(t *testing.T) {
+	restore := core.SetLockTimeout(50 * time.Millisecond)
+	defer restore()
+	env := buildChaosEnv(t)
+
+	// Enumerate the injection points with a recording passthrough run.
+	recDir := freshDB(t, env)
+	rec := fsx.NewInject(fsx.OS)
+	mgr, err := core.NewManager(recDir, core.WithStore(), core.WithFS(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.StartRecording()
+	if err := storeChaosSequence(mgr, env); err != nil {
+		t.Fatalf("fault-free sequence failed: %v", err)
+	}
+	ops := rec.Ops()
+	if len(ops) < 25 {
+		t.Fatalf("recorded only %d operations; the store sequence shrank suspiciously: %v", len(ops), ops)
+	}
+	assertStoreCrashInvariants(t, recDir, env)
+
+	// Crash at every single one of them.
+	for k := 1; k <= len(ops); k++ {
+		op := ops[k-1]
+		t.Run(fmt.Sprintf("crash-%03d-%s-%s", k, op.Op, filepath.Base(op.Path)), func(t *testing.T) {
+			dir := freshDB(t, env)
+			inj := fsx.NewInject(fsx.OS)
+			mgr, err := core.NewManager(dir, core.WithStore(), core.WithFS(inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.CrashAtIndex(k)
+			// The sequence may fail (usually) or succeed (crash landed in
+			// post-publish cleanup); either way the database must hold.
+			storeChaosSequence(mgr, env)
+			if !inj.Crashed() {
+				t.Fatalf("crash point %d never reached", k)
+			}
+			assertStoreCrashInvariants(t, dir, env)
+		})
+	}
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+
+	"persistcc/internal/store"
+)
+
+// This file is the bridge between the manager's CacheFile world and the
+// content-addressed store (internal/store): per-application manifests
+// reference shared blobs instead of embedding trace bodies, so
+// applications that translate the same shared-library code at the same
+// placement share one on-disk copy.
+//
+// The CacheFile remains the in-memory interchange format everywhere
+// (prime, merge, publish); the store format is purely an on-disk/wire
+// representation, converted to and from losslessly. Both formats coexist
+// in one database: lookup falls back across the format boundary, commit
+// rewrites the entry in the manager's configured format and retires the
+// stale other-format file.
+
+// WithStore makes the manager commit in the content-addressed store
+// format (manifest + shared blobs). Reading supports both formats
+// regardless of this option.
+func WithStore() ManagerOption {
+	return func(m *Manager) { m.storeFormat = true }
+}
+
+// WithStoreDir overrides where the blob store lives (default:
+// <dbdir>/store). Pointing several application databases at one shared
+// store directory gives machine-wide deduplication: each shared blob is
+// stored — and fetched from a cache server — once per machine, not once
+// per application.
+func WithStoreDir(dir string) ManagerOption {
+	return func(m *Manager) {
+		if dir != "" {
+			m.storeDir = dir
+		}
+	}
+}
+
+// Store returns the manager's blob store, opening it on first use (so
+// purely legacy databases never grow a store directory).
+func (m *Manager) Store() (*store.Store, error) {
+	m.stOnce.Do(func() {
+		dir := m.storeDir
+		if dir == "" {
+			dir = filepath.Join(m.dir, "store")
+		}
+		m.st, m.stErr = store.Open(dir, m.fs, m.metrics)
+	})
+	return m.st, m.stErr
+}
+
+// storeIfPresent returns the blob store only if it is already open, the
+// manager commits in store format, or a store directory exists on disk —
+// so maintenance over a legacy database does not create one.
+func (m *Manager) storeIfPresent() (*store.Store, error) {
+	if m.storeFormat || m.storeDir != "" {
+		return m.Store()
+	}
+	if m.st != nil {
+		return m.st, nil
+	}
+	if _, err := m.fs.Stat(filepath.Join(m.dir, "store")); err == nil {
+		return m.Store()
+	}
+	return nil, nil
+}
+
+// SetRemoteBlobs attaches a remote blob source (tier L3 — in practice the
+// cache-server client) consulted when a manifest references blobs the
+// local store does not hold. Fetched blobs are verified and written
+// through to the local store, so each moves over the network once per
+// machine.
+func (m *Manager) SetRemoteBlobs(r store.RemoteBlobs) { m.remoteBlobs = r }
+
+// errBlobsUnavailable marks a manifest whose blobs could not all be
+// resolved right now (local miss with no or failing remote). Unlike
+// corruption this is not quarantine-worthy at lookup time — the remote
+// may simply be down — so the lookup degrades to a miss. RecoverIndex,
+// which judges with only local state, does quarantine such manifests.
+var errBlobsUnavailable = errors.New("core: manifest blobs unavailable")
+
+// storeModules converts the manager's module records to the store's
+// dependency-free mirror of them.
+func storeModules(records []ModuleRecord) []store.Module {
+	out := make([]store.Module, len(records))
+	for i, r := range records {
+		out[i] = store.Module{
+			Path: r.Path, Base: r.Base, Size: r.Size, MTime: r.MTime,
+			Digest: r.Digest, Key: [32]byte(r.Key), Content: [32]byte(r.Content),
+		}
+	}
+	return out
+}
+
+func recordModules(mods []store.Module) []ModuleRecord {
+	out := make([]ModuleRecord, len(mods))
+	for i, s := range mods {
+		out[i] = ModuleRecord{
+			Path: s.Path, Base: s.Base, Size: s.Size, MTime: s.MTime,
+			Digest: s.Digest, Key: Key(s.Key), Content: Key(s.Content),
+		}
+	}
+	return out
+}
+
+// ToStoreFormat converts a cache file into a manifest plus one blob per
+// trace, aligned index-for-index with the manifest's trace refs. Blob
+// hashes in the manifest are left zero; the caller fills them from the
+// store's PutAll (which hashes while writing) to avoid encoding twice.
+func ToStoreFormat(cf *CacheFile) (*store.Manifest, []*store.Blob, error) {
+	if err := cf.checkTraceModules(); err != nil {
+		return nil, nil, err
+	}
+	man := &store.Manifest{
+		AppKey: [32]byte(cf.AppKey), VMKey: [32]byte(cf.VMKey), ToolKey: [32]byte(cf.ToolKey),
+		AppPath:  cf.AppPath,
+		Modules:  storeModules(cf.Modules),
+		CodePool: cf.CodePool, DataPool: cf.DataPool,
+	}
+	refOf := func(mi int32) (store.Ref, error) {
+		if mi < 0 || int(mi) >= len(cf.Modules) {
+			return store.Ref{}, fmt.Errorf("core: trace references module %d of %d", mi, len(cf.Modules))
+		}
+		rec := cf.Modules[mi]
+		return store.Ref{Content: [32]byte(rec.Content), Base: rec.Base}, nil
+	}
+	blobs := make([]*store.Blob, 0, len(cf.Traces))
+	for _, t := range cf.Traces {
+		b, mods, err := store.BlobFromTrace(t, refOf)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs = append(blobs, b)
+		man.Traces = append(man.Traces, store.TraceRef{Refs: mods})
+	}
+	return man, blobs, nil
+}
+
+// MaterializeManifest rebuilds a cache file from a manifest, resolving
+// blobs through the tiered store (L1 map → L2 local store → L3 remote
+// when attached). Blob/manifest inconsistencies surface as errors; blobs
+// simply not resolvable anywhere return errBlobsUnavailable.
+func (m *Manager) MaterializeManifest(man *store.Manifest) (*CacheFile, error) {
+	st, err := m.Store()
+	if err != nil {
+		return nil, err
+	}
+	return materializeManifest(man, &store.Tiered{Store: st, Remote: m.remoteBlobs})
+}
+
+// materializeManifest is MaterializeManifest over an explicit tier stack
+// (recovery uses a local-only one).
+func materializeManifest(man *store.Manifest, tiers *store.Tiered) (*CacheFile, error) {
+	got, err := tiers.GetAll(man.BlobHashes())
+	if err != nil && len(got) == 0 {
+		return nil, fmt.Errorf("%w: %v", errBlobsUnavailable, err)
+	}
+	cf := &CacheFile{
+		AppKey: Key(man.AppKey), VMKey: Key(man.VMKey), ToolKey: Key(man.ToolKey),
+		AppPath: man.AppPath,
+		Modules: recordModules(man.Modules),
+	}
+	for i, tr := range man.Traces {
+		b, ok := got[tr.Blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: trace %d blob %s", errBlobsUnavailable, i, tr.Blob)
+		}
+		if err := man.CheckBlob(tr, b); err != nil {
+			return nil, err
+		}
+		t, err := b.Materialize(tr.Refs)
+		if err != nil {
+			return nil, err
+		}
+		cf.Traces = append(cf.Traces, t)
+	}
+	cf.recomputePools()
+	cf.EncodedBytes = man.EncodedBytes
+	return cf, nil
+}
+
+// readVerifiedManifest is readVerified for the store format: decode the
+// manifest, resolve and check its blobs, materialize, and (when enabled)
+// deep-verify the result. Corrupt manifests are quarantined like corrupt
+// cache files; unresolvable blobs degrade to a miss without quarantine.
+func (m *Manager) readVerifiedManifest(path string) (*CacheFile, error) {
+	b, err := m.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	man, err := store.DecodeManifest(b)
+	if err != nil {
+		m.quarantine(path, "manifest")
+		return nil, fmt.Errorf("%w: %s: %v", errQuarantined, path, err)
+	}
+	cf, err := m.MaterializeManifest(man)
+	switch {
+	case err == nil:
+	case errors.Is(err, errBlobsUnavailable):
+		return nil, fmt.Errorf("%w: %s", fs.ErrNotExist, path)
+	default:
+		m.quarantine(path, "manifest")
+		return nil, fmt.Errorf("%w: %s: %v", errQuarantined, path, err)
+	}
+	if m.deepVerify {
+		if rep := cf.VerifyDeep(); !rep.OK() {
+			m.countVerifyRejects(rep)
+			m.quarantine(path, "verify")
+			return nil, fmt.Errorf("%w: %s: %v", errQuarantined, path, rep.Err())
+		}
+	}
+	return cf, nil
+}
+
+// writeStoreFormat writes cf at path in manifest+blob form: blobs land in
+// the content store first (deduplicated against existing content), then
+// the manifest is written atomically — a crash between the two strands
+// only orphan blobs, which compaction collects. Returns the bytes
+// physically written (new blobs + manifest) and the store's put report.
+func (m *Manager) writeStoreFormat(cf *CacheFile, path string) (uint64, store.PutReport, error) {
+	man, blobs, err := ToStoreFormat(cf)
+	if err != nil {
+		return 0, store.PutReport{}, err
+	}
+	st, err := m.Store()
+	if err != nil {
+		return 0, store.PutReport{}, err
+	}
+	putRep, hashes, err := st.PutAll(blobs)
+	if err != nil {
+		return 0, putRep, err
+	}
+	for i := range man.Traces {
+		man.Traces[i].Blob = hashes[i]
+	}
+	enc := man.Encode()
+	tmp := path + ".tmp"
+	if err := m.fs.WriteFile(tmp, enc, 0o644); err != nil {
+		return 0, putRep, err
+	}
+	if err := m.fs.Rename(tmp, path); err != nil {
+		return 0, putRep, err
+	}
+	return putRep.AddedBytes + uint64(len(enc)), putRep, nil
+}
+
+// altCachePath returns the same entry's file name in the other format.
+func altCachePath(path string) string {
+	if strings.HasSuffix(path, ".pcm") {
+		return strings.TrimSuffix(path, ".pcm") + ".pcc"
+	}
+	return strings.TrimSuffix(path, ".pcc") + ".pcm"
+}
+
+// FileStem strips the format extension, leaving the key-set lookup hash —
+// the identity both formats share. The cache server keys its in-memory
+// index by stem so a publish that switches an entry's format still lands
+// on the same entry.
+func FileStem(file string) string {
+	return strings.TrimSuffix(strings.TrimSuffix(file, ".pcc"), ".pcm")
+}
+
+func fileStem(file string) string { return FileStem(file) }
+
+// StoreIfPresent returns the blob store when this database has one (the
+// manager commits in store format, a store dir is configured, or one
+// exists on disk) and nil otherwise — without creating a store directory
+// in a purely legacy database.
+func (m *Manager) StoreIfPresent() (*store.Store, error) { return m.storeIfPresent() }
+
+// StoreStats exposes the dedup summary (nil for purely legacy databases);
+// the cache server attaches it to its STATS response.
+func (m *Manager) StoreStats() (*StoreDBStats, error) { return m.storeStats() }
+
+// WriteMerged writes cf as the database entry for ks in the manager's
+// configured format, retiring a stale other-format copy, and returns the
+// file name written. It does not touch the index; callers owning their
+// own locking (the cache server) update it separately.
+func (m *Manager) WriteMerged(ks KeySet, cf *CacheFile) (string, error) {
+	path := m.cachePath(ks)
+	if m.storeFormat {
+		if _, _, err := m.writeStoreFormat(cf, path); err != nil {
+			return "", err
+		}
+	} else {
+		if err := cf.WriteFileFS(m.fs, path); err != nil {
+			return "", err
+		}
+	}
+	if alt := altCachePath(path); alt != path {
+		if _, err := m.fs.Stat(alt); err == nil {
+			m.fs.Remove(alt)
+		}
+	}
+	return filepath.Base(path), nil
+}
+
+// MigrateReport summarizes one in-place format migration.
+type MigrateReport struct {
+	Scanned     int    `json:"scanned"`      // legacy cache files examined
+	Migrated    int    `json:"migrated"`     // converted to manifest+blobs
+	Quarantined int    `json:"quarantined"`  // failed decode or deep verification
+	BlobsAdded  int    `json:"blobs_added"`  // new blobs written to the store
+	BlobsShared int    `json:"blobs_shared"` // blob writes elided by dedup
+	BytesBefore uint64 `json:"bytes_before"` // legacy bytes of migrated files
+	BytesAfter  uint64 `json:"bytes_after"`  // manifest + new blob bytes written
+}
+
+// MigrateToStore converts every legacy cache file in the database to the
+// manifest+blob format in place. Files that fail decoding or the deep
+// trace verifier are quarantined — migration refuses to launder corrupt
+// state into the new format. The index is rebuilt afterwards, so the
+// database ends exactly as a recovery pass would leave it.
+func (m *Manager) MigrateToStore() (*MigrateReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	rep := &MigrateReport{}
+	files, err := m.fs.Glob(filepath.Join(m.dir, "*.pcc"))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		rep.Scanned++
+		var size uint64
+		if fi, err := m.fs.Stat(f); err == nil {
+			size = uint64(fi.Size())
+		}
+		b, err := m.fs.ReadFile(f)
+		cf := new(CacheFile)
+		if err != nil || cf.UnmarshalBinary(b) != nil {
+			m.quarantine(f, "cachefile")
+			rep.Quarantined++
+			continue
+		}
+		// The deep verifier gates migration unconditionally: a semantically
+		// broken file must not survive the format change.
+		if vrep := cf.VerifyDeep(); !vrep.OK() {
+			m.countVerifyRejects(vrep)
+			m.quarantine(f, "verify")
+			rep.Quarantined++
+			continue
+		}
+		manPath := altCachePath(f)
+		written, putRep, err := m.writeStoreFormat(cf, manPath)
+		if err != nil {
+			return rep, err
+		}
+		if err := m.fs.Remove(f); err != nil {
+			return rep, err
+		}
+		rep.Migrated++
+		rep.BytesBefore += size
+		rep.BytesAfter += written
+		rep.BlobsAdded += putRep.Added
+		rep.BlobsShared += putRep.Deduped
+	}
+	// Rebuild the index from what survived; this also deep-verifies the
+	// migrated entries end to end through the manifest path.
+	if _, _, err := m.recoverIndexLocked(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// CompactStore runs generational compaction over the blob store:
+// manifests define the live set, orphans are deleted, and (with
+// minUtility > 0) cold low-utility blobs are pruned and stripped from the
+// manifests that referenced them — those traces re-translate on next use.
+func (m *Manager) CompactStore(minUtility uint64) (*store.CompactReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	st, err := m.storeIfPresent()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return &store.CompactReport{}, nil
+	}
+
+	manifests, err := m.fs.Glob(filepath.Join(m.dir, "*.pcm"))
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[store.Hash]bool)
+	decoded := make(map[string]*store.Manifest, len(manifests))
+	for _, f := range manifests {
+		b, err := m.fs.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		man, err := store.DecodeManifest(b)
+		if err != nil {
+			m.quarantine(f, "manifest")
+			continue
+		}
+		decoded[f] = man
+		for _, h := range man.BlobHashes() {
+			live[h] = true
+		}
+	}
+
+	rep, err := st.Compact(live, minUtility)
+	if err != nil {
+		return rep, err
+	}
+	if len(rep.ColdHashes) == 0 {
+		return rep, nil
+	}
+
+	// Strip pruned traces from the manifests that referenced them.
+	pruned := make(map[store.Hash]bool, len(rep.ColdHashes))
+	for _, h := range rep.ColdHashes {
+		pruned[h] = true
+	}
+	for f, man := range decoded {
+		touched := false
+		kept := man.Traces[:0]
+		for _, tr := range man.Traces {
+			if pruned[tr.Blob] {
+				touched = true
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		if !touched {
+			continue
+		}
+		man.Traces = kept
+		cf, err := materializeManifest(man, &store.Tiered{Store: st})
+		if err != nil {
+			m.quarantine(f, "manifest")
+			continue
+		}
+		if _, _, err := m.writeStoreFormat(cf, f); err != nil {
+			return rep, err
+		}
+		ks := KeySet{App: Key(man.AppKey), VM: Key(man.VMKey), Tool: Key(man.ToolKey)}
+		if err := m.updateIndexLocked(ks, cf, filepath.Base(f)); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// StoreDBStats extends DBStats with the content-store view: how many
+// bytes the manifests logically reference versus what is physically
+// stored — the deduplication win.
+type StoreDBStats struct {
+	Manifests    int     `json:"manifests"`
+	Blobs        int     `json:"blobs"`
+	BlobBytes    uint64  `json:"blob_bytes"`    // physical bytes in the store
+	LogicalBytes uint64  `json:"logical_bytes"` // per-manifest referenced bytes, duplicates counted
+	DedupRatio   float64 `json:"dedup_ratio"`   // 1 - referenced-physical/logical
+	Generations  int     `json:"generations"`
+}
+
+// storeStats computes the dedup summary, or nil when the database has no
+// store side.
+func (m *Manager) storeStats() (*StoreDBStats, error) {
+	st, err := m.storeIfPresent()
+	if err != nil || st == nil {
+		return nil, err
+	}
+	manifests, err := m.fs.Glob(filepath.Join(m.dir, "*.pcm"))
+	if err != nil {
+		return nil, err
+	}
+	ss := st.Stats()
+	out := &StoreDBStats{Blobs: ss.Blobs, BlobBytes: ss.BlobBytes, Generations: ss.Generations}
+	var logical, physical uint64
+	referenced := make(map[store.Hash]bool)
+	for _, f := range manifests {
+		b, err := m.fs.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		man, err := store.DecodeManifest(b)
+		if err != nil {
+			continue
+		}
+		out.Manifests++
+		logical += man.EncodedBytes
+		for _, h := range man.BlobHashes() {
+			size, ok := st.SizeOf(h)
+			if !ok {
+				continue
+			}
+			logical += size
+			if !referenced[h] {
+				referenced[h] = true
+				physical += size
+			}
+		}
+		physical += man.EncodedBytes
+	}
+	out.LogicalBytes = logical
+	if logical > 0 {
+		out.DedupRatio = 1 - float64(physical)/float64(logical)
+	}
+	return out, nil
+}
+
+// FileImage returns the legacy-format serialized image for a database
+// entry in either format — the cache server's compatibility serving path:
+// legacy files are returned verbatim, manifests are materialized and
+// re-encoded. Missing or quarantined entries surface as ErrNoCache.
+func (m *Manager) FileImage(file string) ([]byte, error) {
+	path := filepath.Join(m.dir, file)
+	if !strings.HasSuffix(file, ".pcm") {
+		b, err := m.fs.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNoCache
+		}
+		return b, err
+	}
+	cf, err := m.readVerified(path)
+	switch {
+	case err == nil:
+		return cf.MarshalBinary()
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, errQuarantined):
+		return nil, ErrNoCache
+	default:
+		return nil, err
+	}
+}
+
+// ManifestBytes returns the raw encoded manifest for a store-format
+// entry, or ErrNoCache when the entry is legacy or missing — the serving
+// path for the manifest-aware fetch ops.
+func (m *Manager) ManifestBytes(file string) ([]byte, error) {
+	if !strings.HasSuffix(file, ".pcm") {
+		return nil, ErrNoCache
+	}
+	b, err := m.fs.ReadFile(filepath.Join(m.dir, file))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCache
+	}
+	return b, err
+}
+
+// ReadPriorKeys loads the database entry for ks for accumulation,
+// whichever format it is in; corrupt priors are quarantined and treated
+// as absent, exactly like ReadPrior.
+func (m *Manager) ReadPriorKeys(ks KeySet) (*CacheFile, error) {
+	cf, err := m.Lookup(ks)
+	switch {
+	case err == nil:
+		return cf, nil
+	case errors.Is(err, ErrNoCache):
+		return nil, nil
+	default:
+		return nil, err
+	}
+}
+
+// CacheFileNameFor returns the database file name a commit for ks will
+// use under this manager's configured format.
+func (m *Manager) CacheFileNameFor(ks KeySet) string {
+	if m.storeFormat {
+		return ks.ManifestFileName()
+	}
+	return ks.CacheFileName()
+}

@@ -1,0 +1,364 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"persistcc/internal/core"
+	"persistcc/internal/store"
+)
+
+// newStoreMgr opens a store-format manager over dir.
+func newStoreMgr(t *testing.T, dir string, opts ...core.ManagerOption) *core.Manager {
+	t.Helper()
+	mgr, err := core.NewManager(dir, append([]core.ManagerOption{core.WithStore()}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// TestStoreFormatBitIdentical: committing the same cache file through the
+// legacy writer and through the manifest+blob writer must yield entries
+// that read back byte-for-byte identical — the store format is a pure
+// re-encoding, never a lossy one.
+func TestStoreFormatBitIdentical(t *testing.T) {
+	env := buildChaosEnv(t)
+	legacy, err := core.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := newStoreMgr(t, t.TempDir())
+	for _, mgr := range []*core.Manager{legacy, stored} {
+		if _, err := mgr.CommitFile(env.ksA, env.cfA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfL, err := legacy.Lookup(env.ksA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfS, err := stored.Lookup(env.ksA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := cfL.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := cfS.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bl, bs) {
+		t.Fatalf("store round trip is not bit-identical: legacy %d bytes, store %d bytes", len(bl), len(bs))
+	}
+}
+
+// TestStoreFormatSharesBlobs: two applications built against the same
+// shared library at the same placement must share the library's blobs —
+// the content-addressing contract that makes the store deduplicate.
+func TestStoreFormatSharesBlobs(t *testing.T) {
+	env := buildChaosEnv(t)
+	dir := t.TempDir()
+	mgr := newStoreMgr(t, dir)
+	if _, err := mgr.CommitFile(env.ksA, env.cfA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CommitFile(env.ksB, env.cfB2); err != nil {
+		t.Fatal(err)
+	}
+	manA := readManifest(t, dir, env.ksA.ManifestFileName())
+	manB := readManifest(t, dir, env.ksB.ManifestFileName())
+	shared := 0
+	inA := make(map[store.Hash]bool)
+	for _, h := range manA.BlobHashes() {
+		inA[h] = true
+	}
+	for _, h := range manB.BlobHashes() {
+		if inA[h] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no blob shared between two applications using the same library at the same placement")
+	}
+	ss, err := mgr.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss == nil || ss.Manifests != 2 {
+		t.Fatalf("store stats: %+v, want 2 manifests", ss)
+	}
+	if ss.DedupRatio <= 0 {
+		t.Errorf("dedup ratio %.3f, want > 0 with shared blobs", ss.DedupRatio)
+	}
+	if ss.LogicalBytes <= ss.BlobBytes {
+		t.Errorf("logical bytes %d not above physical blob bytes %d", ss.LogicalBytes, ss.BlobBytes)
+	}
+}
+
+func readManifest(t *testing.T, dir, file string) *store.Manifest {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := store.DecodeManifest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+// TestStoreLegacyInterop: the two formats coexist symmetrically — each
+// mode's manager reads the other's databases, and a commit rewrites the
+// entry in the configured format, retiring the stale alternate file.
+func TestStoreLegacyInterop(t *testing.T) {
+	env := buildChaosEnv(t)
+	dir := t.TempDir()
+	legacy, err := core.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.CommitFile(env.ksB, env.cfB1); err != nil {
+		t.Fatal(err)
+	}
+	pcc := filepath.Join(dir, env.ksB.CacheFileName())
+	pcm := filepath.Join(dir, env.ksB.ManifestFileName())
+	if _, err := os.Stat(pcc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store-mode manager reads the legacy entry as-is...
+	stored := newStoreMgr(t, dir)
+	cf, err := stored.Lookup(env.ksB)
+	if err != nil {
+		t.Fatalf("store-mode manager cannot read legacy entry: %v", err)
+	}
+	if len(cf.Traces) != len(env.cfB1.Traces) {
+		t.Fatalf("legacy read through store manager lost traces: %d vs %d", len(cf.Traces), len(env.cfB1.Traces))
+	}
+	// ...and its commit converts the entry, accumulating the prior.
+	if _, err := stored.CommitFile(env.ksB, env.cfB2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(pcm); err != nil {
+		t.Error("store-mode commit did not write the manifest")
+	}
+	if _, err := os.Stat(pcc); !errors.Is(err, os.ErrNotExist) {
+		t.Error("store-mode commit left the stale legacy file behind")
+	}
+	cf, err = stored.Lookup(env.ksB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.Traces) != len(env.cfB2.Traces) {
+		t.Fatalf("converted entry dropped the merge: %d traces, want %d", len(cf.Traces), len(env.cfB2.Traces))
+	}
+
+	// The legacy manager still sees the entry through the manifest...
+	cf, err = legacy.Lookup(env.ksB)
+	if err != nil {
+		t.Fatalf("legacy manager cannot read migrated entry: %v", err)
+	}
+	if len(cf.Traces) != len(env.cfB2.Traces) {
+		t.Fatalf("manifest read through legacy manager lost traces: %d vs %d", len(cf.Traces), len(env.cfB2.Traces))
+	}
+	// ...and its commit converts it back.
+	if _, err := legacy.CommitFile(env.ksB, env.cfB1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(pcc); err != nil {
+		t.Error("legacy commit did not rewrite the cache file")
+	}
+	if _, err := os.Stat(pcm); !errors.Is(err, os.ErrNotExist) {
+		t.Error("legacy commit left the stale manifest behind")
+	}
+}
+
+// TestMigrateToStore: in-place migration converts every healthy legacy
+// file, quarantines corrupt ones instead of laundering them into the new
+// format, and leaves a database recovery considers fully healthy.
+func TestMigrateToStore(t *testing.T) {
+	restore := core.SetLockTimeout(50 * time.Millisecond)
+	defer restore()
+	env := buildChaosEnv(t)
+	dir := t.TempDir()
+	legacy, err := core.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.CommitFile(env.ksA, env.cfA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.CommitFile(env.ksB, env.cfB2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt B's file: migration must quarantine it, not convert it.
+	bad := filepath.Join(dir, env.ksB.CacheFileName())
+	raw, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := newStoreMgr(t, dir, core.WithLockTimeout(2*time.Second))
+	rep, err := mgr.MigrateToStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 2 || rep.Migrated != 1 || rep.Quarantined != 1 {
+		t.Fatalf("migrate report: %+v, want scanned=2 migrated=1 quarantined=1", rep)
+	}
+	if rep.BlobsAdded == 0 || rep.BytesBefore == 0 || rep.BytesAfter == 0 {
+		t.Fatalf("migrate report has empty byte accounting: %+v", rep)
+	}
+	// The healthy entry survived the format change and the corrupt one is
+	// a clean miss.
+	cf, err := mgr.Lookup(env.ksA)
+	if err != nil {
+		t.Fatalf("migrated entry unreadable: %v", err)
+	}
+	if len(cf.Traces) != len(env.cfA.Traces) {
+		t.Fatalf("migration lost traces: %d vs %d", len(cf.Traces), len(env.cfA.Traces))
+	}
+	if _, err := mgr.Lookup(env.ksB); !errors.Is(err, core.ErrNoCache) {
+		t.Fatalf("quarantined entry still resolves: %v", err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.pcc")); len(files) != 0 {
+		t.Errorf("legacy files left after migration: %v", files)
+	}
+	// Recovery (which deep-verifies through the manifest path) stays green.
+	rrep, err := mgr.RecoverIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.FilesQuarantined != 0 {
+		t.Errorf("recovery quarantined %d migrated files", rrep.FilesQuarantined)
+	}
+	if _, err := mgr.Lookup(env.ksA); err != nil {
+		t.Errorf("migrated entry lost by recovery: %v", err)
+	}
+}
+
+// TestConcurrentManagersDedup: several databases pointed at one shared
+// store directory commit the same content concurrently; the shared blobs
+// must end up stored once, and every database must stay readable. Run
+// with -race this also exercises the store's locking.
+func TestConcurrentManagersDedup(t *testing.T) {
+	env := buildChaosEnv(t)
+	storeDir := filepath.Join(t.TempDir(), "shared-store")
+	const n = 4
+	dirs := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		dirs[i] = t.TempDir()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mgr, err := core.NewManager(dirs[i], core.WithStore(), core.WithStoreDir(storeDir))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := mgr.CommitFile(env.ksA, env.cfA); err != nil {
+				errs[i] = fmt.Errorf("commit A: %w", err)
+				return
+			}
+			if _, err := mgr.CommitFile(env.ksB, env.cfB2); err != nil {
+				errs[i] = fmt.Errorf("commit B: %w", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("manager %d: %v", i, err)
+		}
+	}
+	// Every database reads back, resolving blobs from the shared store.
+	for i := 0; i < n; i++ {
+		mgr, err := core.NewManager(dirs[i], core.WithStore(), core.WithStoreDir(storeDir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Lookup(env.ksA); err != nil {
+			t.Fatalf("db %d lost entry A: %v", i, err)
+		}
+		if _, err := mgr.Lookup(env.ksB); err != nil {
+			t.Fatalf("db %d lost entry B: %v", i, err)
+		}
+	}
+	// The shared store holds each distinct blob exactly once: its physical
+	// content equals one database's worth, not n.
+	st, err := store.Open(storeDir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	man := readManifest(t, dirs[0], env.ksA.ManifestFileName())
+	manB := readManifest(t, dirs[0], env.ksB.ManifestFileName())
+	distinct := make(map[store.Hash]bool)
+	for _, h := range append(man.BlobHashes(), manB.BlobHashes()...) {
+		distinct[h] = true
+	}
+	if got := st.Stats().Blobs; got != len(distinct) {
+		t.Fatalf("shared store holds %d blobs; %d distinct hashes referenced — dedup across managers failed", got, len(distinct))
+	}
+}
+
+// TestCompactStoreStripsPrunedTraces: manager-level compaction prunes cold
+// blobs and rewrites the referencing manifests so the database never
+// points at deleted content.
+func TestCompactStoreStripsPrunedTraces(t *testing.T) {
+	restore := core.SetLockTimeout(50 * time.Millisecond)
+	defer restore()
+	env := buildChaosEnv(t)
+	dir := t.TempDir()
+	mgr := newStoreMgr(t, dir, core.WithLockTimeout(2*time.Second))
+	if _, err := mgr.CommitFile(env.ksA, env.cfA); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 (no threshold) ages the blobs into an older generation.
+	if _, err := mgr.CompactStore(0); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2 with a huge threshold prunes everything cold (no hits were
+	// recorded) and must strip the manifest accordingly.
+	rep, err := mgr.CompactStore(1 << 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedCold == 0 {
+		t.Fatalf("compact pruned nothing: %+v", rep)
+	}
+	// The entry still resolves — with fewer traces, never with dangling
+	// blob references.
+	cf, err := mgr.Lookup(env.ksA)
+	if err != nil {
+		t.Fatalf("entry unreadable after cold pruning: %v", err)
+	}
+	if len(cf.Traces)+rep.PrunedCold < len(env.cfA.Traces) {
+		t.Fatalf("traces unaccounted for: %d left + %d pruned < %d original",
+			len(cf.Traces), rep.PrunedCold, len(env.cfA.Traces))
+	}
+	if _, err := mgr.RecoverIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Lookup(env.ksA); err != nil {
+		t.Errorf("entry lost by recovery after compaction: %v", err)
+	}
+}

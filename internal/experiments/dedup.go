@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"io/fs"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/core"
+	"persistcc/internal/stats"
+	"persistcc/internal/store"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// The paper's inter-application argument (§4.3, Table 4 / Fig 8) is that
+// GUI applications execute mostly the same shared-library code. The
+// content-addressed store turns that overlap into disk and wire savings:
+// a trace that N applications share is stored once and shipped once per
+// machine. Dedup measures both against the legacy one-file-per-app format
+// on the GUI suite.
+
+// dedupMinSaved is the acceptance bar: the store arm must shrink the
+// database by at least this fraction versus legacy, or the experiment
+// fails (non-zero pcc-bench exit).
+const dedupMinSaved = 0.30
+
+// diskBytes sums cache payload bytes under a database directory — legacy
+// images, manifests and blobs; bookkeeping (index, meta, locks) excluded.
+func diskBytes(dir string) (uint64, error) {
+	var total uint64
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		switch filepath.Ext(p) {
+		case ".pcc", ".pcm", ".pcb":
+			if info, err := d.Info(); err == nil {
+				total += uint64(info.Size())
+			}
+		}
+		return nil
+	})
+	return total, err
+}
+
+// dedupServer starts an in-process cache daemon over mgr and returns a
+// connected client plus a shutdown func.
+func dedupServer(mgr *core.Manager) (*cacheserver.Client, func(), error) {
+	srv, err := cacheserver.New(mgr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	client := cacheserver.NewClient(ln.Addr().String(),
+		cacheserver.WithRetry(1, time.Millisecond), cacheserver.WithDialTimeout(time.Second))
+	return client, func() { client.Close(); srv.Close() }, nil
+}
+
+// Dedup commits the five GUI startups into a legacy database and a
+// store-format database and compares what lands on disk, then replays the
+// fleet-distribution scenario — one machine warming all five apps from a
+// cache server — and compares what crosses the wire (legacy FETCHBULK
+// ships whole entries; the store path ships manifests plus only the blobs
+// the machine has not seen).
+func Dedup() (*Report, error) {
+	gui, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+	legacyDir, err := os.MkdirTemp("", "pcc-dedup-legacy-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(legacyDir)
+	storeDir, err := os.MkdirTemp("", "pcc-dedup-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(storeDir)
+
+	legacy, err := core.NewManager(legacyDir)
+	if err != nil {
+		return nil, err
+	}
+	stored, err := core.NewManager(storeDir, core.WithStore())
+	if err != nil {
+		return nil, err
+	}
+
+	// Commit every app's startup into both arms from identical runs.
+	for _, app := range gui.Apps {
+		out, err := run(runSpec{Prog: app.Prog, In: app.Startup, Cfg: guiCfg(), Mgr: legacy, Commit: true})
+		if err != nil {
+			return nil, err
+		}
+		cf, ks := core.BuildCacheFile(out.VM)
+		if _, err := stored.CommitFile(ks, cf); err != nil {
+			return nil, err
+		}
+	}
+
+	legacyBytes, err := diskBytes(legacyDir)
+	if err != nil {
+		return nil, err
+	}
+	storeBytes, err := diskBytes(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	sstats, err := stored.StoreStats()
+	if err != nil {
+		return nil, err
+	}
+	if sstats == nil {
+		return nil, fmt.Errorf("dedup: store arm has no store side")
+	}
+	diskSaved := 1 - float64(storeBytes)/float64(legacyBytes)
+
+	// Wire comparison: one fresh machine pulls all five apps.
+	legacyWire, err := legacyWireBytes(legacy, gui)
+	if err != nil {
+		return nil, err
+	}
+	storeWire, err := storeWireBytes(stored, gui)
+	if err != nil {
+		return nil, err
+	}
+	wireSaved := 1 - float64(storeWire)/float64(legacyWire)
+
+	tb := stats.NewTable("five GUI apps, one shared database per arm",
+		"arm", "on disk", "over the wire (5 warmups)")
+	tb.AddRow("legacy (.pcc per app)", fmt.Sprintf("%d bytes", legacyBytes), fmt.Sprintf("%d bytes", legacyWire))
+	tb.AddRow("store (manifests+blobs)", fmt.Sprintf("%d bytes", storeBytes), fmt.Sprintf("%d bytes", storeWire))
+	tb.AddRow("saved", stats.Pct(diskSaved), stats.Pct(wireSaved))
+
+	rep := &Report{ID: "dedup", Title: "Content-addressed store: disk and wire dedup across applications", Body: tb.Render()}
+	rep.AddMetric("dedup_disk_saved_pct", 100*diskSaved)
+	rep.AddMetric("dedup_wire_saved_pct", 100*wireSaved)
+	rep.AddMetric("dedup_ratio_pct", 100*sstats.DedupRatio)
+	rep.AddMetric("dedup_blobs", float64(sstats.Blobs))
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("%d manifests share %d blobs; store-level dedup ratio %s (duplicates never written)",
+			sstats.Manifests, sstats.Blobs, stats.Pct(sstats.DedupRatio)),
+		fmt.Sprintf("paper §4.3: the apps overlap on most shared-library code, so one machine warming the fleet ships each shared trace once — wire traffic drops %s", stats.Pct(wireSaved)))
+	if diskSaved < dedupMinSaved {
+		return rep, fmt.Errorf("dedup: store format saved only %s on disk, want >= %s",
+			stats.Pct(diskSaved), stats.Pct(dedupMinSaved))
+	}
+	if wireSaved <= 0 {
+		return rep, fmt.Errorf("dedup: store wire path shipped %d bytes, legacy %d — no savings", storeWire, legacyWire)
+	}
+	return rep, nil
+}
+
+// legacyWireBytes replays five warmups over FETCHBULK and sums the payload
+// bytes: every app's full entry crosses the wire.
+func legacyWireBytes(mgr *core.Manager, gui *workload.GUISuite) (uint64, error) {
+	client, shutdown, err := dedupServer(mgr)
+	if err != nil {
+		return 0, err
+	}
+	defer shutdown()
+	var total uint64
+	for _, app := range gui.Apps {
+		ks, err := appKeys(app)
+		if err != nil {
+			return 0, err
+		}
+		files, err := client.FetchBulk(ks, false)
+		if err != nil {
+			return 0, err
+		}
+		for _, cf := range files {
+			b, err := cf.MarshalBinary()
+			if err != nil {
+				return 0, err
+			}
+			total += uint64(len(b))
+		}
+	}
+	return total, nil
+}
+
+// storeWireBytes replays the same five warmups over FETCHMANIFESTS +
+// FETCHBLOBS, tracking which blobs the machine already holds: only the
+// manifest plus the missing blobs cross the wire.
+func storeWireBytes(mgr *core.Manager, gui *workload.GUISuite) (uint64, error) {
+	client, shutdown, err := dedupServer(mgr)
+	if err != nil {
+		return 0, err
+	}
+	defer shutdown()
+	var total uint64
+	have := make(map[store.Hash]bool)
+	for _, app := range gui.Apps {
+		ks, err := appKeys(app)
+		if err != nil {
+			return 0, err
+		}
+		items, err := client.FetchManifests(ks, false)
+		if err != nil {
+			return 0, err
+		}
+		var missing []store.Hash
+		for _, it := range items {
+			total += uint64(len(it.Data))
+			man, err := store.DecodeManifest(it.Data)
+			if err != nil {
+				return 0, fmt.Errorf("dedup: server returned undecodable manifest: %w", err)
+			}
+			for _, h := range man.BlobHashes() {
+				if !have[h] {
+					have[h] = true
+					missing = append(missing, h)
+				}
+			}
+		}
+		blobs, err := client.FetchBlobs(missing)
+		if err != nil {
+			return 0, err
+		}
+		if len(blobs) != len(missing) {
+			return 0, fmt.Errorf("dedup: fetched %d of %d missing blobs", len(blobs), len(missing))
+		}
+		for _, enc := range blobs {
+			total += uint64(len(enc))
+		}
+	}
+	return total, nil
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "dedup", Title: "Store dedup across applications (disk + wire)", Run: Dedup,
+	})
+}
+
+// appKeys computes the key set one app's warmup would present.
+func appKeys(app *workload.GUIApp) (core.KeySet, error) {
+	proc, err := app.Prog.Load(guiCfg())
+	if err != nil {
+		return core.KeySet{}, err
+	}
+	return core.KeysFor(vm.New(proc)), nil
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"persistcc/internal/metrics"
+)
+
+// storeMetrics holds the pcc_store_* families. Store operations are
+// low-frequency (commit, prime, compaction), so counters are incremented
+// directly at the call sites, like the manager's.
+type storeMetrics struct {
+	hits         *metrics.CounterVec // tier=l1|l2|l3
+	misses       *metrics.Counter
+	written      *metrics.Counter
+	writtenBytes *metrics.Counter
+	dedupBlobs   *metrics.Counter
+	dedupBytes   *metrics.Counter
+	quarantined  *metrics.Counter
+	compactions  *metrics.Counter
+	pruned       *metrics.CounterVec // reason=cold|orphan
+	prunedBytes  *metrics.Counter
+
+	blobs      *metrics.Gauge
+	blobBytes  *metrics.Gauge
+	generation *metrics.Gauge
+}
+
+func newStoreMetrics(r *metrics.Registry) *storeMetrics {
+	if r == nil {
+		r = metrics.NewRegistry()
+	}
+	return &storeMetrics{
+		hits:         r.CounterVec("pcc_store_blob_hits_total", "blob lookups resolved, by tier", "tier"),
+		misses:       r.Counter("pcc_store_blob_misses_total", "blob lookups that found no local copy"),
+		written:      r.Counter("pcc_store_blobs_written_total", "new blobs written to the content store"),
+		writtenBytes: r.Counter("pcc_store_blob_written_bytes_total", "bytes written for new blobs"),
+		dedupBlobs:   r.Counter("pcc_store_dedup_blobs_total", "blob writes elided because the content already existed"),
+		dedupBytes:   r.Counter("pcc_store_dedup_bytes_total", "bytes NOT written thanks to content deduplication"),
+		quarantined:  r.Counter("pcc_store_blob_quarantine_total", "blobs quarantined on a failed content check"),
+		compactions:  r.Counter("pcc_store_compactions_total", "generational compaction runs"),
+		pruned:       r.CounterVec("pcc_store_pruned_blobs_total", "blobs deleted by compaction, by reason", "reason"),
+		prunedBytes:  r.Counter("pcc_store_pruned_bytes_total", "bytes reclaimed by compaction"),
+		blobs:        r.Gauge("pcc_store_blobs", "addressable blobs in the local store"),
+		blobBytes:    r.Gauge("pcc_store_blob_bytes", "physical bytes across addressable blobs"),
+		generation:   r.Gauge("pcc_store_generation", "current (hot) generation number"),
+	}
+}

@@ -142,6 +142,15 @@ type RunOptions struct {
 	// "unix:/path.sock"). CacheDir remains the local fallback database: if
 	// the daemon is unreachable the run degrades to purely local caching.
 	CacheServer string
+	// StoreFormat commits the database in the content-addressed store
+	// format (per-app manifests over shared deduplicated blobs). Reading
+	// supports both formats regardless. With Prefetch and a CacheServer,
+	// the warm path fetches compact manifests and only the blobs the
+	// machine-local store is missing.
+	StoreFormat bool
+	// StoreDir points several databases at one shared blob store
+	// (default: <CacheDir>/store) for machine-wide deduplication.
+	StoreDir string
 
 	// PipelineWorkers enables the asynchronous translation pipeline with
 	// that many background decode workers: translation-map misses adopt
@@ -230,6 +239,12 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 		if o.Relocatable {
 			mopts = append(mopts, core.WithRelocatable())
 		}
+		if o.StoreFormat {
+			mopts = append(mopts, core.WithStore())
+		}
+		if o.StoreDir != "" {
+			mopts = append(mopts, core.WithStoreDir(o.StoreDir))
+		}
 		local, err := core.NewManager(o.CacheDir, mopts...)
 		if err != nil {
 			return nil, err
@@ -252,8 +267,13 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 		var rep *PrimeReport
 		if fb != nil && o.Prefetch {
 			// One bulk round trip: the exact entry plus (with InterApp)
-			// every inter-application candidate, installed together.
-			rep, err = fb.PrimeBulk(v, o.InterApp)
+			// every inter-application candidate, installed together. Store
+			// mode moves manifests plus only the locally-missing blobs.
+			if o.StoreFormat {
+				rep, err = fb.PrimeStoreBulk(v, o.InterApp)
+			} else {
+				rep, err = fb.PrimeBulk(v, o.InterApp)
+			}
 		} else {
 			rep, err = mgr.Prime(v)
 			if errors.Is(err, core.ErrNoCache) && o.InterApp {

@@ -9,18 +9,18 @@ GO ?= go
 
 # The CI smoke set: fast, fully deterministic experiments whose *_ticks
 # metrics are gated against bench_baseline.json by pcc-benchdiff.
-BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline,dedup
+BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline,dedup,fleet
 MAX_REGRESS = 0.25
 
 # Per-target budget for the CI fuzz smoke; long exploratory runs are a
 # local activity (`make fuzz FUZZTIME=10m`).
 FUZZTIME = 10s
 
-.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fuzz-smoke clean
+.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke fuzz-smoke clean
 
 check: fmt-check lint build test-race
 
-ci: check bench-smoke chaos-smoke migrate-smoke fuzz-smoke
+ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,13 @@ chaos-smoke:
 # entry stops warm-serving.
 migrate-smoke:
 	$(GO) run ./cmd/pcc-bench -run migrate
+
+# Sharded-fleet gate: 4 in-process shards, Zipfian client waves, shard s0
+# killed mid-run. Exits non-zero on shard imbalance > 1.5x the mean, any
+# committed entry lost to the single-shard kill, or < 50% of translation
+# work avoided. Deterministic, so also the CI fleet job.
+fleet-smoke:
+	$(GO) run ./cmd/pcc-bench -run fleet
 
 # Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
 # decode, wire-protocol frames, cache-file bytes) plus the differential

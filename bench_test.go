@@ -249,6 +249,8 @@ func BenchmarkPipelineWarmup(b *testing.B) { benchExperiment(b, "pipeline") }
 
 func BenchmarkDedup(b *testing.B) { benchExperiment(b, "dedup") }
 
+func BenchmarkFleetWarmup(b *testing.B) { benchExperiment(b, "fleet") }
+
 func BenchmarkStoreWarmup(b *testing.B) {
 	// BenchmarkPersistPrime over the content-addressed store format: the
 	// warm path resolves the manifest and materializes every trace from

@@ -483,6 +483,109 @@ func TestCLIDaemonMetricsHTTP(t *testing.T) {
 	}
 }
 
+// startFleetShard boots one pcc-cached process as a fleet shard and waits
+// for its startup line; the listen address comes from the shard's entry in
+// the membership config, so nothing needs to be parsed back out.
+func startFleetShard(t *testing.T, bin, dir, cfgPath, shardID string) {
+	t.Helper()
+	daemon := exec.Command(filepath.Join(bin, "pcc-cached"),
+		"-dir", dir, "-fleet-config", cfgPath, "-shard-id", shardID)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	})
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "pcc-cached: serving") {
+				ready <- sc.Text()
+				return
+			}
+		}
+		ready <- ""
+	}()
+	select {
+	case line := <-ready:
+		if !strings.Contains(line, "as fleet shard "+shardID) {
+			t.Fatalf("shard %s startup line %q, want fleet-mode banner", shardID, line)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for fleet shard %s to start", shardID)
+	}
+}
+
+// TestCLIFleetStats drives a real two-daemon fleet from the shell: both
+// shards share one membership file, a client publishes through the routing
+// layer (replicas=2, so the entry lands on both), and then stats asked of
+// a single shard aggregate across the whole fleet — both over the wire
+// (`-server <shard0> stats` fans out daemon-side, satellite fix) and via
+// the client-side `-fleet CONF stats` path.
+func TestCLIFleetStats(t *testing.T) {
+	bin := testutil.BuildTools(t)
+	work := t.TempDir()
+	exe := buildTinyExe(t, bin, work)
+
+	s0 := "unix:" + filepath.Join(work, "s0.sock")
+	s1 := "unix:" + filepath.Join(work, "s1.sock")
+	cfgPath := filepath.Join(work, "fleet.json")
+	cfg := `{"shards":[{"id":"s0","addr":"` + s0 + `"},{"id":"s1","addr":"` + s1 + `"}],"replicas":2}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	startFleetShard(t, bin, filepath.Join(work, "sdb0"), cfgPath, "s0")
+	startFleetShard(t, bin, filepath.Join(work, "sdb1"), cfgPath, "s1")
+
+	// Two clients with separate local tiers: the first publishes through
+	// the ring to both replicas, the second warm-starts off the fleet.
+	for i := 0; i < 2; i++ {
+		db := filepath.Join(work, "ldb", string(rune('a'+i)))
+		if _, se, code := testutil.RunTool(t, bin, "pcc-run", "-fleet-config", cfgPath,
+			"-persist", db, exe); code != 35 {
+			t.Fatalf("fleet client run %d exit %d, want 35\n%s", i, code, se)
+		}
+	}
+
+	// Asking one shard for stats must report fleet-wide totals: with
+	// replicas=2 the single cache file exists on both shards, so the
+	// aggregate is 2 files, not the shard-local 1.
+	out, se, code := testutil.RunTool(t, bin, "pcc-cachectl", "-server", s0, "stats")
+	if code != 0 {
+		t.Fatalf("cachectl -server stats failed: %s", se)
+	}
+	if !strings.Contains(out, "cache files: 2") {
+		t.Errorf("-server %s stats not aggregated across shards:\n%s", s0, out)
+	}
+
+	// The client-side fleet path: per-shard balance table plus totals.
+	out, se, code = testutil.RunTool(t, bin, "pcc-cachectl", "-fleet", cfgPath, "stats")
+	if code != 0 {
+		t.Fatalf("cachectl -fleet stats failed: %s", se)
+	}
+	for _, want := range []string{"s0", "s1", "ok", "fleet totals:", "cache files: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-fleet stats missing %q:\n%s", want, out)
+		}
+	}
+
+	// Report-only global compaction (keep=0): one logical entry fleet-wide,
+	// nothing evicted.
+	out, se, code = testutil.RunTool(t, bin, "pcc-cachectl", "-fleet", cfgPath, "compact", "-keep", "0")
+	if code != 0 {
+		t.Fatalf("cachectl -fleet compact failed: %s", se)
+	}
+	if !strings.Contains(out, "entries: 1 fleet-wide") || !strings.Contains(out, "evicted: 0 shard copies") {
+		t.Errorf("-fleet compact report:\n%s", out)
+	}
+}
+
 func TestCLIWorkloadAndBenchList(t *testing.T) {
 	bin := testutil.BuildTools(t)
 	out, se, code := testutil.RunTool(t, bin, "pcc-bench", "-list")

@@ -15,10 +15,21 @@
 //	pcc-cachectl -server ADDR stats      # same totals, from a cache daemon
 //	pcc-cachectl -server ADDR metrics    # the daemon's metrics registry
 //	pcc-cachectl metrics FILE            # render a pcc-run -metrics-out file
+//	pcc-cachectl -fleet CONF stats       # fleet-wide totals + per-shard balance
+//	pcc-cachectl -fleet CONF compact -keep N   # global utility-based eviction
 //
 // The metrics subcommand renders a registry snapshot — fetched live from a
 // daemon over the wire protocol's METRICS op, or read from a JSON snapshot
 // file written by pcc-run -metrics-out — in the Prometheus text format.
+//
+// -fleet takes a membership config (the same file the daemons run with).
+// Fleet stats fans out to every shard and prints the per-shard balance next
+// to the aggregate; fleet compact runs ShareJIT-style global cache
+// management — entries ranked fleet-wide by hit frequency × translation
+// cost, the top -keep retained, the rest evicted from every shard that
+// holds them, and each shard's store compacted to reclaim the freed blobs.
+// Note that `stats -server ADDR` against a fleet-configured daemon already
+// aggregates across shards (the daemon fans out to its peers).
 package main
 
 import (
@@ -26,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"persistcc/internal/cacheserver"
+	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
 	"persistcc/internal/metrics"
 	"persistcc/internal/stats"
@@ -39,10 +52,38 @@ import (
 func main() {
 	dir := flag.String("dir", "", "cache database directory")
 	server := flag.String("server", "", `shared cache daemon address ("host:port" or "unix:/path.sock")`)
+	fleetCfg := flag.String("fleet", "", "fleet membership JSON for fleet-wide stats/compact")
+	keep := flag.Int("keep", 0, "with -fleet compact: entries to retain fleet-wide, ranked by utility (0 = report only)")
 	flag.Parse()
-	if flag.NArg() < 1 || (*dir == "" && *server == "" && flag.Arg(0) != "metrics") {
-		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR} {list|show FILE|stats|metrics|verify [-deep]|prune|repair|migrate|compact}")
+	if flag.NArg() < 1 || (*dir == "" && *server == "" && *fleetCfg == "" && flag.Arg(0) != "metrics") {
+		fmt.Fprintln(os.Stderr, "usage: pcc-cachectl {-dir DB | -server ADDR | -fleet CONF} {list|show FILE|stats|metrics|verify [-deep]|prune|repair|migrate|compact}")
 		os.Exit(2)
+	}
+	if *fleetCfg != "" {
+		if cmd := flag.Arg(0); cmd != "stats" && cmd != "compact" {
+			fatal(fmt.Errorf("%s needs -dir or -server (only stats and compact work fleet-wide)", cmd))
+		}
+		fl, err := fleet.New(mustLoadFleet(*fleetCfg))
+		if err != nil {
+			fatal(err)
+		}
+		defer fl.Close()
+		if flag.Arg(0) == "stats" {
+			fleetStats(fl)
+		} else {
+			// Accept -keep after the subcommand too (flag parsing stops
+			// at "compact"), matching the documented usage.
+			k := *keep
+			if flag.NArg() >= 3 && flag.Arg(1) == "-keep" {
+				n, err := strconv.Atoi(flag.Arg(2))
+				if err != nil {
+					fatal(fmt.Errorf("bad -keep value %q", flag.Arg(2)))
+				}
+				k = n
+			}
+			fleetCompact(fl, k)
+		}
+		return
 	}
 	var mgr *core.Manager
 	if *dir != "" {
@@ -106,19 +147,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("cache files: %d\ntraces: %d\ncode pool: %s\ndata pool: %s\n",
-			st.Files, st.Traces, stats.Bytes(st.CodePool), stats.Bytes(st.DataPool))
-		if ss := st.Store; ss != nil {
-			fmt.Printf("store: %d manifests over %d shared blobs (%s physical)\n",
-				ss.Manifests, ss.Blobs, stats.Bytes(ss.BlobBytes))
-			fmt.Printf("dedup: %s logical → %.1f%% saved by content addressing\n",
-				stats.Bytes(ss.LogicalBytes), 100*ss.DedupRatio)
-		}
-		tb := stats.NewTable("key classes", "VM key", "tool key", "entries", "traces")
-		for _, c := range st.Classes {
-			tb.AddRow(c.VM[:8], c.Tool[:8], fmt.Sprintf("%d", c.Entries), fmt.Sprintf("%d", c.Traces))
-		}
-		fmt.Print(tb.Render())
+		printDBStats(st)
 	case "metrics":
 		var snap *metrics.Snapshot
 		var err error
@@ -253,6 +282,68 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", flag.Arg(0)))
 	}
+}
+
+func printDBStats(st *core.DBStats) {
+	fmt.Printf("cache files: %d\ntraces: %d\ncode pool: %s\ndata pool: %s\n",
+		st.Files, st.Traces, stats.Bytes(st.CodePool), stats.Bytes(st.DataPool))
+	if ss := st.Store; ss != nil {
+		fmt.Printf("store: %d manifests over %d shared blobs (%s physical)\n",
+			ss.Manifests, ss.Blobs, stats.Bytes(ss.BlobBytes))
+		fmt.Printf("dedup: %s logical → %.1f%% saved by content addressing\n",
+			stats.Bytes(ss.LogicalBytes), 100*ss.DedupRatio)
+	}
+	tb := stats.NewTable("key classes", "VM key", "tool key", "entries", "traces")
+	for _, c := range st.Classes {
+		tb.AddRow(c.VM[:8], c.Tool[:8], fmt.Sprintf("%d", c.Entries), fmt.Sprintf("%d", c.Traces))
+	}
+	fmt.Print(tb.Render())
+}
+
+func mustLoadFleet(path string) *fleet.Config {
+	cfg, err := fleet.LoadConfig(path)
+	if err != nil {
+		fatal(err)
+	}
+	return cfg
+}
+
+// fleetStats prints the per-shard balance table, then the aggregate totals
+// merged across every reachable shard.
+func fleetStats(fl *fleet.Client) {
+	views := fl.StatsByShard()
+	tb := stats.NewTable("shards", "shard", "files", "traces", "code pool", "status")
+	for _, v := range views {
+		if v.Err != nil {
+			tb.AddRow(v.ID, "-", "-", "-", v.Err.Error())
+			continue
+		}
+		tb.AddRow(v.ID, fmt.Sprintf("%d", v.Stats.Files), fmt.Sprintf("%d", v.Stats.Traces),
+			stats.Bytes(v.Stats.CodePool), "ok")
+	}
+	fmt.Print(tb.Render())
+	st, err := fl.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("fleet totals:")
+	printDBStats(st)
+}
+
+// fleetCompact runs utility-ranked global cache management: keep > 0
+// retains the top entries by hit frequency × translation cost and evicts
+// the rest from every shard; keep == 0 only compacts the per-shard stores.
+func fleetCompact(fl *fleet.Client, keep int) {
+	rep, err := fl.GlobalCompact(keep)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entries: %d fleet-wide, %d kept\n", rep.Entries, rep.Kept)
+	fmt.Printf("evicted: %d shard copies (%d traces)\n", rep.Evicted, rep.EvictedTraces)
+	if rep.Kept > 0 && rep.Kept < rep.Entries {
+		fmt.Printf("admission floor: utility %d (hits × traces) to enter the cache\n", rep.FloorUtility)
+	}
+	fmt.Printf("reclaimed: %s (%d orphan blobs pruned)\n", stats.Bytes(rep.Reclaimed), rep.PrunedOrphans)
 }
 
 func fatal(err error) {

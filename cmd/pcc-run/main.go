@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"persistcc/internal/cacheserver"
+	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/loader"
@@ -36,6 +37,7 @@ func main() {
 	toolName := flag.String("tool", "", "instrumentation tool: bbcount, bbcount-inst, memtrace, opcodemix, codecov, codecov-inst")
 	persistDir := flag.String("persist", "", "persistent cache database directory (enables persistence)")
 	cacheServer := flag.String("cache-server", "", `shared cache daemon address ("host:port" or "unix:/path.sock"); -persist becomes the local fallback database`)
+	fleetConfig := flag.String("fleet-config", "", "sharded cache-server fleet membership JSON; keys route to shards by consistent hash (mutually exclusive with -cache-server)")
 	interApp := flag.Bool("interapp", false, "fall back to another application's cache")
 	reloc := flag.Bool("reloc", false, "enable relocatable translations")
 	storeFmt := flag.Bool("store", false, "commit in the content-addressed store format (manifest + shared blobs); reads both formats either way")
@@ -151,8 +153,11 @@ func main() {
 	v := vm.New(proc, opts...)
 
 	var mgr cacheserver.Manager
-	if *cacheServer != "" && *persistDir == "" {
-		fatal(fmt.Errorf("-cache-server needs -persist for the local fallback database"))
+	if (*cacheServer != "" || *fleetConfig != "") && *persistDir == "" {
+		fatal(fmt.Errorf("-cache-server/-fleet-config needs -persist for the local fallback database"))
+	}
+	if *cacheServer != "" && *fleetConfig != "" {
+		fatal(fmt.Errorf("-cache-server and -fleet-config are mutually exclusive"))
 	}
 	if *persistDir != "" {
 		mopts := []core.ManagerOption{core.WithMetrics(reg)}
@@ -174,7 +179,19 @@ func main() {
 		}
 		mgr = local
 		var fb *cacheserver.Fallback
-		if *cacheServer != "" {
+		switch {
+		case *fleetConfig != "":
+			cfg, err := fleet.LoadConfig(*fleetConfig)
+			if err != nil {
+				fatal(err)
+			}
+			fc, err := fleet.New(cfg, fleet.WithMetrics(reg))
+			if err != nil {
+				fatal(err)
+			}
+			fb = cacheserver.NewFallback(fc, local)
+			mgr = fb
+		case *cacheServer != "":
 			client := cacheserver.NewClient(*cacheServer, cacheserver.WithClientMetrics(reg))
 			fb = cacheserver.NewFallback(client, local)
 			mgr = fb

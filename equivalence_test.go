@@ -2,7 +2,8 @@ package persistcc_test
 
 // Differential-equivalence suite for the translation system: every workload
 // runs cold-interpreted, cold-translated, warm-from-disk, store-warmed,
-// server-warmed and pipelined (4 workers, prefetch, batched commits), and all
+// server-warmed, fleet-warmed (sharded daemons, consistent-hash routing)
+// and pipelined (4 workers, prefetch, batched commits), and all
 // executions must agree bit for bit on the final architectural state — registers,
 // memory image, output — and on every execution-behavior invariant of
 // Stats. The pipeline's determinism contract is stronger still: at equal
@@ -14,11 +15,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
 
 	"persistcc/internal/cacheserver"
+	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/isa"
@@ -213,6 +216,12 @@ func TestDifferentialEquivalence(t *testing.T) {
 			// installs through the fallback's validation path.
 			server := serverSnap(t, row, freshVM, vC)
 
+			// Mode 4b: fleet-warmed — the cache arrives through a sharded
+			// fleet with consistent-hash routing and replication. Routing
+			// must be invisible: bit-identical architectural state AND
+			// identical cache-behavior counters to every other warm mode.
+			fleetWarm := fleetSnap(t, row, freshVM, vC)
+
 			// Mode 5: pipelined — prefetch bulk install, speculative
 			// workers, batched commits, against the same database.
 			pipe := vm.NewPipeline(4, vm.PipelinePrefetch())
@@ -232,12 +241,12 @@ func TestDifferentialEquivalence(t *testing.T) {
 				t.Errorf("prefetch installed %d of %d primed traces", resP.Stats.PrefetchInstalls, prep.Installed)
 			}
 
-			all := []*snap{interp, cold, coldPiped, warm, storeWarm, server, piped}
+			all := []*snap{interp, cold, coldPiped, warm, storeWarm, server, fleetWarm, piped}
 			translated := all[1:]
-			warmQuad := []*snap{warm, storeWarm, server, piped}
+			warmQuint := []*snap{warm, storeWarm, server, fleetWarm, piped}
 			checkArchitectural(t, all)
 			checkBehavior(t, translated)
-			checkCacheBehavior(t, warmQuad)
+			checkCacheBehavior(t, warmQuint)
 		})
 	}
 	if adoptedTotal == 0 {
@@ -291,6 +300,62 @@ func serverSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, comm
 		t.Fatal(err)
 	}
 	return takeSnap("server-warmed", v, res)
+}
+
+// fleetSnap runs the fleet-warmed mode: a two-shard in-process fleet is
+// seeded with the cold run's cache file through the routing client (so the
+// entry lands on its consistent-hash owners, replicated), and the run
+// primes through a Fallback whose local database is empty — the installed
+// traces travelled the wire via whichever shard the ring picked.
+func fleetSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
+	t.Helper()
+	var cfg fleet.Config
+	for i := 0; i < 2; i++ {
+		smgr, err := core.NewManager(testutil.TempDB(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := cacheserver.New(smgr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := cacheserver.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		cfg.Shards = append(cfg.Shards, fleet.Shard{ID: fmt.Sprintf("eq%d", i), Addr: ln.Addr().String()})
+	}
+	fl, err := fleet.New(&cfg, fleet.WithShardOptions(
+		cacheserver.WithRetry(1, time.Millisecond), cacheserver.WithDialTimeout(time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	cf, _ := core.BuildCacheFile(committed)
+	if _, err := fl.Publish(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := core.NewManager(testutil.TempDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := cacheserver.NewFallback(fl, local)
+	v := freshVM()
+	rep, err := fb.Prime(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Installed == 0 || v.Stats().RemoteHits == 0 {
+		t.Fatalf("fleet mode installed nothing remotely: %+v", rep)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return takeSnap("fleet-warmed", v, res)
 }
 
 // checkArchitectural asserts the invariants every mode — including the

@@ -87,6 +87,9 @@ func WithBreaker(after int, probe time.Duration) ClientOption {
 	return func(c *Client) { c.breakAfter, c.probeInterval = after, probe }
 }
 
+// Addr returns the daemon address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
 // NewClient prepares a client for addr ("unix:/path" or TCP "host:port").
 // The connection is dialed lazily on the first request.
 func NewClient(addr string, opts ...ClientOption) *Client {
@@ -324,7 +327,7 @@ func (c *Client) FetchBulk(ks core.KeySet, interApp bool) ([]*core.CacheFile, er
 // manifests for store-format entries, legacy images otherwise. The
 // store-aware warm path resolves the manifests' blobs separately, hitting
 // the machine-local store before the wire.
-func (c *Client) FetchManifests(ks core.KeySet, interApp bool) ([]manifestItem, error) {
+func (c *Client) FetchManifests(ks core.KeySet, interApp bool) ([]ManifestItem, error) {
 	resp, err := c.do(OpFetchManifests, encodeKeyRequest(ks, interApp))
 	if err != nil {
 		return nil, err
@@ -381,9 +384,22 @@ func (c *Client) Publish(cf *core.CacheFile) (*core.CommitReport, error) {
 	return decodeCommitReport(resp)
 }
 
-// Stats fetches the server's per-database totals.
+// Stats fetches the server's per-database totals. Against a
+// fleet-configured daemon this is the fleet-wide aggregate (the daemon fans
+// out to its reachable peers); StatsLocal inspects one shard.
 func (c *Client) Stats() (*core.DBStats, error) {
 	resp, err := c.do(OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDBStats(resp)
+}
+
+// StatsLocal fetches only the addressed daemon's own totals, even when it
+// is part of a fleet. The shards use it on each other while answering an
+// aggregate Stats, so the fan-out never recurses.
+func (c *Client) StatsLocal() (*core.DBStats, error) {
+	resp, err := c.do(OpStats, encodeStatsScope(true))
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +413,37 @@ func (c *Client) Prune() (*core.PruneReport, error) {
 		return nil, err
 	}
 	return decodePruneReport(resp)
+}
+
+// UtilitySummary fetches the daemon's per-entry usage summaries — the raw
+// material of the fleet's global eviction decision.
+func (c *Client) UtilitySummary() ([]UtilityEntry, error) {
+	resp, err := c.do(OpUtility, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeUtilityEntries(resp)
+}
+
+// Evict removes the named entries (by file stem) from the daemon's index,
+// disk, and in-memory state. Stems the daemon does not hold are ignored.
+func (c *Client) Evict(stems []string) (*EvictReport, error) {
+	resp, err := c.do(OpEvict, encodeEvictRequest(stems))
+	if err != nil {
+		return nil, err
+	}
+	return decodeEvictReport(resp)
+}
+
+// CompactStore asks the daemon to run generational compaction over its
+// content-addressed store, reclaiming blobs orphaned by eviction. A daemon
+// with no store side reports an all-zero result.
+func (c *Client) CompactStore() (*store.CompactReport, error) {
+	resp, err := c.do(OpCompact, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCompactReport(resp)
 }
 
 // Manager is the persistence surface a run needs; *core.Manager (local
@@ -413,23 +460,47 @@ var (
 	_ Manager = (*Fallback)(nil)
 )
 
-// Fallback fronts a shared cache server with a local database: every
-// operation tries the server first and degrades to the local core.Manager
-// on connect/IO error, corrupt payloads, or server-side failure — a dead
-// daemon never breaks a run. Cache misses also consult the local database,
-// so translations committed while the server was down stay reachable.
-type Fallback struct {
-	client *Client
-	local  *core.Manager
+// Transport is the wire surface Fallback needs from whatever carries its
+// requests: one daemon (*Client) or a consistent-hash-routed fleet of them
+// (fleet.Client). Implementations must degrade internally as far as they
+// can (retries, replicas); Fallback handles the final tier, the local
+// database.
+type Transport interface {
+	Fetch(ks core.KeySet, interApp bool) (*core.CacheFile, error)
+	FetchBulk(ks core.KeySet, interApp bool) ([]*core.CacheFile, error)
+	FetchManifests(ks core.KeySet, interApp bool) ([]ManifestItem, error)
+	Publish(cf *core.CacheFile) (*core.CommitReport, error)
+	Addr() string
+	Metrics() *metrics.Registry
+	store.RemoteBlobs // FetchBlobs: the local store's L3 tier
 }
 
-// NewFallback combines a client and the local fallback manager. The
-// client is attached as the local store's remote blob tier, so any
+var _ Transport = (*Client)(nil)
+
+// Fallback fronts a shared cache server (or fleet of them) with a local
+// database: every operation tries the transport first and degrades to the
+// local core.Manager on connect/IO error, corrupt payloads, or server-side
+// failure — a dead daemon never breaks a run. Cache misses also consult the
+// local database, so translations committed while the server was down stay
+// reachable.
+type Fallback struct {
+	client    Transport
+	local     *core.Manager
+	fallbacks *metrics.CounterVec // op=prime|commit
+}
+
+// NewFallback combines a transport and the local fallback manager. The
+// transport is attached as the local store's remote blob tier, so any
 // manifest the local manager materializes can pull missing blobs over the
 // wire (write-through to the machine-local store).
-func NewFallback(client *Client, local *core.Manager) *Fallback {
+func NewFallback(client Transport, local *core.Manager) *Fallback {
 	local.SetRemoteBlobs(client)
-	return &Fallback{client: client, local: local}
+	return &Fallback{
+		client: client,
+		local:  local,
+		fallbacks: client.Metrics().CounterVec("pcc_client_fallbacks_total",
+			"operations degraded to the local database", "op"),
+	}
 }
 
 // Local returns the fallback database manager.
@@ -447,13 +518,13 @@ func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 			// The served file failed key validation; the local database
 			// is still authoritative for this run.
 			v.RecordRemote(1, 0, 1)
-			f.client.m.fallbacks.With("prime").Inc()
+			f.fallbacks.With("prime").Inc()
 			return f.localPrime(v, interApp)
 		}
 		v.RecordRemote(1, uint64(rep.Installed), 0)
 		v.EventLog().Record(tracelog.Event{
 			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: rep.Installed,
-			Detail: f.client.addr,
+			Detail: f.client.Addr(),
 		})
 		return rep, nil
 	case errors.Is(err, core.ErrNoCache):
@@ -463,7 +534,7 @@ func (f *Fallback) prime(v *vm.VM, interApp bool) (*core.PrimeReport, error) {
 		return f.localPrime(v, interApp)
 	default:
 		v.RecordRemote(1, 0, 1)
-		f.client.m.fallbacks.With("prime").Inc()
+		f.fallbacks.With("prime").Inc()
 		return f.localPrime(v, interApp)
 	}
 }
@@ -497,13 +568,13 @@ func (f *Fallback) PrimeBulk(v *vm.VM, interApp bool) (*core.PrimeReport, error)
 		}
 		if !okAny {
 			v.RecordRemote(1, 0, 1)
-			f.client.m.fallbacks.With("prime").Inc()
+			f.fallbacks.With("prime").Inc()
 			return f.localPrimeAll(v, interApp)
 		}
 		v.RecordRemote(1, uint64(agg.Installed), 0)
 		v.EventLog().Record(tracelog.Event{
 			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: agg.Installed,
-			Detail: "bulk " + f.client.addr,
+			Detail: "bulk " + f.client.Addr(),
 		})
 		return agg, nil
 	case errors.Is(err, core.ErrNoCache):
@@ -511,7 +582,7 @@ func (f *Fallback) PrimeBulk(v *vm.VM, interApp bool) (*core.PrimeReport, error)
 		return f.localPrimeAll(v, interApp)
 	default:
 		v.RecordRemote(1, 0, 1)
-		f.client.m.fallbacks.With("prime").Inc()
+		f.fallbacks.With("prime").Inc()
 		return f.localPrimeAll(v, interApp)
 	}
 }
@@ -529,7 +600,7 @@ func (f *Fallback) PrimeStoreBulk(v *vm.VM, interApp bool) (*core.PrimeReport, e
 		okAny := false
 		for _, it := range items {
 			var cf *core.CacheFile
-			if it.Kind == itemKindManifest {
+			if it.Kind == ItemKindManifest {
 				man, derr := store.DecodeManifest(it.Data)
 				if derr != nil {
 					continue // corrupt on the wire; try the rest
@@ -558,13 +629,13 @@ func (f *Fallback) PrimeStoreBulk(v *vm.VM, interApp bool) (*core.PrimeReport, e
 		}
 		if !okAny {
 			v.RecordRemote(1, 0, 1)
-			f.client.m.fallbacks.With("prime").Inc()
+			f.fallbacks.With("prime").Inc()
 			return f.localPrimeAll(v, interApp)
 		}
 		v.RecordRemote(1, uint64(agg.Installed), 0)
 		v.EventLog().Record(tracelog.Event{
 			Kind: tracelog.KindFetch, Tick: v.Clock(), Traces: agg.Installed,
-			Detail: "store " + f.client.addr,
+			Detail: "store " + f.client.Addr(),
 		})
 		return agg, nil
 	case errors.Is(err, core.ErrNoCache):
@@ -572,7 +643,7 @@ func (f *Fallback) PrimeStoreBulk(v *vm.VM, interApp bool) (*core.PrimeReport, e
 		return f.localPrimeAll(v, interApp)
 	default:
 		v.RecordRemote(1, 0, 1)
-		f.client.m.fallbacks.With("prime").Inc()
+		f.fallbacks.With("prime").Inc()
 		return f.localPrimeAll(v, interApp)
 	}
 }
@@ -608,7 +679,7 @@ func (f *Fallback) Commit(v *vm.VM) (*core.CommitReport, error) {
 	rep, err := f.client.Publish(cf)
 	if err != nil {
 		v.RecordRemote(0, 0, 1)
-		f.client.m.fallbacks.With("commit").Inc()
+		f.fallbacks.With("commit").Inc()
 		crep, lerr := f.local.CommitFile(ks, cf)
 		if lerr != nil {
 			return nil, fmt.Errorf("cacheserver: publish failed (%v) and local fallback failed: %w", err, lerr)
@@ -617,7 +688,7 @@ func (f *Fallback) Commit(v *vm.VM) (*core.CommitReport, error) {
 	} else {
 		v.EventLog().Record(tracelog.Event{
 			Kind: tracelog.KindPublish, Tick: v.Clock(), Traces: rep.Traces,
-			Detail: f.client.addr,
+			Detail: f.client.Addr(),
 		})
 	}
 	if !rep.Skipped {

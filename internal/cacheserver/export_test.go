@@ -22,11 +22,11 @@ func WithDispatchDelay(d time.Duration) Option {
 	}
 }
 
-// Manifest-item kinds, exported so the black-box tests can assert which
-// form a store-aware fetch returned.
+// Manifest-item kinds, aliased for the black-box tests that predate the
+// kinds being exported.
 const (
-	ItemKindLegacyForTest   = itemKindLegacy
-	ItemKindManifestForTest = itemKindManifest
+	ItemKindLegacyForTest   = ItemKindLegacy
+	ItemKindManifestForTest = ItemKindManifest
 )
 
 // BreakerOpenForTest reports the client's breaker state.

@@ -1,0 +1,557 @@
+package fleet
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/core"
+	"persistcc/internal/metrics"
+	"persistcc/internal/store"
+)
+
+// Client routes cache traffic across the fleet: trace keys (cache-file
+// stems) and blob keys (content hashes) place on the consistent-hash ring,
+// writes go to every owner in the replica set, and reads walk the owners in
+// ring order — the primary first, then replicas when the primary is down
+// (its circuit breaker fast-fails), unreachable, or cold for the key.
+//
+// Client implements cacheserver.Transport, so cacheserver.NewFallback
+// fronts a whole fleet exactly like one daemon: only when every owner of a
+// key fails does an operation degrade to the run's local database.
+// Safe for concurrent use.
+type Client struct {
+	cfg       *Config
+	ring      *ring
+	replicas  int
+	clients   []*cacheserver.Client // one per shard, index-aligned with cfg.Shards
+	hedge     time.Duration         // >0 races a delayed replica against a slow primary
+	shardOpts []cacheserver.ClientOption
+	registry  *metrics.Registry
+	m         *fleetMetrics
+}
+
+// Option configures a fleet client.
+type Option func(*Client)
+
+// WithMetrics records the fleet's counters (and every shard client's) into
+// reg instead of a private registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Client) {
+		if reg != nil {
+			c.registry = reg
+		}
+	}
+}
+
+// WithHedge enables hedged reads: when the primary owner has not answered
+// within d, the same request is raced against the next replica and the
+// first success wins — taming tail latency from one slow shard. Zero
+// (the default) keeps reads strictly sequential, which the deterministic
+// fleet experiment depends on.
+func WithHedge(d time.Duration) Option {
+	return func(c *Client) { c.hedge = d }
+}
+
+// WithShardOptions forwards options (retry policy, timeouts, breaker
+// tuning) to every per-shard cacheserver.Client.
+func WithShardOptions(opts ...cacheserver.ClientOption) Option {
+	return func(c *Client) { c.shardOpts = append(c.shardOpts, opts...) }
+}
+
+// New builds a routing client over a validated membership config.
+func New(cfg *Config, opts ...Option) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:      cfg,
+		ring:     newRing(cfg),
+		replicas: cfg.EffectiveReplicas(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.registry == nil {
+		c.registry = metrics.NewRegistry()
+	}
+	c.m = newFleetMetrics(c.registry)
+	c.m.shards.Set(float64(len(cfg.Shards)))
+	c.clients = make([]*cacheserver.Client, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		shardOpts := append([]cacheserver.ClientOption{
+			cacheserver.WithClientMetrics(c.registry),
+		}, c.shardOpts...)
+		c.clients[i] = cacheserver.NewClient(s.Addr, shardOpts...)
+	}
+	return c, nil
+}
+
+// Config returns the membership this client routes by.
+func (c *Client) Config() *Config { return c.cfg }
+
+// Addr identifies the fleet in logs and event records.
+func (c *Client) Addr() string {
+	ids := make([]string, len(c.cfg.Shards))
+	for i, s := range c.cfg.Shards {
+		ids[i] = s.ID
+	}
+	return "fleet:" + strings.Join(ids, ",")
+}
+
+// Metrics returns the registry shared by the fleet families and every
+// shard client's pcc_client_* families.
+func (c *Client) Metrics() *metrics.Registry { return c.registry }
+
+// Close closes every shard client.
+func (c *Client) Close() error {
+	var first error
+	for _, sc := range c.clients {
+		if err := sc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StemFor is the routing key for a key set: the cache file's stem, the
+// same format-independent identity the daemons index by.
+func StemFor(ks core.KeySet) string {
+	return core.FileStem(ks.CacheFileName())
+}
+
+// blobKey is the routing key for a content hash.
+func blobKey(h store.Hash) string { return hex.EncodeToString(h[:]) }
+
+// Owners returns the replica set for a routing key as shard IDs, primary
+// first — the placement contract the tests and the fleet experiment assert.
+func (c *Client) Owners(key string) []string {
+	idxs := c.ring.owners(key, c.replicas)
+	out := make([]string, len(idxs))
+	for i, si := range idxs {
+		out[i] = c.cfg.Shards[si].ID
+	}
+	return out
+}
+
+type readResult[T any] struct {
+	v    T
+	err  error
+	rank int
+}
+
+// readOwners walks a key's owners until one serves the request. Transport
+// errors and per-shard misses both advance the walk (a write that landed
+// while the primary was down lives only on replicas); a miss anywhere with
+// no success means ErrNoCache, and only all-transport-failure surfaces as
+// an error — which Fallback then degrades to the local tier. With hedging
+// enabled, a slow primary races the first replica and the first success
+// wins.
+func readOwners[T any](c *Client, op string, owners []int, try func(shard int) (T, error)) (T, error) {
+	var zero T
+	if c.hedge > 0 && len(owners) > 1 {
+		primary := make(chan readResult[T], 1)
+		go func() {
+			v, err := try(owners[0])
+			primary <- readResult[T]{v: v, err: err, rank: 0}
+		}()
+		timer := time.NewTimer(c.hedge)
+		defer timer.Stop()
+		select {
+		case r := <-primary:
+			if r.err == nil {
+				return r.v, nil
+			}
+			return walkOwners(c, op, owners[1:], 1, r.err, try)
+		case <-timer.C:
+			c.m.hedges.Inc()
+			secondary := make(chan readResult[T], 1)
+			go func() {
+				v, err := try(owners[1])
+				secondary <- readResult[T]{v: v, err: err, rank: 1}
+			}()
+			var firstErr, secondErr error
+			for i := 0; i < 2; i++ {
+				select {
+				case r := <-primary:
+					if r.err == nil {
+						return r.v, nil
+					}
+					firstErr = r.err
+				case r := <-secondary:
+					if r.err == nil {
+						c.m.hedgeWins.Inc()
+						c.m.redirects.With(op).Inc()
+						return r.v, nil
+					}
+					secondErr = r.err
+				}
+			}
+			err := firstErr
+			if errors.Is(secondErr, core.ErrNoCache) {
+				err = secondErr
+			}
+			return walkOwners(c, op, owners[2:], 2, err, try)
+		}
+	}
+	if len(owners) == 0 {
+		return zero, core.ErrNoCache
+	}
+	v, err := try(owners[0])
+	if err == nil {
+		return v, nil
+	}
+	return walkOwners(c, op, owners[1:], 1, err, try)
+}
+
+// walkOwners continues a sequential owner walk after earlier ranks failed
+// with priorErr.
+func walkOwners[T any](c *Client, op string, owners []int, rank int, priorErr error, try func(shard int) (T, error)) (T, error) {
+	var zero T
+	miss := errors.Is(priorErr, core.ErrNoCache)
+	lastErr := priorErr
+	for _, si := range owners {
+		v, err := try(si)
+		if err == nil {
+			c.m.redirects.With(op).Inc()
+			return v, nil
+		}
+		if errors.Is(err, core.ErrNoCache) {
+			miss = true
+			continue
+		}
+		lastErr = err
+	}
+	if miss {
+		return zero, core.ErrNoCache
+	}
+	if lastErr == nil {
+		lastErr = core.ErrNoCache
+	}
+	return zero, lastErr
+}
+
+// route records the logical op against its primary owner and returns the
+// owner walk for the key.
+func (c *Client) route(op, key string) []int {
+	owners := c.ring.owners(key, c.replicas)
+	c.m.requests.With(op, c.cfg.Shards[owners[0]].ID).Inc()
+	return owners
+}
+
+// Fetch retrieves the cache file for the key set from its owners.
+func (c *Client) Fetch(ks core.KeySet, interApp bool) (*core.CacheFile, error) {
+	owners := c.route("fetch", StemFor(ks))
+	return readOwners(c, "fetch", owners, func(si int) (*core.CacheFile, error) {
+		return c.clients[si].Fetch(ks, interApp)
+	})
+}
+
+// FetchBulk retrieves every matching cache file. The exact entry comes
+// from the key's owners; in inter-application mode every shard is also
+// consulted (same-class candidates hash anywhere on the ring) and the
+// responses merge with content-level dedup, exact entry first.
+func (c *Client) FetchBulk(ks core.KeySet, interApp bool) ([]*core.CacheFile, error) {
+	owners := c.route("fetchbulk", StemFor(ks))
+	exact, exactErr := readOwners(c, "fetchbulk", owners, func(si int) ([]*core.CacheFile, error) {
+		return c.clients[si].FetchBulk(ks, false)
+	})
+	var out []*core.CacheFile
+	seen := make(map[[32]byte]bool)
+	add := func(cfs []*core.CacheFile) {
+		for _, cf := range cfs {
+			id := cf.AppKey
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, cf)
+		}
+	}
+	if exactErr == nil {
+		add(exact)
+	} else if !errors.Is(exactErr, core.ErrNoCache) && !interApp {
+		return nil, exactErr
+	}
+	if interApp {
+		for si := range c.clients {
+			cfs, err := c.clients[si].FetchBulk(ks, true)
+			if err != nil {
+				continue // dead or cold shard: candidates are best-effort
+			}
+			add(cfs)
+		}
+	}
+	if len(out) == 0 {
+		if exactErr != nil && !errors.Is(exactErr, core.ErrNoCache) {
+			return nil, exactErr
+		}
+		return nil, core.ErrNoCache
+	}
+	return out, nil
+}
+
+// FetchManifests is FetchBulk in compact form for store-aware clients,
+// with the same exact-first scatter-gather in inter-application mode.
+func (c *Client) FetchManifests(ks core.KeySet, interApp bool) ([]cacheserver.ManifestItem, error) {
+	owners := c.route("fetchmanifests", StemFor(ks))
+	exact, exactErr := readOwners(c, "fetchmanifests", owners, func(si int) ([]cacheserver.ManifestItem, error) {
+		return c.clients[si].FetchManifests(ks, false)
+	})
+	var out []cacheserver.ManifestItem
+	seen := make(map[string]bool)
+	add := func(items []cacheserver.ManifestItem) {
+		for _, it := range items {
+			id := string(it.Kind) + string(it.Data)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, it)
+		}
+	}
+	if exactErr == nil {
+		add(exact)
+	} else if !errors.Is(exactErr, core.ErrNoCache) && !interApp {
+		return nil, exactErr
+	}
+	if interApp {
+		for si := range c.clients {
+			items, err := c.clients[si].FetchManifests(ks, true)
+			if err != nil {
+				continue
+			}
+			add(items)
+		}
+	}
+	if len(out) == 0 {
+		if exactErr != nil && !errors.Is(exactErr, core.ErrNoCache) {
+			return nil, exactErr
+		}
+		return nil, core.ErrNoCache
+	}
+	return out, nil
+}
+
+// FetchBlobs resolves content hashes across the fleet: each hash is asked
+// of its primary owner first, and hashes that owner is missing (or cannot
+// answer) retry on the next replica. Hashes nobody holds are absent from
+// the result — the caller re-translates, never fails.
+func (c *Client) FetchBlobs(hashes []store.Hash) (map[store.Hash][]byte, error) {
+	out := make(map[store.Hash][]byte, len(hashes))
+	remaining := hashes
+	for rank := 0; rank < c.replicas && len(remaining) > 0; rank++ {
+		byShard := make(map[int][]store.Hash)
+		for _, h := range remaining {
+			owners := c.ring.owners(blobKey(h), c.replicas)
+			if rank >= len(owners) {
+				continue
+			}
+			byShard[owners[rank]] = append(byShard[owners[rank]], h)
+		}
+		var miss []store.Hash
+		for si := range c.clients {
+			hs := byShard[si]
+			if len(hs) == 0 {
+				continue
+			}
+			if rank == 0 {
+				c.m.requests.With("fetchblobs", c.cfg.Shards[si].ID).Inc()
+			}
+			got, err := c.clients[si].FetchBlobs(hs)
+			served := 0
+			for h, b := range got {
+				out[h] = b
+				served++
+			}
+			if rank > 0 && served > 0 {
+				c.m.redirects.With("fetchblobs").Inc()
+			}
+			if err != nil || served < len(hs) {
+				for _, h := range hs {
+					if _, ok := out[h]; !ok {
+						miss = append(miss, h)
+					}
+				}
+			}
+		}
+		remaining = miss
+	}
+	return out, nil
+}
+
+var _ store.RemoteBlobs = (*Client)(nil)
+var _ cacheserver.Transport = (*Client)(nil)
+
+// Publish writes the cache file to every owner in its replica set. The
+// publish succeeds if at least one owner accepts it (the primary's report
+// preferred); per-owner failures are counted and absorbed — that is what
+// the replicas are for.
+func (c *Client) Publish(cf *core.CacheFile) (*core.CommitReport, error) {
+	ks := core.KeySet{App: cf.AppKey, VM: cf.VMKey, Tool: cf.ToolKey}
+	owners := c.route("publish", StemFor(ks))
+	var rep *core.CommitReport
+	var lastErr error
+	for rank, si := range owners {
+		r, err := c.clients[si].Publish(cf)
+		if err != nil {
+			c.m.writeErrors.Inc()
+			lastErr = err
+			continue
+		}
+		if rep == nil {
+			rep = r
+		}
+		if rank > 0 {
+			c.m.replicaWrites.Inc()
+		}
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("fleet: publish failed on all %d owners: %w", len(owners), lastErr)
+	}
+	return rep, nil
+}
+
+// ShardView is one shard's answer to a fan-out inspection.
+type ShardView struct {
+	ID    string
+	Stats *core.DBStats
+	Err   error
+}
+
+// StatsByShard fetches each shard's own totals (local scope, so a
+// fleet-configured daemon does not re-aggregate).
+func (c *Client) StatsByShard() []ShardView {
+	out := make([]ShardView, len(c.cfg.Shards))
+	for i, s := range c.cfg.Shards {
+		st, err := c.clients[i].StatsLocal()
+		out[i] = ShardView{ID: s.ID, Stats: st, Err: err}
+	}
+	return out
+}
+
+// Stats aggregates totals across every reachable shard; it fails only when
+// no shard answers.
+func (c *Client) Stats() (*core.DBStats, error) {
+	views := c.StatsByShard()
+	var agg *core.DBStats
+	var lastErr error
+	for _, v := range views {
+		if v.Err != nil {
+			lastErr = v.Err
+			continue
+		}
+		if agg == nil {
+			agg = v.Stats
+			continue
+		}
+		cacheserver.MergeDBStats(agg, v.Stats)
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("fleet: no shard reachable: %w", lastErr)
+	}
+	return agg, nil
+}
+
+// CompactReport summarizes one fleet-wide utility compaction round.
+type CompactReport struct {
+	Entries       int    // distinct entries (stems) across the fleet
+	Kept          int    // entries retained
+	Evicted       int    // per-shard evictions performed (a stem on R shards counts R)
+	EvictedTraces int    // translated traces those evictions dropped
+	FloorUtility  uint64 // the admission floor: minimum utility among kept entries
+	Reclaimed     uint64 // bytes reclaimed by the per-shard store compactions
+	PrunedOrphans int    // orphaned blobs deleted by those compactions
+}
+
+// GlobalCompact is the fleet's ShareJIT-style global cache management: it
+// gathers every shard's per-entry usage summaries, ranks entries
+// fleet-wide by utility — hit frequency × translation cost, with replica
+// hit counts summed — keeps the top `keep`, evicts the rest from every
+// shard that holds them, and runs generational store compaction per shard
+// to reclaim the freed blobs. The minimum utility among survivors is
+// reported as the admission floor. keep ≤ 0 evicts nothing (report and
+// compact only).
+func (c *Client) GlobalCompact(keep int) (*CompactReport, error) {
+	type stemAgg struct {
+		stem    string
+		hits    uint64
+		traces  int
+		utility uint64
+	}
+	agg := make(map[string]*stemAgg)
+	reachable := 0
+	var lastErr error
+	for si := range c.clients {
+		entries, err := c.clients[si].UtilitySummary()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reachable++
+		for _, e := range entries {
+			a := agg[e.Stem]
+			if a == nil {
+				a = &stemAgg{stem: e.Stem}
+				agg[e.Stem] = a
+			}
+			a.hits += e.Hits
+			if e.Traces > a.traces {
+				a.traces = e.Traces
+			}
+		}
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("fleet: no shard reachable for utility summary: %w", lastErr)
+	}
+	ranked := make([]*stemAgg, 0, len(agg))
+	for _, a := range agg {
+		a.utility = a.hits * uint64(a.traces)
+		ranked = append(ranked, a)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].utility != ranked[j].utility {
+			return ranked[i].utility > ranked[j].utility
+		}
+		return ranked[i].stem < ranked[j].stem
+	})
+	rep := &CompactReport{Entries: len(ranked)}
+	var evict []string
+	if keep > 0 && keep < len(ranked) {
+		for _, a := range ranked[keep:] {
+			evict = append(evict, a.stem)
+		}
+		rep.Kept = keep
+		rep.FloorUtility = ranked[keep-1].utility
+	} else {
+		rep.Kept = len(ranked)
+		if len(ranked) > 0 {
+			rep.FloorUtility = ranked[len(ranked)-1].utility
+		}
+	}
+	for si := range c.clients {
+		if len(evict) > 0 {
+			er, err := c.clients[si].Evict(evict)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			rep.Evicted += er.Evicted
+			rep.EvictedTraces += er.Traces
+			c.m.evictions.Add(uint64(er.Evicted))
+		}
+		cr, err := c.clients[si].CompactStore()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep.Reclaimed += cr.ReclaimedBytes
+		rep.PrunedOrphans += cr.PrunedOrphans
+	}
+	_ = lastErr // per-shard maintenance failures degrade the round, not the report
+	return rep, nil
+}

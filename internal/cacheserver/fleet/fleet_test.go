@@ -1,0 +1,469 @@
+package fleet_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"persistcc/internal/cacheserver"
+	"persistcc/internal/cacheserver/fleet"
+	"persistcc/internal/core"
+	"persistcc/internal/loader"
+	"persistcc/internal/obj"
+	"persistcc/internal/testprog"
+	"persistcc/internal/vm"
+)
+
+const libWork = `
+.text
+.global compute
+compute:            ; a0 = a0*2 + 1
+	add  t0, a0, a0
+	addi a0, t0, 1
+	ret
+`
+
+const mainTmpl = `
+.text
+.global _start
+_start:
+	movi t1, 0x08000000
+	ld   s0, 0(t1)      ; n iterations
+	movi s1, %d
+loop:
+	beqz s0, done
+	mv   a0, s1
+	call compute
+	mv   s1, a0
+	addi s0, s0, -1
+	j    loop
+done:
+	mv   a1, s1
+	movi a0, 1
+	sys
+	halt
+`
+
+type world struct {
+	exe  *obj.File
+	libs []*obj.File
+}
+
+// buildWorld builds one guest application; the seed varies the program text
+// so different worlds get different application keys (and so ring stems).
+func buildWorld(t testing.TB, name string, seed int) *world {
+	t.Helper()
+	exe, libs, err := testprog.Build(name, fmt.Sprintf(mainTmpl, seed), map[string]string{"libwork.so": libWork})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{exe: exe, libs: libs}
+}
+
+func (w *world) freshVM(t testing.TB) *vm.VM {
+	t.Helper()
+	p, err := testprog.Load(w.exe, w.libs, loader.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(p, vm.WithInput([]uint64{25}))
+}
+
+// cacheFile cold-runs the world and snapshots its traces.
+func (w *world) cacheFile(t testing.TB) (*core.CacheFile, core.KeySet) {
+	t.Helper()
+	v := w.freshVM(t)
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cf, ks := core.BuildCacheFile(v)
+	if len(cf.Traces) == 0 {
+		t.Fatal("cold run produced no traces")
+	}
+	return cf, ks
+}
+
+// shard is one in-process daemon the tests can kill.
+type shard struct {
+	srv  *cacheserver.Server
+	addr string
+	mgr  *core.Manager
+}
+
+func startShard(t testing.TB) *shard {
+	t.Helper()
+	mgr, err := core.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cacheserver.New(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := cacheserver.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &shard{srv: srv, addr: ln.Addr().String(), mgr: mgr}
+}
+
+func startFleet(t testing.TB, n int, opts ...fleet.Option) (*fleet.Client, []*shard) {
+	t.Helper()
+	cfg := &fleet.Config{}
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = startShard(t)
+		cfg.Shards = append(cfg.Shards, fleet.Shard{ID: fmt.Sprintf("s%d", i), Addr: shards[i].addr})
+	}
+	opts = append([]fleet.Option{fleet.WithShardOptions(
+		cacheserver.WithRetry(0, 0), cacheserver.WithDialTimeout(time.Second))}, opts...)
+	fl, err := fleet.New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	return fl, shards
+}
+
+func TestConfigParseValidateDefaults(t *testing.T) {
+	cfg, err := fleet.ParseConfig([]byte(`{
+		"shards": [
+			{"id": "a", "addr": "127.0.0.1:1"},
+			{"id": "b", "addr": "127.0.0.1:2"},
+			{"id": "c", "addr": "127.0.0.1:3"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.EffectiveReplicas(); got != fleet.DefaultReplicas {
+		t.Errorf("default replicas = %d, want %d", got, fleet.DefaultReplicas)
+	}
+	if i := cfg.ShardIndex("b"); i != 1 {
+		t.Errorf("ShardIndex(b) = %d, want 1", i)
+	}
+	if i := cfg.ShardIndex("nope"); i != -1 {
+		t.Errorf("ShardIndex(nope) = %d, want -1", i)
+	}
+
+	// Replicas clamp to the shard count; a single-shard fleet always has 1.
+	one := &fleet.Config{Shards: []fleet.Shard{{ID: "solo", Addr: "127.0.0.1:1"}}, Replicas: 3}
+	if got := one.EffectiveReplicas(); got != 1 {
+		t.Errorf("one-shard replicas = %d, want 1", got)
+	}
+
+	for _, bad := range []string{
+		`{}`, // no shards
+		`{"shards": [{"id": "a", "addr": "x:1"}, {"id": "a", "addr": "x:2"}]}`,   // dup id
+		`{"shards": [{"id": "a", "addr": "x:1"}, {"id": "b", "addr": "x:1"}]}`,   // dup addr
+		`{"shards": [{"id": "", "addr": "x:1"}]}`,                                // empty id
+		`{"shards": [{"id": "a", "addr": ""}]}`,                                  // empty addr
+		`{"shards": [{"id": "a", "addr": "x:1"}], "replicas": -1}`,               // negative
+		`{"shards": [{"id": "a", "addr": "x:1"}], "virtual_nodes": -5}`,          // negative
+		`{"shards": [{"id": "a", "addr": "x:1"}], "virtual_nodes": 1, "x": "y"}`, // unknown key
+	} {
+		if _, err := fleet.ParseConfig([]byte(bad)); err == nil {
+			t.Errorf("ParseConfig(%s): want error, got nil", bad)
+		}
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	cfg := func() *fleet.Config {
+		c := &fleet.Config{Replicas: 2}
+		for i := 0; i < 4; i++ {
+			c.Shards = append(c.Shards, fleet.Shard{ID: fmt.Sprintf("s%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)})
+		}
+		return c
+	}
+	// Two independently built clients must route every key identically:
+	// the ring is a pure function of the membership config.
+	a, err := fleet.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := fleet.New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	primaries := make(map[string]int)
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("app%04d_aabbccdd", i)
+		oa, ob := a.Owners(key), b.Owners(key)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("key %s routes to %v on one client, %v on another", key, oa, ob)
+		}
+		if len(oa) != 2 || oa[0] == oa[1] {
+			t.Fatalf("key %s owners %v: want 2 distinct shards", key, oa)
+		}
+		primaries[oa[0]]++
+	}
+	// Virtual nodes must spread primary ownership: no shard may be
+	// starved or own more than half the key space.
+	for id, n := range primaries {
+		if n < 512/16 || n > 512/2 {
+			t.Errorf("shard %s owns %d/512 primaries; distribution is too lumpy", id, n)
+		}
+	}
+	if len(primaries) != 4 {
+		t.Errorf("only %d shards own keys, want 4", len(primaries))
+	}
+}
+
+// TestBreakerOpenFanOut is the degraded-read path end to end: the key's
+// primary owner dies, its circuit breaker opens, and reads keep succeeding
+// from the replica; when every shard is dead, the Fallback still serves
+// the run from the local tier — the fleet never surfaces a failure.
+func TestBreakerOpenFanOut(t *testing.T) {
+	fl, shards := startFleet(t, 2,
+		fleet.WithShardOptions(
+			cacheserver.WithRetry(0, 0),
+			cacheserver.WithDialTimeout(250*time.Millisecond),
+			cacheserver.WithBreaker(1, time.Hour), // first failure opens; never re-probes
+		))
+	w := buildWorld(t, "breaker", 7)
+	cf, ks := w.cacheFile(t)
+	if _, err := fl.Publish(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	stem := fleet.StemFor(ks)
+	owners := fl.Owners(stem)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want 2", owners)
+	}
+	primary := 0
+	if owners[0] == "s1" {
+		primary = 1
+	}
+	shards[primary].srv.Close()
+
+	// First read finds the primary dead (opening its breaker) and fans out
+	// to the replica; the second takes the breaker fast-path. Both succeed.
+	for i := 0; i < 2; i++ {
+		got, err := fl.Fetch(ks, false)
+		if err != nil {
+			t.Fatalf("fetch %d with dead primary: %v", i, err)
+		}
+		if len(got.Traces) != len(cf.Traces) {
+			t.Fatalf("fetch %d: %d traces, want %d", i, len(got.Traces), len(cf.Traces))
+		}
+	}
+	snap := fl.Metrics().Snapshot()
+	if v, ok := snap.Value("pcc_fleet_redirects_total", "fetch"); !ok || v < 2 {
+		t.Errorf("redirects_total{fetch} = %v, want >= 2", v)
+	}
+
+	// Writes during the outage land on the surviving owner only.
+	w2 := buildWorld(t, "breaker2", 8)
+	cf2, ks2 := w2.cacheFile(t)
+	if _, err := fl.Publish(cf2); err != nil {
+		t.Fatalf("publish with one shard dead: %v", err)
+	}
+	if _, err := fl.Fetch(ks2, false); err != nil {
+		t.Fatalf("read-back of degraded write: %v", err)
+	}
+
+	// Full fleet outage: the local tier still serves the run.
+	shards[1-primary].srv.Close()
+	local, err := core.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.CommitFile(ks, cf); err != nil {
+		t.Fatal(err)
+	}
+	fb := cacheserver.NewFallback(fl, local)
+	v := w.freshVM(t)
+	rep, err := fb.Prime(v)
+	if err != nil {
+		t.Fatalf("prime with whole fleet dead: %v", err)
+	}
+	if rep.Installed == 0 {
+		t.Fatal("local tier installed nothing with the fleet dead")
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Commit(v); err != nil {
+		t.Fatalf("commit with whole fleet dead: %v", err)
+	}
+}
+
+// TestSingleShardParity pins the degenerate fleet to the single-daemon
+// path: a one-shard fleet and a direct client against identically seeded
+// daemons must agree on every read surface and on aggregate stats.
+func TestSingleShardParity(t *testing.T) {
+	fl, _ := startFleet(t, 1)
+	direct := startShard(t)
+	dc := cacheserver.NewClient(direct.addr,
+		cacheserver.WithRetry(0, 0), cacheserver.WithDialTimeout(time.Second))
+	defer dc.Close()
+
+	w := buildWorld(t, "parity", 3)
+	cf, ks := w.cacheFile(t)
+	frep, err := fl.Publish(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drep, err := dc.Publish(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frep, drep) {
+		t.Errorf("publish reports differ: fleet %+v, direct %+v", frep, drep)
+	}
+
+	fcf, err := fl.Fetch(ks, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcf, err := dc.Fetch(ks, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fcf, dcf) {
+		t.Error("fetched cache files differ between one-shard fleet and direct client")
+	}
+
+	fbulk, err := fl.FetchBulk(ks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbulk, err := dc.FetchBulk(ks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fbulk, dbulk) {
+		t.Error("bulk fetches differ between one-shard fleet and direct client")
+	}
+
+	fman, err := fl.FetchManifests(ks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dman, err := dc.FetchManifests(ks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fman, dman) {
+		t.Error("manifest fetches differ between one-shard fleet and direct client")
+	}
+
+	fst, err := fl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fst, dst) {
+		t.Errorf("stats differ: fleet %+v, direct %+v", fst, dst)
+	}
+
+	// A miss is a miss, not an error, on both paths.
+	w2 := buildWorld(t, "parity-miss", 4)
+	_, ksMiss := w2.cacheFile(t)
+	if _, err := fl.Fetch(ksMiss, false); !errors.Is(err, core.ErrNoCache) {
+		t.Errorf("fleet miss: want ErrNoCache, got %v", err)
+	}
+	if _, err := dc.Fetch(ksMiss, false); !errors.Is(err, core.ErrNoCache) {
+		t.Errorf("direct miss: want ErrNoCache, got %v", err)
+	}
+}
+
+// TestGlobalCompactEvicts runs the ShareJIT-style policy end to end: three
+// entries with different hit counts, keep the top two fleet-wide, and the
+// coldest entry disappears from every shard that held it.
+func TestGlobalCompactEvicts(t *testing.T) {
+	fl, _ := startFleet(t, 2)
+	apps := []struct {
+		seed int
+		hits int
+	}{{11, 3}, {12, 1}, {13, 0}}
+	var keys []core.KeySet
+	for _, a := range apps {
+		w := buildWorld(t, fmt.Sprintf("compact%d", a.seed), a.seed)
+		cf, ks := w.cacheFile(t)
+		if _, err := fl.Publish(cf); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, ks)
+		for h := 0; h < a.hits; h++ {
+			if _, err := fl.Fetch(ks, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rep, err := fl.GlobalCompact(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 3 || rep.Kept != 2 {
+		t.Fatalf("compact report %+v: want 3 entries, 2 kept", rep)
+	}
+	// Both replicas of the zero-hit entry are gone (R=2 on 2 shards).
+	if rep.Evicted != 2 {
+		t.Errorf("evicted %d shard copies, want 2", rep.Evicted)
+	}
+	if rep.FloorUtility == 0 {
+		t.Error("admission floor is zero; kept entries should have nonzero utility")
+	}
+	if _, err := fl.Fetch(keys[2], false); !errors.Is(err, core.ErrNoCache) {
+		t.Errorf("evicted entry still served: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fl.Fetch(keys[i], false); err != nil {
+			t.Errorf("kept entry %d lost by compaction: %v", i, err)
+		}
+	}
+
+	// keep <= 0 is report-only: nothing further is evicted.
+	rep2, err := fl.GlobalCompact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Entries != 2 || rep2.Evicted != 0 {
+		t.Errorf("report-only compact %+v: want 2 entries, 0 evicted", rep2)
+	}
+}
+
+// TestFleetStatsAggregation checks the merged view against per-shard truth.
+func TestFleetStatsAggregation(t *testing.T) {
+	fl, _ := startFleet(t, 3)
+	var files int
+	for i := 0; i < 4; i++ {
+		w := buildWorld(t, fmt.Sprintf("stats%d", i), 20+i)
+		cf, _ := w.cacheFile(t)
+		if _, err := fl.Publish(cf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := fl.StatsByShard()
+	for _, v := range views {
+		if v.Err != nil {
+			t.Fatalf("shard %s: %v", v.ID, v.Err)
+		}
+		files += v.Stats.Files
+	}
+	agg, err := fl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Files != files {
+		t.Errorf("aggregate files = %d, per-shard sum = %d", agg.Files, files)
+	}
+	// 4 entries, 2-way replication on 3 shards: 8 copies fleet-wide.
+	if files != 8 {
+		t.Errorf("fleet holds %d copies, want 8 (4 entries x 2 replicas)", files)
+	}
+}

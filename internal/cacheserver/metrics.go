@@ -29,12 +29,13 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	}
 }
 
-// clientMetrics holds the client-side registry families.
+// clientMetrics holds the client-side registry families. The
+// pcc_client_fallbacks_total family lives on Fallback (the degradation
+// decision happens there, whatever transport carries the requests).
 type clientMetrics struct {
 	requests     *metrics.CounterVec // op
 	retries      *metrics.Counter
 	dialErrors   *metrics.Counter
-	fallbacks    *metrics.CounterVec // op=prime|commit
 	breakerOpens *metrics.Counter
 	breakerFast  *metrics.Counter
 	breakerState *metrics.Gauge // 1 open, 0 closed
@@ -45,7 +46,6 @@ func newClientMetrics(r *metrics.Registry) *clientMetrics {
 		requests:     r.CounterVec("pcc_client_requests_total", "requests sent to the cache server", "op"),
 		retries:      r.Counter("pcc_client_retries_total", "request attempts beyond the first"),
 		dialErrors:   r.Counter("pcc_client_dial_errors_total", "failed connection attempts"),
-		fallbacks:    r.CounterVec("pcc_client_fallbacks_total", "operations degraded to the local database", "op"),
 		breakerOpens: r.Counter("pcc_client_breaker_opens_total", "circuit-breaker trips after consecutive transport failures"),
 		breakerFast:  r.Counter("pcc_client_breaker_fastfails_total", "requests short-circuited while the breaker was open"),
 		breakerState: r.Gauge("pcc_client_breaker_open", "1 while the circuit breaker is open"),
@@ -73,6 +73,12 @@ func opName(op uint8) string {
 		return "fetchmanifests"
 	case OpFetchBlobs:
 		return "fetchblobs"
+	case OpUtility:
+		return "utility"
+	case OpEvict:
+		return "evict"
+	case OpCompact:
+		return "compact"
 	}
 	return "unknown"
 }

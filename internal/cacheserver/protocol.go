@@ -45,6 +45,16 @@ const (
 	// blob crosses the wire once per machine, not once per application.
 	OpFetchManifests = 8 // key set + mode → per-entry manifest (or legacy image)
 	OpFetchBlobs     = 9 // blob hashes → encoded blobs for those the server holds
+
+	// Fleet-management ops: a fleet coordinator (pcc-cachectl or the fleet
+	// client library) gathers per-shard UTILITY summaries, ranks entries
+	// globally by hit frequency × translation cost (ShareJIT's global cache
+	// management), and EVICTs the losers on every shard that holds them.
+	// COMPACT then reclaims the freed blobs via generational store
+	// compaction.
+	OpUtility = 10 // → per-entry usage summaries (stem, hits, traces, code pool)
+	OpEvict   = 11 // entry stems → remove from index, disk, and memory
+	OpCompact = 12 // → run generational store compaction (store.CompactReport)
 )
 
 // maxBulkFiles bounds how many cache files one bulk fetch may return (the
@@ -164,17 +174,19 @@ func decodeBulkFiles(b []byte) ([][]byte, error) {
 // travels as its raw manifest; a legacy entry travels as its serialized
 // CacheFile image, so mixed-format server databases stay fully servable.
 const (
-	itemKindLegacy   = 0
-	itemKindManifest = 1
+	ItemKindLegacy   = 0
+	ItemKindManifest = 1
 )
 
-// manifestItem is one database entry in a FETCHMANIFESTS response.
-type manifestItem struct {
+// ManifestItem is one database entry in a FETCHMANIFESTS response.
+// Exported so alternative transports (the fleet routing client) can relay
+// FETCHMANIFESTS responses without re-encoding.
+type ManifestItem struct {
 	Kind uint8
 	Data []byte
 }
 
-func encodeManifestItems(items []manifestItem) []byte {
+func encodeManifestItems(items []ManifestItem) []byte {
 	w := &binenc.Writer{}
 	w.U32(uint32(len(items)))
 	for _, it := range items {
@@ -185,13 +197,13 @@ func encodeManifestItems(items []manifestItem) []byte {
 	return w.Buf
 }
 
-func decodeManifestItems(b []byte) ([]manifestItem, error) {
+func decodeManifestItems(b []byte) ([]ManifestItem, error) {
 	r := &binenc.Reader{Buf: b}
 	n := r.Count(maxBulkFiles)
-	items := make([]manifestItem, 0, n)
+	items := make([]ManifestItem, 0, n)
 	for i := 0; i < n && r.Err == nil; i++ {
 		kind := r.U8()
-		if r.Err == nil && kind != itemKindLegacy && kind != itemKindManifest {
+		if r.Err == nil && kind != ItemKindLegacy && kind != ItemKindManifest {
 			return nil, fmt.Errorf("cacheserver: unknown manifest item kind %d", kind)
 		}
 		ln := int(r.U32())
@@ -202,7 +214,7 @@ func decodeManifestItems(b []byte) ([]manifestItem, error) {
 		if r.Err != nil {
 			break
 		}
-		items = append(items, manifestItem{Kind: kind, Data: append([]byte(nil), raw...)})
+		items = append(items, ManifestItem{Kind: kind, Data: append([]byte(nil), raw...)})
 	}
 	return items, r.Done()
 }
@@ -378,6 +390,147 @@ func decodeDBStats(b []byte) (*core.DBStats, error) {
 		st.Store = ss
 	}
 	return st, r.Done()
+}
+
+// Stats scopes. A bare STATS request (empty payload) keeps its historical
+// meaning — "the totals a client of this address should see" — which on a
+// fleet-configured daemon is the aggregate across every reachable shard. The
+// explicit local scope is what shards send each other while aggregating, so
+// the fan-out never recurses, and what tooling uses to inspect one shard.
+const (
+	statsScopeAggregate = 0 // empty payload: aggregate across fleet peers
+	statsScopeLocal     = 1 // this daemon's own database only
+)
+
+func encodeStatsScope(local bool) []byte {
+	if !local {
+		return nil
+	}
+	return []byte{statsScopeLocal}
+}
+
+func decodeStatsScope(b []byte) (local bool, err error) {
+	switch {
+	case len(b) == 0:
+		return false, nil
+	case len(b) == 1 && b[0] == statsScopeLocal:
+		return true, nil
+	case len(b) == 1 && b[0] == statsScopeAggregate:
+		return false, nil
+	default:
+		return false, fmt.Errorf("cacheserver: bad stats scope payload (%d bytes)", len(b))
+	}
+}
+
+// UtilityEntry is one cache entry's usage summary, the unit of the fleet's
+// global eviction policy: utility = Hits × Traces (hit frequency × the
+// translation work the entry saves, the paper's cold-code economics).
+type UtilityEntry struct {
+	Stem     string // format-independent entry identity (file name minus extension)
+	Hits     uint64 // fetch-type requests this entry served since daemon start
+	Traces   int    // translated traces the entry holds
+	CodePool uint64 // translated code bytes (reporting only)
+}
+
+// Utility is the ranking the fleet's global eviction sorts by.
+func (u UtilityEntry) Utility() uint64 { return u.Hits * uint64(u.Traces) }
+
+// maxUtilityEntries bounds one UTILITY response; both ends enforce it.
+const maxUtilityEntries = 1 << 20
+
+func encodeUtilityEntries(entries []UtilityEntry) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(entries)))
+	for _, e := range entries {
+		w.Str(e.Stem)
+		w.U64(e.Hits)
+		w.U32(uint32(e.Traces))
+		w.U64(e.CodePool)
+	}
+	return w.Buf
+}
+
+func decodeUtilityEntries(b []byte) ([]UtilityEntry, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxUtilityEntries)
+	entries := make([]UtilityEntry, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		var e UtilityEntry
+		e.Stem = r.Str(4096)
+		e.Hits = r.U64()
+		e.Traces = int(r.U32())
+		e.CodePool = r.U64()
+		if r.Err != nil {
+			break
+		}
+		entries = append(entries, e)
+	}
+	return entries, r.Done()
+}
+
+func encodeEvictRequest(stems []string) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(len(stems)))
+	for _, s := range stems {
+		w.Str(s)
+	}
+	return w.Buf
+}
+
+func decodeEvictRequest(b []byte) ([]string, error) {
+	r := &binenc.Reader{Buf: b}
+	n := r.Count(maxUtilityEntries)
+	stems := make([]string, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		s := r.Str(4096)
+		if r.Err != nil {
+			break
+		}
+		stems = append(stems, s)
+	}
+	return stems, r.Done()
+}
+
+// EvictReport is the EVICT response: how much one shard actually removed.
+type EvictReport struct {
+	Evicted int // entries removed from index, disk, and the in-memory map
+	Traces  int // translated traces those entries held
+}
+
+func encodeEvictReport(rep *EvictReport) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(rep.Evicted))
+	w.U32(uint32(rep.Traces))
+	return w.Buf
+}
+
+func decodeEvictReport(b []byte) (*EvictReport, error) {
+	r := &binenc.Reader{Buf: b}
+	rep := &EvictReport{}
+	rep.Evicted = int(r.U32())
+	rep.Traces = int(r.U32())
+	return rep, r.Done()
+}
+
+func encodeCompactReport(rep *store.CompactReport) []byte {
+	w := &binenc.Writer{}
+	w.U32(uint32(rep.Gen))
+	w.U32(uint32(rep.Carried))
+	w.U32(uint32(rep.PrunedOrphans))
+	w.U32(uint32(rep.PrunedCold))
+	w.U64(rep.ReclaimedBytes)
+	return w.Buf
+}
+
+func decodeCompactReport(b []byte) (*store.CompactReport, error) {
+	r := &binenc.Reader{Buf: b}
+	rep := &store.CompactReport{}
+	rep.Gen = int(r.U32())
+	rep.Carried = int(r.U32())
+	rep.PrunedOrphans = int(r.U32())
+	rep.PrunedCold = int(r.U32())
+	rep.ReclaimedBytes = r.U64()
+	return rep, r.Done()
 }
 
 func encodePruneReport(rep *core.PruneReport) []byte {

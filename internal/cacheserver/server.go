@@ -9,11 +9,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"persistcc/internal/binenc"
 	"persistcc/internal/core"
 	"persistcc/internal/metrics"
+	"persistcc/internal/store"
 )
 
 // ErrServerClosed is returned by Serve after Close.
@@ -26,6 +28,11 @@ const defaultShards = 16
 // entry is the in-memory state for one cache file.
 type entry struct {
 	meta core.IndexEntry // guarded by the owning shard's mu
+
+	// hits counts fetch-type requests this entry served since daemon start
+	// — the frequency half of the fleet's utility ranking (hit frequency ×
+	// translation cost). Atomic so the read paths never take a write lock.
+	hits atomic.Uint64
 
 	// mergeMu serializes accumulation per cache file: publishes for the
 	// same key set merge one at a time, while other files merge and every
@@ -70,6 +77,12 @@ type Server struct {
 	idleTimeout  time.Duration // per-connection read/write deadline; 0 = none
 	dispatchHook func()        // test seam: runs inside each dispatch
 
+	// peers are clients for the other shards of this daemon's fleet (nil
+	// when standalone). Used only to answer aggregate STATS: the daemon
+	// fans out local-scoped requests and sums, so `pcc-cachectl stats
+	// -server <any shard>` reports the whole fleet.
+	peers []*Client
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -104,6 +117,14 @@ func WithMaxFrame(n int) Option {
 			s.maxFrame = n
 		}
 	}
+}
+
+// WithFleetPeers gives the daemon clients for the other shards of its
+// fleet. Aggregate STATS requests (the default scope) fan out to them with
+// local scope and sum, so inspecting any one shard reports fleet-wide
+// totals; unreachable peers are skipped rather than failing the request.
+func WithFleetPeers(peers []*Client) Option {
+	return func(s *Server) { s.peers = peers }
 }
 
 // WithIdleTimeout bounds how long one connection may sit between requests
@@ -385,7 +406,7 @@ func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
 	case OpPublish:
 		resp, err = s.handlePublish(payload)
 	case OpStats:
-		resp, err = s.handleStats()
+		resp, err = s.handleStats(payload)
 	case OpPrune:
 		resp, err = s.handlePrune()
 	case OpMetrics:
@@ -397,6 +418,12 @@ func (s *Server) dispatch(op uint8, payload []byte) (status uint8, out []byte) {
 		resp, err = s.handleFetchManifests(payload)
 	case OpFetchBlobs:
 		resp, err = s.handleFetchBlobs(payload)
+	case OpUtility:
+		resp, err = s.handleUtility()
+	case OpEvict:
+		resp, err = s.handleEvict(payload)
+	case OpCompact:
+		resp, err = s.handleCompact()
 	default:
 		err = fmt.Errorf("unknown op %d", op)
 	}
@@ -468,7 +495,11 @@ func (s *Server) handleLookup(payload []byte, fetch bool) ([]byte, error) {
 			CodePool: meta.CodePool, DataPool: meta.DataPool,
 		}), nil
 	}
-	return s.fileBytes(e, meta.File)
+	b, err := s.fileBytes(e, meta.File)
+	if err == nil {
+		e.hits.Add(1)
+	}
+	return b, err
 }
 
 // handleFetchBulk serves every cache file matching the key request in one
@@ -496,6 +527,7 @@ func (s *Server) handleFetchBulk(payload []byte) ([]byte, error) {
 		}
 		files = append(files, b)
 		total += len(b)
+		e.hits.Add(1)
 		return true
 	}
 
@@ -668,7 +700,32 @@ func (s *Server) merge(e *entry, ks core.KeySet, incoming *core.CacheFile) (*cor
 	return rep, nil
 }
 
-func (s *Server) handleStats() ([]byte, error) {
+// handleStats answers STATS. Local scope (or a standalone daemon) reports
+// this database; the default aggregate scope on a fleet-configured daemon
+// also fans out local-scoped requests to every peer shard and sums, so
+// addressing any one shard reports the whole fleet. Peers that are down are
+// skipped: degraded totals beat a failed inspection.
+func (s *Server) handleStats(payload []byte) ([]byte, error) {
+	local, err := decodeStatsScope(payload)
+	if err != nil {
+		return nil, err
+	}
+	st := s.localStats()
+	if !local {
+		for _, p := range s.peers {
+			ps, err := p.StatsLocal()
+			if err != nil {
+				s.logf("cacheserver: fleet stats: peer %s unreachable: %v", p.Addr(), err)
+				continue
+			}
+			MergeDBStats(st, ps)
+		}
+	}
+	return encodeDBStats(st), nil
+}
+
+// localStats aggregates this daemon's own in-memory index.
+func (s *Server) localStats() *core.DBStats {
 	var entries []core.IndexEntry
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -681,7 +738,137 @@ func (s *Server) handleStats() ([]byte, error) {
 	if ss, err := s.mgr.StoreStats(); err == nil && ss != nil {
 		st.Store = ss
 	}
-	return encodeDBStats(st), nil
+	return st
+}
+
+// MergeDBStats folds src into dst: totals and key classes sum; store-side
+// counts sum with the dedup ratio recomputed from the summed byte totals.
+// Shared by the daemon's fleet-aggregated STATS and the fleet client's
+// fan-out Stats, so both views of a fleet agree.
+func MergeDBStats(dst, src *core.DBStats) {
+	dst.Files += src.Files
+	dst.Traces += src.Traces
+	dst.CodePool += src.CodePool
+	dst.DataPool += src.DataPool
+	for _, c := range src.Classes {
+		merged := false
+		for i := range dst.Classes {
+			if dst.Classes[i].VM == c.VM && dst.Classes[i].Tool == c.Tool {
+				dst.Classes[i].Entries += c.Entries
+				dst.Classes[i].Traces += c.Traces
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst.Classes = append(dst.Classes, c)
+		}
+	}
+	sort.Slice(dst.Classes, func(i, j int) bool {
+		a, b := dst.Classes[i], dst.Classes[j]
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Tool < b.Tool
+	})
+	if src.Store != nil {
+		if dst.Store == nil {
+			dst.Store = &core.StoreDBStats{}
+		}
+		dst.Store.Manifests += src.Store.Manifests
+		dst.Store.Blobs += src.Store.Blobs
+		dst.Store.BlobBytes += src.Store.BlobBytes
+		dst.Store.LogicalBytes += src.Store.LogicalBytes
+		if dst.Store.BlobBytes > 0 {
+			dst.Store.DedupRatio = float64(dst.Store.LogicalBytes) / float64(dst.Store.BlobBytes)
+		}
+		if src.Store.Generations > dst.Store.Generations {
+			dst.Store.Generations = src.Store.Generations
+		}
+	}
+}
+
+// handleUtility reports every entry's usage summary, sorted by stem so the
+// response is deterministic for a given state.
+func (s *Server) handleUtility() ([]byte, error) {
+	var out []UtilityEntry
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for stem, e := range sh.entries {
+			if e.meta.File == "" {
+				continue // first publish still in flight
+			}
+			out = append(out, UtilityEntry{
+				Stem:     stem,
+				Hits:     e.hits.Load(),
+				Traces:   e.meta.Traces,
+				CodePool: e.meta.CodePool,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stem < out[j].Stem })
+	return encodeUtilityEntries(out), nil
+}
+
+// handleEvict removes the named entries from the database and the in-memory
+// index — the enforcement half of the fleet's global eviction. Stems this
+// shard does not hold are ignored (a replica set rarely lines up exactly).
+func (s *Server) handleEvict(payload []byte) ([]byte, error) {
+	stems, err := decodeEvictRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	rep := &EvictReport{}
+	for _, stem := range stems {
+		e := s.entryFor(stem, false)
+		if e == nil {
+			continue
+		}
+		// Serialize against publishes of the same key set so an eviction
+		// cannot tear a concurrent merge.
+		e.mergeMu.Lock()
+		sh := s.shardFor(stem)
+		sh.mu.Lock()
+		meta := e.meta
+		delete(sh.entries, stem)
+		sh.mu.Unlock()
+		var rerr error
+		if meta.File != "" {
+			rerr = s.mgr.RemoveEntry(meta.File)
+		}
+		e.mergeMu.Unlock()
+		if rerr != nil {
+			// Disk removal failed: restore the in-memory entry so the index
+			// stays consistent with what is still servable.
+			sh.mu.Lock()
+			sh.entries[stem] = e
+			sh.mu.Unlock()
+			return nil, rerr
+		}
+		rep.Evicted++
+		rep.Traces += meta.Traces
+		s.logf("cacheserver: evicted %s (%d traces)", meta.File, meta.Traces)
+	}
+	return encodeEvictReport(rep), nil
+}
+
+// handleCompact runs generational store compaction, reclaiming blobs no
+// surviving manifest references (typically after an eviction round). A
+// purely legacy database reports an all-zero result.
+func (s *Server) handleCompact() ([]byte, error) {
+	st, err := s.mgr.StoreIfPresent()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return encodeCompactReport(&store.CompactReport{}), nil
+	}
+	rep, err := s.mgr.CompactStore(0)
+	if err != nil {
+		return nil, err
+	}
+	return encodeCompactReport(rep), nil
 }
 
 // handleFetchManifests is FETCHBULK for store-aware clients: each entry
@@ -693,22 +880,22 @@ func (s *Server) handleFetchManifests(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var items []manifestItem
+	var items []ManifestItem
 	total := 0
 	add := func(e *entry, file string) bool {
-		var it manifestItem
+		var it ManifestItem
 		if strings.HasSuffix(file, ".pcm") {
 			b, err := s.mgr.ManifestBytes(file)
 			if err != nil {
 				return true // pruned since indexed: skip
 			}
-			it = manifestItem{Kind: itemKindManifest, Data: b}
+			it = ManifestItem{Kind: ItemKindManifest, Data: b}
 		} else {
 			b, err := s.fileBytes(e, file)
 			if err != nil {
 				return true
 			}
-			it = manifestItem{Kind: itemKindLegacy, Data: b}
+			it = ManifestItem{Kind: ItemKindLegacy, Data: b}
 		}
 		// Leave room for the count/kind/length framing and the status byte.
 		if total+len(it.Data)+9*(len(items)+2) > s.maxFrame {
@@ -716,6 +903,7 @@ func (s *Server) handleFetchManifests(payload []byte) ([]byte, error) {
 		}
 		items = append(items, it)
 		total += len(it.Data)
+		e.hits.Add(1)
 		return true
 	}
 	for _, c := range s.bulkCandidates(ks, interApp) {

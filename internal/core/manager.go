@@ -903,6 +903,38 @@ func (m *Manager) Prune() (*PruneReport, error) {
 	return rep, nil
 }
 
+// RemoveEntry deletes one cache entry — its index row and its on-disk file
+// (either format, matched by stem) — as directed by the fleet's global
+// utility-based eviction. Blobs a removed manifest referenced stay in the
+// store until the next CompactStore run reclaims the unreferenced ones.
+func (m *Manager) RemoveEntry(file string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	unlock, err := m.lockDB()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+
+	idx, err := m.readIndexOrRecoverLocked()
+	if err != nil {
+		return err
+	}
+	stem := fileStem(file)
+	kept := idx.Entries[:0]
+	for _, e := range idx.Entries {
+		if fileStem(e.File) != stem {
+			kept = append(kept, e)
+			continue
+		}
+		if err := m.fs.Remove(filepath.Join(m.dir, e.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	idx.Entries = kept
+	return m.writeIndexLocked(idx)
+}
+
 // lockTimeout is the default for how long a writer waits for the database
 // lock before treating the holder as crashed and stealing it; per-manager
 // override via WithLockTimeout.

@@ -30,6 +30,7 @@ import (
 
 	"persistcc/internal/asm"
 	"persistcc/internal/cacheserver"
+	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
 	"persistcc/internal/instr"
 	"persistcc/internal/link"
@@ -54,7 +55,18 @@ type (
 	CommitReport = core.CommitReport
 	// LoaderConfig controls address-space layout and library placement.
 	LoaderConfig = loader.Config
+	// FleetConfig is a cache-server fleet's membership: shards, replica
+	// count, virtual nodes (see RunOptions.FleetConfig).
+	FleetConfig = fleet.Config
+	// FleetShard is one fleet member: an id and a daemon address.
+	FleetShard = fleet.Shard
 )
+
+// LoadFleetConfig reads a fleet membership file (the same JSON the
+// pcc-cached daemons run with) for RunOptions.FleetConfig.
+func LoadFleetConfig(path string) (*FleetConfig, error) {
+	return fleet.LoadConfig(path)
+}
 
 // Library placement policies (see loader.Placement).
 const (
@@ -142,6 +154,13 @@ type RunOptions struct {
 	// "unix:/path.sock"). CacheDir remains the local fallback database: if
 	// the daemon is unreachable the run degrades to purely local caching.
 	CacheServer string
+	// FleetConfig points the run at a sharded cache-server fleet instead
+	// of a single daemon: keys route to shards by consistent hash with
+	// replication, and reads fan out to replicas when a shard is down or
+	// misses. Mutually exclusive with CacheServer; CacheDir remains the
+	// local fallback, so even a fully dead fleet degrades to local
+	// caching, never a user-visible failure.
+	FleetConfig *FleetConfig
 	// StoreFormat commits the database in the content-addressed store
 	// format (per-app manifests over shared deduplicated blobs). Reading
 	// supports both formats regardless. With Prefetch and a CacheServer,
@@ -228,8 +247,11 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 
 	out := &RunOutcome{}
 	var mgr cacheserver.Manager
-	if o.CacheServer != "" && !o.Persist {
-		return nil, errors.New("persistcc: CacheServer requires Persist")
+	if (o.CacheServer != "" || o.FleetConfig != nil) && !o.Persist {
+		return nil, errors.New("persistcc: CacheServer/FleetConfig requires Persist")
+	}
+	if o.CacheServer != "" && o.FleetConfig != nil {
+		return nil, errors.New("persistcc: CacheServer and FleetConfig are mutually exclusive")
 	}
 	if o.Persist {
 		if o.CacheDir == "" {
@@ -251,7 +273,16 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 		}
 		mgr = local
 		var fb *cacheserver.Fallback
-		if o.CacheServer != "" {
+		switch {
+		case o.FleetConfig != nil:
+			fc, err := fleet.New(o.FleetConfig)
+			if err != nil {
+				return nil, err
+			}
+			defer fc.Close()
+			fb = cacheserver.NewFallback(fc, local)
+			mgr = fb
+		case o.CacheServer != "":
 			client := cacheserver.NewClient(o.CacheServer)
 			defer client.Close()
 			fb = cacheserver.NewFallback(client, local)

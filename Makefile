@@ -16,11 +16,11 @@ MAX_REGRESS = 0.25
 # local activity (`make fuzz FUZZTIME=10m`).
 FUZZTIME = 10s
 
-.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke fuzz-smoke clean
+.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke replay-smoke fuzz-smoke clean
 
 check: fmt-check lint build test-race
 
-ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke fuzz-smoke
+ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke replay-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ migrate-smoke:
 # work avoided. Deterministic, so also the CI fleet job.
 fleet-smoke:
 	$(GO) run ./cmd/pcc-bench -run fleet
+
+# Record-and-replay gate: every GUI app ships a recording + cache snapshot
+# and its first launch must replay bit-exactly (>= 90% of translation
+# avoided, tampered recordings rejected with a diagnostic); then the crasher
+# corpus — every self-packaged failure artifact under crashers/ — is rebuilt
+# and re-judged.
+replay-smoke:
+	$(GO) run ./cmd/pcc-bench -run replay
+	$(GO) test -run TestCrasherCorpus .
 
 # Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
 # decode, wire-protocol frames, cache-file bytes) plus the differential

@@ -28,6 +28,7 @@ import (
 	"persistcc/internal/metrics"
 	tracelog "persistcc/internal/metrics/trace"
 	"persistcc/internal/obj"
+	"persistcc/internal/replay"
 	"persistcc/internal/stats"
 	"persistcc/internal/vm"
 )
@@ -56,7 +57,23 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "bulk-install all index-matching persistent traces at startup and speculate their successors (implies the pipeline; needs -persist)")
 	metricsOut := flag.String("metrics-out", "", "write the run's full metrics registry snapshot (JSON) to this file on exit")
 	eventsOut := flag.String("events-out", "", "write the run's translate/install/prime/commit event timeline (NDJSON) to this file on exit")
+	recordTo := flag.String("record", "", "record the run's nondeterministic inputs and final state to this replay log")
+	replayFrom := flag.String("replay", "", "replay a recorded log: pins placement/input/pid to the recorded values and verifies the run bit-exactly (mutually exclusive with -record)")
+	dumpRec := flag.String("dump-recording", "", "decode a replay log to NDJSON on stdout and exit")
 	flag.Parse()
+	if *dumpRec != "" {
+		data, err := os.ReadFile(*dumpRec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replay.DumpNDJSON(os.Stdout, data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *recordTo != "" && *replayFrom != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pcc-run [flags] prog.vxe")
 		flag.PrintDefaults()
@@ -91,6 +108,28 @@ func main() {
 	case *hashed:
 		cfg.Placement = loader.PlaceHashed
 	}
+	var words []uint64
+	if *inputStr != "" {
+		for _, f := range strings.Split(*inputStr, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input word %q: %v", f, err))
+			}
+			words = append(words, v)
+		}
+	}
+	var rp *replay.Replayer
+	if *replayFrom != "" {
+		var err error
+		rp, err = replay.Open(nil, *replayFrom)
+		if err != nil {
+			fatal(err)
+		}
+		// The recording owns the load environment and the guest inputs.
+		cfg.Placement = rp.Placement()
+		cfg.ASLRSeed = rp.Seed()
+		words = rp.Input()
+	}
 
 	proc, err := loader.Load(exe, cfg)
 	if err != nil {
@@ -105,15 +144,7 @@ func main() {
 		}
 		opts = append(opts, vm.WithTool(tool))
 	}
-	if *inputStr != "" {
-		var words []uint64
-		for _, f := range strings.Split(*inputStr, ",") {
-			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
-			if err != nil {
-				fatal(fmt.Errorf("bad input word %q: %v", f, err))
-			}
-			words = append(words, v)
-		}
+	if words != nil {
 		opts = append(opts, vm.WithInput(words))
 	}
 	if *maxInsts > 0 {
@@ -129,6 +160,32 @@ func main() {
 	// client, so -metrics-out holds the process's entire view.
 	reg := metrics.NewRegistry()
 	opts = append(opts, vm.WithMetrics(reg))
+	var rec *replay.Recorder
+	switch {
+	case rp != nil:
+		if err := rp.VerifyLayout(proc); err != nil {
+			fatal(err)
+		}
+		rp.WithMetrics(replay.NewMetrics(reg))
+		opts = append(opts, vm.WithBoundary(rp), vm.WithPID(rp.PID()))
+	case *recordTo != "":
+		rec, err = replay.NewRecorder(nil, *recordTo)
+		if err != nil {
+			fatal(err)
+		}
+		rec.WithMetrics(replay.NewMetrics(reg))
+		if err := rec.Start(replay.StartInfo{
+			Program:   exe.Name,
+			Placement: cfg.Placement,
+			Seed:      cfg.ASLRSeed,
+			Input:     words,
+			PID:       1,
+			Proc:      proc,
+		}); err != nil {
+			fatal(err)
+		}
+		opts = append(opts, vm.WithBoundary(rec))
+	}
 	var events *tracelog.Log
 	if *eventsOut != "" {
 		events = tracelog.NewLog(0)
@@ -229,6 +286,25 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if rec != nil {
+		if err := rec.Finish(v, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pcc-run: recorded %d events (%d bytes) to %s\n",
+			rec.Events(), rec.Bytes(), rec.Path())
+	}
+	if rp != nil {
+		if err := rp.Finish(v, res); err != nil {
+			// pcc_replay_divergence_total matters most exactly when replay
+			// fails: flush the snapshot before exiting.
+			if *metricsOut != "" {
+				_ = os.WriteFile(*metricsOut, v.Metrics().Snapshot().JSON(), 0o644)
+			}
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pcc-run: replayed %s bit-exactly (%d events)\n",
+			*replayFrom, len(rp.Log().Events))
 	}
 	os.Stdout.Write(res.Output)
 

@@ -1,21 +1,27 @@
 package persistcc_test
 
 // Differential-equivalence suite for the translation system: every workload
-// runs cold-interpreted, cold-translated, warm-from-disk, store-warmed,
-// server-warmed, fleet-warmed (sharded daemons, consistent-hash routing)
-// and pipelined (4 workers, prefetch, batched commits), and all
+// runs under each mode in equivalenceModes — cold-interpreted,
+// cold-translated, cold-pipelined, warm-from-disk, store-warmed,
+// server-warmed, fleet-warmed (sharded daemons, consistent-hash routing),
+// pipelined (4 workers, prefetch, batched commits), and recorded-replayed
+// (a recorded warm run re-executed from its replay log) — and all
 // executions must agree bit for bit on the final architectural state — registers,
 // memory image, output — and on every execution-behavior invariant of
 // Stats. The pipeline's determinism contract is stronger still: at equal
 // cache warmth it must match the synchronous dispatcher on the cache-
 // behavior counters too, so a speculative install that perturbed execution
 // order (or tool observation order) fails this suite immediately.
+//
+// Adding a mode is one table row: a name, the invariant group it joins
+// (arch / translated / warm), and a run function over the shared eqCtx.
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -26,6 +32,7 @@ import (
 	"persistcc/internal/instr"
 	"persistcc/internal/isa"
 	"persistcc/internal/loader"
+	"persistcc/internal/replay"
 	"persistcc/internal/testutil"
 	"persistcc/internal/vm"
 	"persistcc/internal/workload"
@@ -126,127 +133,178 @@ func equivalenceRows() []eqRow {
 	}
 }
 
+// eqGroup selects which invariant sets a mode participates in; each group
+// includes the checks of the ones before it.
+type eqGroup int
+
+const (
+	// groupArch: architectural state only — the interpreter's contract.
+	groupArch eqGroup = iota
+	// groupTranslated: + translated-behavior invariants (what the program
+	// and its tool observed), regardless of cache warmth.
+	groupTranslated
+	// groupWarm: + cache-behavior counters — modes at equal warmth must
+	// match the synchronous warm dispatcher event for event.
+	groupWarm
+)
+
+// eqCtx is the state one workload's modes share. Modes run in table order:
+// cold-translated commits the database (mgr) and retains its VM (coldVM) as
+// the cache source every warm mode reuses.
+type eqCtx struct {
+	t       *testing.T
+	row     eqRow
+	mgr     *core.Manager
+	freshVM func(extra ...vm.Option) *vm.VM
+	coldVM  *vm.VM
+	adopted uint64 // speculative adoptions observed (pipelined modes)
+}
+
+func (c *eqCtx) mustRun(v *vm.VM) *vm.Result {
+	c.t.Helper()
+	res, err := v.Run()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return res
+}
+
+// eqMode is one execution mode — one table row.
+type eqMode struct {
+	name  string
+	group eqGroup
+	run   func(c *eqCtx) *snap
+}
+
+func equivalenceModes() []eqMode {
+	return []eqMode{
+		// Cold, interpreted — the reference semantics.
+		{"interpreted", groupArch, func(c *eqCtx) *snap {
+			v := c.freshVM()
+			res, err := v.RunNative()
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			return takeSnap("interpreted", v, res)
+		}},
+		// Cold, synchronously translated; commits the database every warm
+		// mode reuses.
+		{"cold-translated", groupTranslated, func(c *eqCtx) *snap {
+			v := c.freshVM()
+			res := c.mustRun(v)
+			if _, err := c.mgr.Commit(v); err != nil {
+				c.t.Fatal(err)
+			}
+			c.coldVM = v
+			return takeSnap("cold-translated", v, res)
+		}},
+		// Cold, pipelined — nothing primed, so every miss goes through the
+		// speculative decode/adopt path, and batched commits land in a
+		// throwaway database. This is the mode that catches a speculative
+		// install corrupting execution order.
+		{"cold-pipelined", groupTranslated, func(c *eqCtx) *snap {
+			pipe := vm.NewPipeline(4)
+			defer pipe.Shutdown()
+			v := c.freshVM(vm.WithPipeline(pipe))
+			pipe.SetCommit(testutil.NewMgr(c.t).BatchCommitter(v))
+			res := c.mustRun(v)
+			c.adopted += res.Stats.SpecTranslated
+			return takeSnap("cold-pipelined", v, res)
+		}},
+		// Warm from disk, synchronous dispatch — the warm-group reference.
+		{"warm-disk", groupWarm, func(c *eqCtx) *snap {
+			v := c.freshVM()
+			rep, err := c.mgr.Prime(v)
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			if rep.Installed == 0 {
+				c.t.Fatal("warm mode installed nothing; equivalence would be vacuous")
+			}
+			return takeSnap("warm-disk", v, c.mustRun(v))
+		}},
+		// Warm from the content-addressed store — the cold run's entry is
+		// committed through a store-format manager (manifest + shared
+		// blobs) and primed back. The store round trip must be invisible.
+		{"store-warmed", groupWarm, func(c *eqCtx) *snap {
+			smgr := testutil.NewMgr(c.t, core.WithStore())
+			if _, err := smgr.Commit(c.coldVM); err != nil {
+				c.t.Fatal(err)
+			}
+			v := c.freshVM()
+			rep, err := smgr.Prime(v)
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			if rep.Installed == 0 {
+				c.t.Fatal("store-warm mode installed nothing; equivalence would be vacuous")
+			}
+			return takeSnap("store-warmed", v, c.mustRun(v))
+		}},
+		// Server-warmed — the cache arrives over the wire and installs
+		// through the fallback's validation path.
+		{"server-warmed", groupWarm, func(c *eqCtx) *snap {
+			return serverSnap(c.t, c.freshVM, c.coldVM)
+		}},
+		// Fleet-warmed — the cache arrives through a sharded fleet with
+		// consistent-hash routing and replication. Routing must be
+		// invisible: identical state and counters to every other warm mode.
+		{"fleet-warmed", groupWarm, func(c *eqCtx) *snap {
+			return fleetSnap(c.t, c.freshVM, c.coldVM)
+		}},
+		// Pipelined — prefetch bulk install, speculative workers, batched
+		// commits, against the same database.
+		{"pipelined", groupWarm, func(c *eqCtx) *snap {
+			pipe := vm.NewPipeline(4, vm.PipelinePrefetch())
+			defer pipe.Shutdown()
+			v := c.freshVM(vm.WithPipeline(pipe))
+			pipe.SetCommit(c.mgr.BatchCommitter(v))
+			rep, err := c.mgr.Prime(v)
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			res := c.mustRun(v)
+			if res.Stats.PrefetchInstalls != uint64(rep.Installed) {
+				c.t.Errorf("prefetch installed %d of %d primed traces", res.Stats.PrefetchInstalls, rep.Installed)
+			}
+			c.adopted += res.Stats.SpecTranslated
+			return takeSnap("pipelined", v, res)
+		}},
+		// Recorded-replayed — a warm run is recorded through the VM
+		// boundary, then re-executed from its log: every boundary value
+		// pinned, final state verified bit-exactly by the replayer itself,
+		// and the replayed snapshot held to the warm group's invariants.
+		{"recorded-replayed", groupWarm, recordedReplayedSnap},
+	}
+}
+
 func TestDifferentialEquivalence(t *testing.T) {
 	var adoptedTotal uint64
 	for _, row := range equivalenceRows() {
 		row := row
 		t.Run(row.name, func(t *testing.T) {
-			mgr := testutil.NewMgr(t)
-			freshVM := func(extra ...vm.Option) *vm.VM {
+			c := &eqCtx{t: t, row: row, mgr: testutil.NewMgr(t)}
+			c.freshVM = func(extra ...vm.Option) *vm.VM {
 				if row.tool != nil {
 					extra = append([]vm.Option{vm.WithTool(row.tool())}, extra...)
 				}
 				return row.newVM(t, extra...)
 			}
-
-			// Mode 1: cold, interpreted — the reference semantics.
-			vI := freshVM()
-			resI, err := vI.RunNative()
-			if err != nil {
-				t.Fatal(err)
+			var all, translated, warm []*snap
+			for _, m := range equivalenceModes() {
+				s := m.run(c)
+				all = append(all, s)
+				if m.group >= groupTranslated {
+					translated = append(translated, s)
+				}
+				if m.group >= groupWarm {
+					warm = append(warm, s)
+				}
 			}
-			interp := takeSnap("interpreted", vI, resI)
-
-			// Mode 2: cold, synchronously translated; commits the database
-			// every warm mode reuses.
-			vC := freshVM()
-			resC, err := vC.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := mgr.Commit(vC); err != nil {
-				t.Fatal(err)
-			}
-			cold := takeSnap("cold-translated", vC, resC)
-
-			// Mode 2b: cold, pipelined — nothing primed, so every miss goes
-			// through the speculative decode/adopt path, and batched commits
-			// land in a throwaway database. This is the mode that catches a
-			// speculative install corrupting execution order.
-			pipeC := vm.NewPipeline(4)
-			defer pipeC.Shutdown()
-			vPC := freshVM(vm.WithPipeline(pipeC))
-			pipeC.SetCommit(testutil.NewMgr(t).BatchCommitter(vPC))
-			resPC, err := vPC.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			coldPiped := takeSnap("cold-pipelined", vPC, resPC)
-			adoptedTotal += resPC.Stats.SpecTranslated
-
-			// Mode 3: warm from disk, synchronous dispatch.
-			vW := freshVM()
-			wrep, err := mgr.Prime(vW)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if wrep.Installed == 0 {
-				t.Fatal("warm mode installed nothing; equivalence would be vacuous")
-			}
-			resW, err := vW.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			warm := takeSnap("warm-disk", vW, resW)
-
-			// Mode 3b: warm from the content-addressed store — the cold
-			// run's entry is committed through a store-format manager
-			// (manifest + shared blobs) and primed back. The store round
-			// trip must be invisible: bit-identical architectural state
-			// AND identical cache-behavior counters.
-			smgr := testutil.NewMgr(t, core.WithStore())
-			if _, err := smgr.Commit(vC); err != nil {
-				t.Fatal(err)
-			}
-			vS := freshVM()
-			srep, err := smgr.Prime(vS)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if srep.Installed == 0 {
-				t.Fatal("store-warm mode installed nothing; equivalence would be vacuous")
-			}
-			resS, err := vS.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			storeWarm := takeSnap("store-warmed", vS, resS)
-
-			// Mode 4: server-warmed — the cache arrives over the wire and
-			// installs through the fallback's validation path.
-			server := serverSnap(t, row, freshVM, vC)
-
-			// Mode 4b: fleet-warmed — the cache arrives through a sharded
-			// fleet with consistent-hash routing and replication. Routing
-			// must be invisible: bit-identical architectural state AND
-			// identical cache-behavior counters to every other warm mode.
-			fleetWarm := fleetSnap(t, row, freshVM, vC)
-
-			// Mode 5: pipelined — prefetch bulk install, speculative
-			// workers, batched commits, against the same database.
-			pipe := vm.NewPipeline(4, vm.PipelinePrefetch())
-			defer pipe.Shutdown()
-			vP := freshVM(vm.WithPipeline(pipe))
-			pipe.SetCommit(mgr.BatchCommitter(vP))
-			prep, err := mgr.Prime(vP)
-			if err != nil {
-				t.Fatal(err)
-			}
-			resP, err := vP.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			piped := takeSnap("pipelined", vP, resP)
-			if resP.Stats.PrefetchInstalls != uint64(prep.Installed) {
-				t.Errorf("prefetch installed %d of %d primed traces", resP.Stats.PrefetchInstalls, prep.Installed)
-			}
-
-			all := []*snap{interp, cold, coldPiped, warm, storeWarm, server, fleetWarm, piped}
-			translated := all[1:]
-			warmQuint := []*snap{warm, storeWarm, server, fleetWarm, piped}
 			checkArchitectural(t, all)
 			checkBehavior(t, translated)
-			checkCacheBehavior(t, warmQuint)
+			checkCacheBehavior(t, warm)
+			adoptedTotal += c.adopted
 		})
 	}
 	if adoptedTotal == 0 {
@@ -254,10 +312,56 @@ func TestDifferentialEquivalence(t *testing.T) {
 	}
 }
 
+// recordedReplayedSnap implements the ninth mode: record one warm run, then
+// replay the log against an identically built VM primed from the same
+// database (equal warmth, so cache-behavior counters must match too). The
+// replayer verifies the run bit-exactly against the recording; the returned
+// snapshot is the replayed execution's, so the suite also holds it to every
+// cross-mode invariant.
+func recordedReplayedSnap(c *eqCtx) *snap {
+	t := c.t
+	t.Helper()
+	logPath := filepath.Join(t.TempDir(), "run.rec")
+	rec, err := replay.NewRecorder(nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vR := c.freshVM(vm.WithBoundary(rec))
+	if err := rec.Start(replay.StartInfo{Program: c.row.name, PID: 1, Proc: vR.Process()}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := c.mgr.Prime(vR); err != nil {
+		t.Fatal(err)
+	} else if rep.Installed == 0 {
+		t.Fatal("recorded run installed nothing; equivalence would be vacuous")
+	}
+	resR := c.mustRun(vR)
+	if err := rec.Finish(vR, resR); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := replay.Open(nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.freshVM(vm.WithBoundary(rp), vm.WithPID(rp.PID()))
+	if err := rp.VerifyLayout(v.Process()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.mgr.Prime(v); err != nil {
+		t.Fatal(err)
+	}
+	res := c.mustRun(v)
+	if err := rp.Finish(v, res); err != nil {
+		t.Fatalf("replay diverged from its own recording: %v", err)
+	}
+	return takeSnap("recorded-replayed", v, res)
+}
+
 // serverSnap runs the server-warmed mode: an in-process daemon is seeded
 // with the cold run's cache file, and the run primes through a Fallback
 // whose local database is empty — every installed trace travelled the wire.
-func serverSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
+func serverSnap(t *testing.T, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
 	t.Helper()
 	smgr, err := core.NewManager(testutil.TempDB(t))
 	if err != nil {
@@ -307,7 +411,7 @@ func serverSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, comm
 // entry lands on its consistent-hash owners, replicated), and the run
 // primes through a Fallback whose local database is empty — the installed
 // traces travelled the wire via whichever shard the ring picked.
-func fleetSnap(t *testing.T, row eqRow, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
+func fleetSnap(t *testing.T, freshVM func(...vm.Option) *vm.VM, committed *vm.VM) *snap {
 	t.Helper()
 	var cfg fleet.Config
 	for i := 0; i < 2; i++ {

@@ -763,6 +763,54 @@ func (m *Manager) updateIndexLocked(ks KeySet, cf *CacheFile, file string) error
 	return m.writeIndexLocked(idx)
 }
 
+// SnapshotTo copies the database — cache files, index, and the in-tree
+// blob store — into dstDir through the manager's filesystem seam: the
+// "freeze the cache state" half of a self-packaged failure artifact, whose
+// replay must see exactly the warmth the failing run saw. The advisory
+// lock file is skipped (the snapshot is a fresh, unlocked database); a
+// store shared via WithStoreDir lives outside the database directory and
+// is not included.
+func (m *Manager) SnapshotTo(dstDir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotTree(m.dir, dstDir)
+}
+
+func (m *Manager) snapshotTree(src, dst string) error {
+	if err := m.fs.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := m.fs.Glob(filepath.Join(src, "*"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(entries)
+	for _, e := range entries {
+		info, err := m.fs.Stat(e)
+		if err != nil {
+			continue // pruned concurrently
+		}
+		name := filepath.Base(e)
+		if info.IsDir() {
+			if err := m.snapshotTree(e, filepath.Join(dst, name)); err != nil {
+				return err
+			}
+			continue
+		}
+		if name == ".lock" {
+			continue
+		}
+		data, err := m.fs.ReadFile(e)
+		if err != nil {
+			return err
+		}
+		if err := m.fs.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Entries lists the database index, healing a corrupt one first.
 func (m *Manager) Entries() ([]IndexEntry, error) {
 	idx, err := m.readIndexHealing()

@@ -10,6 +10,7 @@ import (
 	"persistcc/internal/core"
 	"persistcc/internal/fsx"
 	"persistcc/internal/loader"
+	"persistcc/internal/replay"
 	"persistcc/internal/stats"
 	"persistcc/internal/workload"
 )
@@ -166,6 +167,14 @@ func Chaos() (*Report, error) {
 			return nil, fmt.Errorf("chaos: crash point %d/%d never reached", k, len(ops))
 		}
 		if err := chaosInvariants(dir, ksBase, len(cfBase.Traces)); err != nil {
+			// Self-package the failure before the evidence is cleaned up:
+			// the post-crash database travels with the report.
+			bundleCrasher(&replay.Crasher{
+				Name: fmt.Sprintf("chaos-op%03d", k),
+				Kind: "crash",
+				Note: fmt.Sprintf("invariant violated after simulated crash at op %d/%d (%s %s): %v",
+					k, len(ops), ops[k-1].Op, filepath.Base(ops[k-1].Path), err),
+			}, nil, dir)
 			clean()
 			return nil, fmt.Errorf("chaos: crash at op %d (%s %s): %w",
 				k, ops[k-1].Op, filepath.Base(ops[k-1].Path), err)
@@ -194,8 +203,18 @@ func Chaos() (*Report, error) {
 		return nil, err
 	}
 	if _, err := healMgr.Lookup(ksHot); err == nil {
+		bundleCrasher(&replay.Crasher{
+			Name: "chaos-selfheal",
+			Kind: "crash",
+			Note: "corrupt cache file served as a hit instead of being quarantined",
+		}, nil, healDir)
 		return nil, fmt.Errorf("chaos: corrupt cache file served as a hit")
 	} else if !errors.Is(err, core.ErrNoCache) {
+		bundleCrasher(&replay.Crasher{
+			Name: "chaos-selfheal",
+			Kind: "crash",
+			Note: fmt.Sprintf("corrupt cache file failed the run instead of degrading to a miss: %v", err),
+		}, nil, healDir)
 		return nil, fmt.Errorf("chaos: corrupt cache file failed the run: %v", err)
 	}
 	quarantined := 0

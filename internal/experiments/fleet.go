@@ -12,6 +12,7 @@ import (
 	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
 	"persistcc/internal/loader"
+	"persistcc/internal/replay"
 	"persistcc/internal/stats"
 	"persistcc/internal/workload"
 )
@@ -397,16 +398,27 @@ func Fleet() (*Report, error) {
 		fmt.Sprintf("client latency: p50 %s, p99 %s (virtual ticks; cold translations dominate the tail)",
 			stats.Ms(p50), stats.Ms(p99)))
 
-	// CI gates: any violation fails the fleet smoke.
+	// CI gates: any violation fails the fleet smoke — and self-packages a
+	// crasher with a snapshot of a surviving shard's database, so the
+	// population the gate judged is preserved for triage.
+	gateFail := func(name, note string) {
+		bundleCrasher(&replay.Crasher{Name: name, Kind: "crash", Note: note}, nil, shards[1].dir)
+	}
 	if imbalance > fleetMaxImbalance {
-		return rep, fmt.Errorf("fleet: shard imbalance %.2fx exceeds %.1fx mean", imbalance, fleetMaxImbalance)
+		note := fmt.Sprintf("shard imbalance %.2fx exceeds %.1fx mean", imbalance, fleetMaxImbalance)
+		gateFail("fleet-imbalance", note)
+		return rep, fmt.Errorf("fleet: %s", note)
 	}
 	if lost > 0 {
-		return rep, fmt.Errorf("fleet: %d committed entries unreachable after single-shard kill", lost)
+		note := fmt.Sprintf("%d committed entries unreachable after single-shard kill", lost)
+		gateFail("fleet-lost-writes", note)
+		return rep, fmt.Errorf("fleet: %s", note)
 	}
 	if avoided < fleetMinAvoided {
-		return rep, fmt.Errorf("fleet: only %s of translation avoided, want >= %s",
+		note := fmt.Sprintf("only %s of translation avoided, want >= %s",
 			stats.Pct(avoided), stats.Pct(fleetMinAvoided))
+		gateFail("fleet-avoided", note)
+		return rep, fmt.Errorf("fleet: %s", note)
 	}
 
 	// Eviction stage (after the gates audit the full population): global

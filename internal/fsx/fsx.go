@@ -24,7 +24,8 @@ const (
 	OpMkdir  Op = "mkdir"
 	OpRead   Op = "read"
 	OpWrite  Op = "write"
-	OpSync   Op = "sync" // the fsync inside WriteFile, after the data landed
+	OpAppend Op = "append" // incremental log append (record-and-replay)
+	OpSync   Op = "sync"   // the fsync inside WriteFile/AppendFile, after the data landed
 	OpRename Op = "rename"
 	OpRemove Op = "remove"
 	OpStat   Op = "stat"
@@ -39,6 +40,12 @@ type FS interface {
 	MkdirAll(path string, perm fs.FileMode) error
 	ReadFile(path string) ([]byte, error)
 	WriteFile(path string, data []byte, perm fs.FileMode) error
+	// AppendFile appends data to path (creating it when absent) and syncs
+	// before returning — the incremental-logging primitive the replay
+	// recorder writes through. On success the appended bytes are durable;
+	// a crash mid-append leaves a prefix of them, which is why record logs
+	// are length-prefixed and checksummed per record.
+	AppendFile(path string, data []byte, perm fs.FileMode) error
 	Rename(oldpath, newpath string) error
 	Remove(path string) error
 	Stat(path string) (fs.FileInfo, error)
@@ -66,6 +73,24 @@ func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob
 // that follows in the atomic-replace idiom.
 func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AppendFile appends and fsyncs: like WriteFile, a clean return means the
+// bytes are durable; a crash leaves at most a prefix of the appended data.
+func (osFS) AppendFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, perm)
 	if err != nil {
 		return err
 	}

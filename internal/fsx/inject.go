@@ -216,6 +216,26 @@ func (f *InjectFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
 	return nil
 }
 
+// AppendFile mirrors WriteFile's two crash points: the append itself (a
+// faulted append lands Frac of the data — a torn tail) and the fsync after
+// it (data appended, fault before the op reports success).
+func (f *InjectFS) AppendFile(path string, data []byte, perm fs.FileMode) error {
+	if r, err := f.check(OpAppend, path); err != nil {
+		if r != nil && r.Frac > 0 {
+			n := int(float64(len(data)) * r.Frac)
+			f.base.AppendFile(path, data[:n], perm) // best-effort torn tail
+		}
+		return err
+	}
+	if err := f.base.AppendFile(path, data, perm); err != nil {
+		return err
+	}
+	if _, err := f.check(OpSync, path); err != nil {
+		return err
+	}
+	return nil
+}
+
 func (f *InjectFS) Rename(oldpath, newpath string) error {
 	if _, err := f.check(OpRename, newpath); err != nil {
 		return err

@@ -144,6 +144,35 @@ type Process struct {
 	InputSize uint32
 }
 
+// ModuleLayout is the placement fact of one loaded module — the part of a
+// load that can differ across executions (base randomization, changed
+// binaries) and therefore must be captured by the record-and-replay layer
+// and re-verified at replay time.
+type ModuleLayout struct {
+	Name   string
+	Base   uint32
+	Size   uint32
+	MTime  int64
+	Digest [32]byte
+}
+
+// Layout returns the process's module placement in load order: everything
+// a replay needs to check that the same binaries were mapped at the same
+// addresses before re-executing a recording.
+func (p *Process) Layout() []ModuleLayout {
+	out := make([]ModuleLayout, 0, len(p.Modules))
+	for _, m := range p.Modules {
+		out = append(out, ModuleLayout{
+			Name:   m.File.Name,
+			Base:   m.Base,
+			Size:   m.File.ImageSize(),
+			MTime:  m.MTime,
+			Digest: m.File.Digest(),
+		})
+	}
+	return out
+}
+
 // ModuleAt returns the index of the module containing addr, or -1.
 func (p *Process) ModuleAt(addr uint32) int {
 	for i, m := range p.Modules {

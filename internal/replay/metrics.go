@@ -1,0 +1,35 @@
+package replay
+
+import "persistcc/internal/metrics"
+
+// Metrics exports the record/replay counters. One Metrics may be shared by
+// a Recorder and a Replayer running against the same registry.
+type Metrics struct {
+	events     *metrics.CounterVec // dir: recorded | replayed
+	bytes      *metrics.CounterVec // dir: recorded | replayed
+	divergence *metrics.Counter
+}
+
+// NewMetrics registers the pcc_replay_* family in reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		events:     reg.CounterVec("pcc_replay_events_total", "boundary events recorded or replayed", "dir"),
+		bytes:      reg.CounterVec("pcc_replay_log_bytes_total", "record-log bytes written or consumed", "dir"),
+		divergence: reg.Counter("pcc_replay_divergence_total", "replay divergences detected"),
+	}
+}
+
+// Recorded accounts events and bytes emitted by a recorder.
+func (m *Metrics) Recorded(events, bytes uint64) {
+	m.events.With("recorded").Add(events)
+	m.bytes.With("recorded").Add(bytes)
+}
+
+// Replayed accounts events and bytes consumed by a replayer.
+func (m *Metrics) Replayed(events, bytes uint64) {
+	m.events.With("replayed").Add(events)
+	m.bytes.With("replayed").Add(bytes)
+}
+
+// Divergence counts one detected replay divergence.
+func (m *Metrics) Divergence() { m.divergence.Inc() }

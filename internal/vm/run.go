@@ -253,6 +253,7 @@ func (v *VM) doSyscall(pc uint32) error {
 	a2 := v.regs[isa.RegA2]
 	a3 := v.regs[isa.RegA3]
 	cost := v.cost.SyscallBase
+	outBefore := v.out.Len()
 	if v.stats.Syscalls == nil {
 		v.stats.Syscalls = make(map[uint64]uint64)
 	}
@@ -302,6 +303,16 @@ func (v *VM) doSyscall(pc uint32) error {
 		}
 	default:
 		return fmt.Errorf("vm: unknown syscall %d at %#x", num, pc)
+	}
+	if v.boundary != nil {
+		// Record/replay seam: the boundary sees every syscall result before
+		// it reaches the guest and may substitute the recorded value for a
+		// host-dependent one (cycles, getpid).
+		nret, err := v.boundary.Syscall(pc, num, a1, a2, a3, ret, v.out.Len()-outBefore)
+		if err != nil {
+			return err
+		}
+		ret = nret
 	}
 	v.regs[isa.RegA0] = ret
 	v.clock += cost

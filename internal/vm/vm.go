@@ -156,9 +156,10 @@ type VM struct {
 	execLogLimit uint64
 	execLogged   uint64
 
-	metrics *metrics.Registry
-	m       *vmMetrics
-	events  *tracelog.Log
+	metrics  *metrics.Registry
+	m        *vmMetrics
+	events   *tracelog.Log
+	boundary Boundary
 
 	pipe *Pipeline
 }

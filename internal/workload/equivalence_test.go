@@ -2,10 +2,14 @@ package workload
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"persistcc/internal/isa"
 	"persistcc/internal/loader"
+	"persistcc/internal/replay"
 )
 
 // specFromWords derives a bounded, deterministic ProgSpec plus Input from
@@ -41,6 +45,7 @@ func specFromWords(seed, funcsA, funcsB, body, units uint64) (ProgSpec, Input) {
 // trace translator — and requires bit-identical final architectural state.
 func checkTranslateEquivalence(t *testing.T, spec ProgSpec, in Input) {
 	t.Helper()
+	bundleOnFailure(t, spec, in)
 	prog, err := BuildProgram(spec)
 	if err != nil {
 		t.Fatalf("spec %+v: %v", spec, err)
@@ -86,6 +91,41 @@ func checkTranslateEquivalence(t *testing.T, spec ProgSpec, in Input) {
 				i, trans.Stats.Marks[i].ID, native.Stats.Marks[i].ID)
 		}
 	}
+}
+
+// bundleOnFailure self-packages a failing spec into the crasher corpus
+// (crashers/pending, see replay.DefaultDir): the spec and input serialize
+// into a replay.Crasher that the root-level corpus test can rebuild and
+// re-judge byte for byte. The generator mapping is pure, so the artifact
+// alone is a complete reproducer — no recording is needed. Registered as a
+// cleanup so both Errorf and Fatalf paths bundle.
+func bundleOnFailure(t *testing.T, spec ProgSpec, in Input) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		specJS, errS := json.Marshal(spec)
+		unitsJS, errU := json.Marshal(in)
+		if errS != nil || errU != nil {
+			t.Logf("crasher bundle: marshal: %v / %v", errS, errU)
+			return
+		}
+		sum := sha256.Sum256(append(append([]byte{}, specJS...), unitsJS...))
+		c := &replay.Crasher{
+			Name:  fmt.Sprintf("workload-div-%x", sum[:6]),
+			Kind:  "divergence",
+			Note:  "translated execution diverged from interpreted (auto-bundled by " + t.Name() + ")",
+			Spec:  specJS,
+			Units: unitsJS,
+		}
+		path, err := replay.WriteCrasher(nil, replay.DefaultDir(), c, nil)
+		if err != nil {
+			t.Logf("crasher bundle: %v", err)
+			return
+		}
+		t.Logf("crasher bundled: %s", path)
+	})
 }
 
 // TestTranslateEquivalenceProperty is the deterministic property sweep: a

@@ -36,6 +36,7 @@ import (
 	"persistcc/internal/link"
 	"persistcc/internal/loader"
 	"persistcc/internal/obj"
+	"persistcc/internal/replay"
 	"persistcc/internal/vm"
 )
 
@@ -60,6 +61,9 @@ type (
 	FleetConfig = fleet.Config
 	// FleetShard is one fleet member: an id and a daemon address.
 	FleetShard = fleet.Shard
+	// DivergenceError is the failure a replayed run reports at the first
+	// point it stops matching its recording (see RunOptions.Replay).
+	DivergenceError = replay.DivergenceError
 )
 
 // LoadFleetConfig reads a fleet membership file (the same JSON the
@@ -187,6 +191,21 @@ type RunOptions struct {
 	Loader LoaderConfig
 	// MaxInsts bounds execution (0 = default budget).
 	MaxInsts uint64
+
+	// Record writes a replay log of the run to this path: the input block,
+	// the module layout the loader chose, and every nondeterministic value
+	// that crossed the VM boundary, sealed with the run's final state.
+	Record string
+	// Replay re-executes the recording at this path instead of a fresh
+	// run: placement, ASLR seed, input and pid are taken from the log
+	// (overriding Input and the Loader placement fields), every boundary
+	// value is pinned to its recorded one, and the execution is verified
+	// bit-exactly — registers, memory image, output and cache-behavior
+	// counters. The run fails with a *DivergenceError at the first
+	// mismatch. Cache-behavior counters depend on cache warmth, so replay
+	// against the same database state the recording saw (artifacts bundle
+	// a snapshot for exactly this reason). Mutually exclusive with Record.
+	Replay string
 }
 
 // RunOutcome bundles the run result with the persistence reports.
@@ -198,7 +217,26 @@ type RunOutcome struct {
 
 // Run loads and executes an executable with its libraries.
 func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
+	if o.Record != "" && o.Replay != "" {
+		return nil, errors.New("persistcc: Record and Replay are mutually exclusive")
+	}
+	var rp *replay.Replayer
+	if o.Replay != "" {
+		var err error
+		rp, err = replay.Open(nil, o.Replay)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cfg := o.Loader
+	if rp != nil {
+		// The recording owns the load environment and the guest-visible
+		// inputs; the caller still supplies the binaries, which VerifyLayout
+		// checks against the recorded layout below.
+		cfg.Placement = rp.Placement()
+		cfg.ASLRSeed = rp.Seed()
+		o.Input = rp.Input()
+	}
 	if cfg.Resolve == nil {
 		all := libs
 		cfg.Resolve = func(name string) (*Object, int64, error) {
@@ -214,7 +252,31 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *replay.Recorder
 	var opts []vm.Option
+	switch {
+	case rp != nil:
+		if err := rp.VerifyLayout(proc); err != nil {
+			return nil, err
+		}
+		opts = append(opts, vm.WithBoundary(rp), vm.WithPID(rp.PID()))
+	case o.Record != "":
+		rec, err = replay.NewRecorder(nil, o.Record)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Start(replay.StartInfo{
+			Program:   exe.Name,
+			Placement: cfg.Placement,
+			Seed:      cfg.ASLRSeed,
+			Input:     o.Input,
+			PID:       1,
+			Proc:      proc,
+		}); err != nil {
+			return nil, err
+		}
+		opts = append(opts, vm.WithBoundary(rec))
+	}
 	if o.Input != nil {
 		opts = append(opts, vm.WithInput(o.Input))
 	}
@@ -324,6 +386,16 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		if err := rec.Finish(v, out.Result); err != nil {
+			return nil, err
+		}
+	}
+	if rp != nil {
+		if err := rp.Finish(v, out.Result); err != nil {
+			return nil, err
+		}
 	}
 	if mgr != nil && !o.Native {
 		crep, err := mgr.Commit(v)

@@ -9,18 +9,18 @@ GO ?= go
 
 # The CI smoke set: fast, fully deterministic experiments whose *_ticks
 # metrics are gated against bench_baseline.json by pcc-benchdiff.
-BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline,dedup,fleet
+BENCH_SMOKE = fig2b,fig5a,tracelog,pipeline,dedup,fleet,optimize
 MAX_REGRESS = 0.25
 
 # Per-target budget for the CI fuzz smoke; long exploratory runs are a
 # local activity (`make fuzz FUZZTIME=10m`).
 FUZZTIME = 10s
 
-.PHONY: check ci build vet lint test test-race fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke replay-smoke fuzz-smoke clean
+.PHONY: check ci build vet lint test test-race race-smoke fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke clean
 
 check: fmt-check lint build test-race
 
-ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke replay-smoke fuzz-smoke
+ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Focused race pass over the packages with real concurrency: the VM's
+# async translation pipeline, the manager's concurrent commit/prune paths,
+# and the cache server. Much faster than test-race, so it runs as its own
+# CI job on every push.
+race-smoke:
+	$(GO) test -race ./internal/vm/ ./internal/core/... ./internal/cacheserver/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -80,6 +87,13 @@ fleet-smoke:
 replay-smoke:
 	$(GO) run ./cmd/pcc-bench -run replay
 	$(GO) test -run TestCrasherCorpus .
+
+# Guest-IR optimizer ablation gate: each guestopt pass toggled alone, then
+# all together, over warm GUI-suite runs primed from optimized caches.
+# Exits non-zero if the equivalence checker rejects an engine rewrite or
+# the all-passes arm saves < 10% of warm dispatch ticks. Deterministic.
+optimize-smoke:
+	$(GO) run ./cmd/pcc-bench -run optimize
 
 # Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
 # decode, wire-protocol frames, cache-file bytes) plus the differential

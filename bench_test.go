@@ -16,6 +16,7 @@ import (
 
 	"persistcc/internal/core"
 	"persistcc/internal/experiments"
+	"persistcc/internal/guestopt"
 	"persistcc/internal/loader"
 	"persistcc/internal/testprog"
 	"persistcc/internal/vm"
@@ -250,6 +251,55 @@ func BenchmarkPipelineWarmup(b *testing.B) { benchExperiment(b, "pipeline") }
 func BenchmarkDedup(b *testing.B) { benchExperiment(b, "dedup") }
 
 func BenchmarkFleetWarmup(b *testing.B) { benchExperiment(b, "fleet") }
+
+func BenchmarkOptimizedWarmup(b *testing.B) {
+	// BenchmarkStoreWarmup with the translation-time optimizer attached:
+	// the cold run commits checker-proven optimized traces, and the warm
+	// path primes them pre-optimized (the optimizer's early return is the
+	// only per-install cost). Gated alongside the optimize experiment so
+	// optimized-warm regressions surface in bench-smoke.
+	gcc, err := workload.BuildSpecBenchmark("176.gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	optOpt := func() vm.Option { return vm.WithOptimizer(guestopt.New(guestopt.All())) }
+	dir, err := os.MkdirTemp("", "pcc-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := core.NewManager(dir, core.WithStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := gcc.Prog.NewVM(loader.Config{}, gcc.Train[0], optOpt())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mgr.Commit(v); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var installed int
+	for i := 0; i < b.N; i++ {
+		v2, err := gcc.Prog.NewVM(loader.Config{}, gcc.Train[0], optOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := mgr.Prime(v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		installed += rep.Installed
+	}
+	if installed == 0 {
+		b.Fatal("optimized prime installed nothing")
+	}
+}
 
 func BenchmarkStoreWarmup(b *testing.B) {
 	// BenchmarkPersistPrime over the content-addressed store format: the

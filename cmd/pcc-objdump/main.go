@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	pcc-objdump [-notext] [-nodata] [-norelocs] file.vxo...
+//	pcc-objdump [-notext] [-nodata] [-norelocs] [-opt] file.vxo...
+//
+// -opt appends the translation-time optimizer's dry run: the text section
+// split into trace-shaped regions, each instruction annotated with what
+// guestopt would do to it (rewritten, removed, pinned) and by which pass,
+// plus the equivalence checker's verdict per region.
 package main
 
 import (
@@ -18,12 +23,13 @@ func main() {
 	noText := flag.Bool("notext", false, "skip the text disassembly")
 	noData := flag.Bool("nodata", false, "skip the data hexdump")
 	noRelocs := flag.Bool("norelocs", false, "skip relocation/symbol tables")
+	opt := flag.Bool("opt", false, "show the translation-time optimizer's dry run with per-pass annotations")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: pcc-objdump [flags] file.vxo...")
 		os.Exit(2)
 	}
-	opts := objdump.Options{NoText: *noText, NoData: *noData, NoRelocs: *noRelocs}
+	opts := objdump.Options{NoText: *noText, NoData: *noData, NoRelocs: *noRelocs, Opt: *opt}
 	for i, path := range flag.Args() {
 		if i > 0 {
 			fmt.Println()

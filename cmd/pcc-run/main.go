@@ -23,6 +23,7 @@ import (
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
+	"persistcc/internal/guestopt"
 	"persistcc/internal/instr"
 	"persistcc/internal/loader"
 	"persistcc/internal/metrics"
@@ -44,6 +45,7 @@ func main() {
 	storeFmt := flag.Bool("store", false, "commit in the content-addressed store format (manifest + shared blobs); reads both formats either way")
 	storeDir := flag.String("store-dir", "", "shared blob store directory for machine-wide dedup (default: <persist>/store)")
 	verifyInstall := flag.Bool("verify-install", false, "deep-verify cached traces (CFG + relocations) before installing; failures quarantine the file and re-translate")
+	optimize := flag.Bool("optimize", false, "run the translation-time optimizer (checker-proven const folding, dead-code/dead-flag elimination, load collapsing); with -persist, traces commit pre-optimized")
 	inputStr := flag.String("input", "", "comma-separated input words for the guest input block")
 	libpath := flag.String("libpath", "", "colon-separated library search path (default: exe dir)")
 	aslr := flag.Uint64("aslr", 0, "ASLR seed (non-zero enables randomized library bases)")
@@ -155,6 +157,9 @@ func main() {
 	}
 	if *smc {
 		opts = append(opts, vm.WithSMCDetection())
+	}
+	if *optimize {
+		opts = append(opts, vm.WithOptimizer(guestopt.New(guestopt.All())))
 	}
 	// One registry spans the VM, the persistence manager and the cache
 	// client, so -metrics-out holds the process's entire view.

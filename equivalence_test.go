@@ -29,6 +29,7 @@ import (
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
+	"persistcc/internal/guestopt"
 	"persistcc/internal/instr"
 	"persistcc/internal/isa"
 	"persistcc/internal/loader"
@@ -146,18 +147,26 @@ const (
 	// groupWarm: + cache-behavior counters — modes at equal warmth must
 	// match the synchronous warm dispatcher event for event.
 	groupWarm
+	// groupOptimized: runs under the guestopt translation-time optimizer.
+	// Optimized code executes fewer instructions, so these modes are held
+	// to a looser contract against the interpreter (architectural state,
+	// output, syscalls, marks — but not InstsExecuted) and to the full
+	// translated-behavior contract against each other.
+	groupOptimized
 )
 
 // eqCtx is the state one workload's modes share. Modes run in table order:
 // cold-translated commits the database (mgr) and retains its VM (coldVM) as
 // the cache source every warm mode reuses.
 type eqCtx struct {
-	t       *testing.T
-	row     eqRow
-	mgr     *core.Manager
-	freshVM func(extra ...vm.Option) *vm.VM
-	coldVM  *vm.VM
-	adopted uint64 // speculative adoptions observed (pipelined modes)
+	t         *testing.T
+	row       eqRow
+	mgr       *core.Manager
+	freshVM   func(extra ...vm.Option) *vm.VM
+	coldVM    *vm.VM
+	optVM     *vm.VM // the optimized-cold VM, cache source for optimized-warm
+	adopted   uint64 // speculative adoptions observed (pipelined modes)
+	optimized uint64 // traces installed in optimized form (optimized modes)
 }
 
 func (c *eqCtx) mustRun(v *vm.VM) *vm.Result {
@@ -275,11 +284,49 @@ func equivalenceModes() []eqMode {
 		// pinned, final state verified bit-exactly by the replayer itself,
 		// and the replayed snapshot held to the warm group's invariants.
 		{"recorded-replayed", groupWarm, recordedReplayedSnap},
+		// Optimized, cold — every trace goes through the guestopt passes
+		// and equivalence checker before install; commits to the shared
+		// database under the optimizer's distinct VM key.
+		{"optimized-cold", groupOptimized, func(c *eqCtx) *snap {
+			v := c.freshVM(vm.WithOptimizer(guestopt.New(guestopt.All())))
+			res := c.mustRun(v)
+			if res.Stats.OptRejects != 0 {
+				c.t.Errorf("optimized-cold: checker rejected %d engine rewrites", res.Stats.OptRejects)
+			}
+			c.optimized += res.Stats.TracesOptimized
+			if _, err := c.mgr.Commit(v); err != nil {
+				c.t.Fatal(err)
+			}
+			c.optVM = v
+			return takeSnap("optimized-cold", v, res)
+		}},
+		// Optimized, warm through the content-addressed store — the
+		// optimized traces round-trip as PCB2 blobs and prime back
+		// pre-optimized: the warm run must not re-run the passes.
+		{"optimized-warm", groupOptimized, func(c *eqCtx) *snap {
+			smgr := testutil.NewMgr(c.t, core.WithStore())
+			if _, err := smgr.Commit(c.optVM); err != nil {
+				c.t.Fatal(err)
+			}
+			v := c.freshVM(vm.WithOptimizer(guestopt.New(guestopt.All())))
+			rep, err := smgr.Prime(v)
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			if rep.Installed == 0 {
+				c.t.Fatal("optimized-warm mode installed nothing; equivalence would be vacuous")
+			}
+			res := c.mustRun(v)
+			if res.Stats.TracesOptimized != 0 {
+				c.t.Errorf("optimized-warm: re-optimized %d persisted traces", res.Stats.TracesOptimized)
+			}
+			return takeSnap("optimized-warm", v, res)
+		}},
 	}
 }
 
 func TestDifferentialEquivalence(t *testing.T) {
-	var adoptedTotal uint64
+	var adoptedTotal, optimizedTotal uint64
 	for _, row := range equivalenceRows() {
 		row := row
 		t.Run(row.name, func(t *testing.T) {
@@ -290,9 +337,13 @@ func TestDifferentialEquivalence(t *testing.T) {
 				}
 				return row.newVM(t, extra...)
 			}
-			var all, translated, warm []*snap
+			var all, translated, warm, optimized []*snap
 			for _, m := range equivalenceModes() {
 				s := m.run(c)
+				if m.group == groupOptimized {
+					optimized = append(optimized, s)
+					continue
+				}
 				all = append(all, s)
 				if m.group >= groupTranslated {
 					translated = append(translated, s)
@@ -304,11 +355,21 @@ func TestDifferentialEquivalence(t *testing.T) {
 			checkArchitectural(t, all)
 			checkBehavior(t, translated)
 			checkCacheBehavior(t, warm)
+			// Optimized modes: loose architectural agreement with the
+			// interpreter, full architectural + behavior agreement with
+			// each other (both execute the same optimized code).
+			checkArchLoose(t, all[0], optimized)
+			checkArchitectural(t, optimized)
+			checkBehavior(t, optimized)
 			adoptedTotal += c.adopted
+			optimizedTotal += c.optimized
 		})
 	}
 	if adoptedTotal == 0 {
 		t.Error("no speculative translation was adopted in any workload; the pipelined modes never exercised the speculative-install path")
+	}
+	if optimizedTotal == 0 {
+		t.Error("no trace was installed in optimized form in any workload; the optimized modes never exercised the optimizer")
 	}
 }
 
@@ -483,6 +544,36 @@ func checkArchitectural(t *testing.T, snaps []*snap) {
 		}
 		if s.res.Stats.InstsExecuted != ref.res.Stats.InstsExecuted {
 			t.Errorf("%s: executed %d insts, %s executed %d", s.mode, s.res.Stats.InstsExecuted, ref.mode, ref.res.Stats.InstsExecuted)
+		}
+		if !reflect.DeepEqual(s.res.Stats.Syscalls, ref.res.Stats.Syscalls) {
+			t.Errorf("%s: syscall profile differs from %s", s.mode, ref.mode)
+		}
+		if !reflect.DeepEqual(s.markIDs, ref.markIDs) {
+			t.Errorf("%s: mark sequence %v differs from %s %v", s.mode, s.markIDs, ref.mode, ref.markIDs)
+		}
+	}
+}
+
+// checkArchLoose holds optimized modes to the interpreter's observable
+// contract — everything in checkArchitectural except InstsExecuted, which
+// optimization legitimately reduces.
+func checkArchLoose(t *testing.T, ref *snap, snaps []*snap) {
+	t.Helper()
+	for _, s := range snaps {
+		if s.res.ExitCode != ref.res.ExitCode {
+			t.Errorf("%s: exit %d, %s has %d", s.mode, s.res.ExitCode, ref.mode, ref.res.ExitCode)
+		}
+		if !reflect.DeepEqual(s.res.Output, ref.res.Output) {
+			t.Errorf("%s: output differs from %s (%d vs %d bytes)", s.mode, ref.mode, len(s.res.Output), len(ref.res.Output))
+		}
+		if s.regs != ref.regs {
+			t.Errorf("%s: final registers differ from %s", s.mode, ref.mode)
+		}
+		if s.memSum != ref.memSum {
+			t.Errorf("%s: final memory image differs from %s", s.mode, ref.mode)
+		}
+		if s.res.Stats.InstsExecuted > ref.res.Stats.InstsExecuted {
+			t.Errorf("%s: executed %d insts, more than %s's %d", s.mode, s.res.Stats.InstsExecuted, ref.mode, ref.res.Stats.InstsExecuted)
 		}
 		if !reflect.DeepEqual(s.res.Stats.Syscalls, ref.res.Stats.Syscalls) {
 			t.Errorf("%s: syscall profile differs from %s", s.mode, ref.mode)

@@ -5,6 +5,9 @@
 // invariant lints wired into cmd/pcc-lint:
 //
 //   - fsxseam:    no direct os/ioutil file I/O where the fsx.FS seam applies
+//   - boundaryseam: no direct host-nondeterminism reads (clock, math/rand,
+//     pid, environment) in internal/vm and internal/replay; such values
+//     must route through the vm.Boundary seam
 //   - lockheld:   no blocking calls while a Manager/Server mutex is held,
 //     and no return path that leaks a held lock
 //   - metricname: pcc_<component>_* naming and single registration of every
@@ -104,7 +107,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // Analyzers returns a fresh instance of every invariant lint, in the order
 // cmd/pcc-lint runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NewFsxSeam(), NewLockHeld(), NewMetricName(), NewHotPath()}
+	return []*Analyzer{NewFsxSeam(), NewBoundarySeam(), NewLockHeld(), NewMetricName(), NewHotPath()}
 }
 
 // --- shared type-query helpers ---

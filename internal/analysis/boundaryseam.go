@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// boundaryDeniedOS is the set of os package functions that read
+// host-nondeterministic state. Inside the VM and the replay layer these
+// values must arrive through the vm.Boundary seam (or be captured at load
+// time), or a recording cannot replay bit-exactly on another host.
+var boundaryDeniedOS = map[string]bool{
+	"Getpid": true, "Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// boundaryDeniedTime is the set of time package functions that read the
+// host clock. The VM has its own virtual clock; a host-time read inside it
+// is nondeterminism the replayer cannot pin.
+var boundaryDeniedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// NewBoundarySeam returns the boundaryseam analyzer: direct reads of
+// host-nondeterministic state — the host clock, math/rand, pids,
+// environment variables — are forbidden in persistcc/internal/vm and
+// persistcc/internal/replay (and in any package that opts in with a
+// //pcc:boundaryseam file directive). Every nondeterministic value the
+// guest can observe must route through the vm.Boundary seam so the
+// record-and-replay layer sees it.
+func NewBoundarySeam() *Analyzer {
+	a := &Analyzer{
+		Name: "boundaryseam",
+		Doc:  "flag host-nondeterminism reads that bypass the vm.Boundary seam",
+	}
+	a.Run = func(pass *Pass) error {
+		if !boundarySeamApplies(pass.Pkg) {
+			return nil
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Pkg.Info, call)
+				if f == nil {
+					return true
+				}
+				switch pkg := funcPkgPath(f); pkg {
+				case "os":
+					if recvNamed(f) == nil && boundaryDeniedOS[f.Name()] {
+						pass.Reportf(call.Pos(),
+							"direct os.%s bypasses the vm.Boundary seam; route host state through the boundary", f.Name())
+					}
+				case "time":
+					if recvNamed(f) == nil && boundaryDeniedTime[f.Name()] {
+						pass.Reportf(call.Pos(),
+							"direct time.%s bypasses the vm.Boundary seam; use the VM's virtual clock", f.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(call.Pos(),
+						"%s.%s bypasses the vm.Boundary seam; derive randomness from seeded state", pkg, f.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// boundarySeamApplies reports whether the seam invariant is enforced for
+// pkg: internal/vm and internal/replay (and their subpackages), plus
+// explicit //pcc:boundaryseam opt-ins (the lint's own fixtures).
+func boundarySeamApplies(pkg *Package) bool {
+	p := pkg.ImportPath
+	for _, root := range []string{"/internal/vm", "/internal/replay"} {
+		if strings.HasSuffix(p, root) || strings.Contains(p, root+"/") {
+			return true
+		}
+	}
+	return hasDirective(pkg.Files, "boundaryseam")
+}

@@ -94,7 +94,10 @@ func runFixture(t *testing.T, analyzer, pattern string) {
 	}
 }
 
-func TestFsxSeamFixture(t *testing.T)    { runFixture(t, "fsxseam", "./testdata/src/fsxseam") }
+func TestFsxSeamFixture(t *testing.T) { runFixture(t, "fsxseam", "./testdata/src/fsxseam") }
+func TestBoundarySeamFixture(t *testing.T) {
+	runFixture(t, "boundaryseam", "./testdata/src/boundaryseam")
+}
 func TestLockHeldFixture(t *testing.T)   { runFixture(t, "lockheld", "./testdata/src/lockheld") }
 func TestMetricNameFixture(t *testing.T) { runFixture(t, "metricname", "./testdata/src/metricname") }
 func TestHotPathFixture(t *testing.T)    { runFixture(t, "hotpath", "./testdata/src/hotpath") }

@@ -1,0 +1,54 @@
+// Package boundaryseamfix is a lint fixture: the directive below opts it
+// into the boundaryseam invariant the analyzer otherwise applies to
+// internal/vm and internal/replay.
+//
+//pcc:boundaryseam
+package boundaryseamfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func hostClock() int64 {
+	return time.Now().UnixNano() // want `direct time\.Now bypasses the vm\.Boundary seam`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct time\.Since bypasses the vm\.Boundary seam`
+}
+
+func hostRandom() int {
+	return rand.Intn(100) // want `math/rand\.Intn bypasses the vm\.Boundary seam`
+}
+
+func seededRandom(src rand.Source) int64 {
+	r := rand.New(src) // want `math/rand\.New bypasses the vm\.Boundary seam`
+	return r.Int63()   // want `math/rand\.Int63 bypasses the vm\.Boundary seam`
+}
+
+func hostPid() int {
+	return os.Getpid() // want `direct os\.Getpid bypasses the vm\.Boundary seam`
+}
+
+func hostEnv() (string, bool) {
+	if v := os.Getenv("HOME"); v != "" { // want `direct os\.Getenv bypasses the vm\.Boundary seam`
+		return v, true
+	}
+	return os.LookupEnv("PATH") // want `direct os\.LookupEnv bypasses the vm\.Boundary seam`
+}
+
+func hostEnviron() []string {
+	return os.Environ() // want `direct os\.Environ bypasses the vm\.Boundary seam`
+}
+
+func sanctioned() string {
+	return os.Getenv("PCC_DEBUG") //pcc:allow-boundaryseam fixture-sanctioned escape hatch
+}
+
+func notNondeterministic(path string) ([]byte, error) {
+	d := 5 * time.Second // constant durations are fine: no finding
+	_ = d
+	return os.ReadFile(path) // file I/O is fsxseam's concern, not this seam: no finding
+}

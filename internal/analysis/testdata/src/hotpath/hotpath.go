@@ -40,6 +40,32 @@ func hotWithClosure() func() {
 	}
 }
 
+// hotRemap mirrors guestopt's note-remapping install helper: building a
+// lookup map and indexing it while ranging slices is hotpath-compliant;
+// only *iterating* a map is banned.
+//
+//pcc:hotpath
+func hotRemap(srcIdx []uint16, notes []uint16) {
+	pos := make(map[uint16]uint16, len(srcIdx))
+	for k, s := range srcIdx { // slice range: no finding
+		pos[s] = uint16(k)
+	}
+	for i := range notes { // slice range + map index: no finding
+		notes[i] = pos[notes[i]]
+	}
+}
+
+// hotRemapBad shows the violation the compliant form avoids.
+//
+//pcc:hotpath
+func hotRemapBad(pos map[uint16]uint16, notes []uint16) {
+	i := 0
+	for _, v := range pos { // want `hotpath function hotRemapBad iterates over a map`
+		notes[i] = v
+		i++
+	}
+}
+
 // coldLoop has no directive, so nothing here is flagged.
 func coldLoop(vals map[int]int) int {
 	defer cleanup()

@@ -15,8 +15,10 @@ import (
 // cacheMagic identifies persistent code cache files on disk.
 var cacheMagic = [4]byte{'P', 'C', 'C', '1'}
 
-// cacheFormatVersion is bumped on incompatible encoding changes.
-const cacheFormatVersion = 1
+// cacheFormatVersion is bumped on incompatible encoding changes. Version 2
+// added the per-trace optimization tail (level, original length, source
+// map); version-1 files (all traces unoptimized) are still decoded.
+const cacheFormatVersion = 2
 
 const (
 	maxModules    = 4096
@@ -156,6 +158,14 @@ func (cf *CacheFile) MarshalBinary() ([]byte, error) {
 			w.U32(uint32(n.Target))
 			w.U32(n.TargetOff)
 		}
+		w.U8(t.OptLevel)
+		if t.OptLevel > 0 {
+			w.U16(t.OrigLen)
+			w.U32(uint32(len(t.SrcIdx)))
+			for _, s := range t.SrcIdx {
+				w.U16(s)
+			}
+		}
 	}
 	w.U64(cf.CodePool)
 	w.U64(cf.DataPool)
@@ -181,8 +191,9 @@ func (cf *CacheFile) UnmarshalBinary(b []byte) error {
 	if r.Err == nil && string(magic) != string(cacheMagic[:]) {
 		return fmt.Errorf("core: bad cache magic %q", magic)
 	}
-	if v := r.U32(); r.Err == nil && v != cacheFormatVersion {
-		return fmt.Errorf("core: unsupported cache format version %d", v)
+	version := r.U32()
+	if r.Err == nil && (version < 1 || version > cacheFormatVersion) {
+		return fmt.Errorf("core: unsupported cache format version %d", version)
 	}
 	readKey := func(dst *Key) { copy(dst[:], r.Raw(32)) }
 	readKey(&cf.AppKey)
@@ -236,12 +247,25 @@ func (cf *CacheFile) UnmarshalBinary(b []byte) error {
 			note.TargetOff = r.U32()
 			t.Notes = append(t.Notes, note)
 		}
+		if version >= 2 {
+			t.OptLevel = r.U8()
+			if t.OptLevel > 0 {
+				t.OrigLen = r.U16()
+				ns := r.Count(maxTraceInsts)
+				for j := 0; j < ns && r.Err == nil; j++ {
+					t.SrcIdx = append(t.SrcIdx, r.U16())
+				}
+			}
+		}
 		if r.Err == nil {
 			if len(t.Insts) == 0 {
 				return fmt.Errorf("core: trace %d is empty", i)
 			}
 			if t.Module < 0 || int(t.Module) >= len(cf.Modules) {
 				return fmt.Errorf("core: trace %d references module %d of %d", i, t.Module, len(cf.Modules))
+			}
+			if err := vm.CheckOptMeta(t.OptLevel, t.OrigLen, t.SrcIdx, len(t.Insts)); err != nil {
+				return fmt.Errorf("core: trace %d: %w", i, err)
 			}
 			// Exits and liveness are static functions of the
 			// instructions; rebuild instead of trusting the file.

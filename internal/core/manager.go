@@ -343,11 +343,16 @@ func (m *Manager) PrimeFrom(v *vm.VM, cf *CacheFile) (*PrimeReport, error) {
 // loader-patched immediates for the new bases.
 func copyTrace(t *vm.Trace, states []modState, rebase bool) *vm.Trace {
 	nt := &vm.Trace{
-		Start:  t.Start,
-		Module: int32(states[t.Module].current),
-		ModOff: t.ModOff,
-		Insts:  append([]isa.Inst(nil), t.Insts...),
-		Ops:    append([]vm.AnalysisOp(nil), t.Ops...),
+		Start:    t.Start,
+		Module:   int32(states[t.Module].current),
+		ModOff:   t.ModOff,
+		Insts:    append([]isa.Inst(nil), t.Insts...),
+		Ops:      append([]vm.AnalysisOp(nil), t.Ops...),
+		OptLevel: t.OptLevel,
+		OrigLen:  t.OrigLen,
+	}
+	if t.SrcIdx != nil {
+		nt.SrcIdx = append([]uint16(nil), t.SrcIdx...)
 	}
 	nt.Notes = make([]vm.RelocNote, len(t.Notes))
 	for i, n := range t.Notes {
@@ -361,7 +366,10 @@ func copyTrace(t *vm.Trace, states []modState, rebase bool) *vm.Trace {
 			in := &nt.Insts[n.InstIdx]
 			switch n.Type {
 			case obj.RelPC32:
-				pc := newStart + uint32(n.InstIdx)*isa.InstSize
+				// pc-relative displacements evaluate against the guest
+				// address the instruction was fetched from, which for an
+				// optimized trace maps through the source index.
+				pc := newStart + nt.SrcOff(int(n.InstIdx))
 				in.Imm = int32(tgtAbs - pc)
 			case obj.RelAbs32:
 				in.Imm = int32(tgtAbs)

@@ -138,7 +138,7 @@ func ToStoreFormat(cf *CacheFile) (*store.Manifest, []*store.Blob, error) {
 			return nil, nil, err
 		}
 		blobs = append(blobs, b)
-		man.Traces = append(man.Traces, store.TraceRef{Refs: mods})
+		man.Traces = append(man.Traces, store.TraceRef{Refs: mods, OptLevel: t.OptLevel})
 	}
 	return man, blobs, nil
 }

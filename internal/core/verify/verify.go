@@ -36,7 +36,7 @@ type Module struct {
 // Finding is one verification failure. Trace is the index of the offending
 // trace in the input slice, or -1 for module-table findings. Check is a
 // stable machine-readable name (metrics label, test assertions): one of
-// "module", "modref", "bounds", "instr", "branch", "reloc", "dup".
+// "module", "modref", "bounds", "instr", "branch", "reloc", "dup", "opt".
 type Finding struct {
 	Trace int
 	Check string
@@ -148,7 +148,15 @@ func checkTrace(r *Report, mods []Module, i int, t *vm.Trace) {
 		r.add(i, "bounds", "head offset %#x not on an instruction boundary", t.ModOff)
 		return
 	}
-	codeLen := uint64(len(t.Insts)) * isa.InstSize
+	// An optimized trace needs a well-formed source map before any of the
+	// pc-dependent checks below can trust PC(i).
+	if err := vm.CheckOptMeta(t.OptLevel, t.OrigLen, t.SrcIdx, len(t.Insts)); err != nil {
+		r.add(i, "opt", "%v", err)
+		return
+	}
+	// Bounds cover the original fetched region: an optimized trace's pcs
+	// still resolve inside the span the instructions came from.
+	codeLen := uint64(t.OrigInsts()) * isa.InstSize
 	if uint64(t.ModOff)+codeLen > uint64(m.Size) {
 		r.add(i, "bounds", "code [%#x,+%#x) spills past module %d size %#x", t.ModOff, codeLen, t.Module, m.Size)
 		return
@@ -170,13 +178,13 @@ func checkTrace(r *Report, mods []Module, i int, t *vm.Trace) {
 // declared exit. A checksum cannot catch a flipped immediate that was
 // flipped before the file was signed; this does.
 func checkBranches(r *Report, mods []Module, i int, t *vm.Trace) {
-	end := t.Start + uint32(len(t.Insts))*isa.InstSize
+	end := t.Start + uint32(t.OrigInsts())*isa.InstSize
 	exits := make(map[uint32][]vm.Exit, len(t.Exits))
 	for _, e := range t.Exits {
 		exits[uint32(e.Index)] = append(exits[uint32(e.Index)], e)
 	}
 	for idx, in := range t.Insts {
-		pc := t.Start + uint32(idx)*isa.InstSize
+		pc := t.PC(idx)
 		var targets []uint32
 		if in.IsCondBranch() {
 			targets = append(targets, pc+uint32(in.Imm))
@@ -255,7 +263,7 @@ func checkRelocs(r *Report, mods []Module, i int, t *vm.Trace) {
 			r.add(i, "reloc", "note %d dangles: offset %#x past module %d size %#x", ni, n.TargetOff, n.Target, tm.Size)
 			continue
 		}
-		pc := t.Start + uint32(n.InstIdx)*isa.InstSize
+		pc := t.PC(int(n.InstIdx))
 		tgtAbs := tm.Base + n.TargetOff
 		imm := t.Insts[n.InstIdx].Imm
 		switch n.Type {

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"persistcc/internal/guestopt"
+	"persistcc/internal/stats"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// Optimize is the guestopt ablation: the five GUI applications run warm —
+// primed from a cache committed by an identically configured cold run —
+// under each optimizer configuration, and the warm dispatch-path ticks are
+// compared against the unoptimized baseline. Each pass also runs alone, so
+// the results artifact carries a per-pass attribution of the win. Ticks are
+// virtual and deterministic: the same build produces the same table bit for
+// bit.
+//
+// The measured quantity is time spent in the dispatcher and the code cache:
+// cached execution + dispatch + indirect lookups + link patching + analysis
+// ops. Emulation-unit time (syscall and signal emulation) is excluded — it
+// is OS emulation, not guest code, and no translation-time optimizer can
+// touch it. On this suite file-roller's signal-heavy session alone spends
+// ~12M ticks in the emulation unit, which would otherwise drown the code
+// signal entirely.
+
+// optimizeMinSaved is the acceptance bar: all passes together must cut warm
+// dispatch-path ticks by at least this fraction on the GUI suite.
+const optimizeMinSaved = 0.10
+
+// codeTicks is the dispatch-path time of one run: everything the VM charges
+// while finding, entering and running translated code, excluding the
+// emulation unit.
+func codeTicks(s *vm.Stats) uint64 {
+	return s.ExecTicks + s.DispatchTicks + s.IndirectTicks + s.LinkTicks + s.OpTicks
+}
+
+// optimizeArms lists the ablation configurations in presentation order.
+func optimizeArms() []struct {
+	name string
+	cfg  guestopt.Config
+} {
+	return []struct {
+		name string
+		cfg  guestopt.Config
+	}{
+		{"baseline (no optimizer)", guestopt.Config{}},
+		{"constfold only", guestopt.Config{ConstFold: true}},
+		{"deadcode only", guestopt.Config{DeadCode: true}},
+		{"deadflag only", guestopt.Config{DeadFlag: true}},
+		{"loadelim only", guestopt.Config{LoadElim: true}},
+		{"all passes", guestopt.All()},
+	}
+}
+
+// optimizeMetricKey turns an arm name into a stable metric key fragment.
+var optimizeMetricKey = map[string]string{
+	"baseline (no optimizer)": "baseline",
+	"constfold only":          "constfold",
+	"deadcode only":           "deadcode",
+	"deadflag only":           "deadflag",
+	"loadelim only":           "loadelim",
+	"all passes":              "all",
+}
+
+// optimizeInput scales an app's startup into a longer session so the warm
+// measurement is dominated by steady-state execution, not entry effects.
+func optimizeInput(app *workload.GUIApp) workload.Input {
+	in := workload.Input{Name: app.Startup.Name + ".opt"}
+	for _, u := range app.Startup.Units {
+		u.Iters *= 8
+		in.Units = append(in.Units, u)
+	}
+	return in
+}
+
+// optimizeArmTicks runs the whole GUI suite under one optimizer
+// configuration — cold commit, then warm primed run — and returns the
+// summed warm dispatch-path ticks plus install/removal totals.
+func optimizeArmTicks(cfg guestopt.Config, gui *workload.GUISuite) (warmTicks, optimizedTraces, removedInsts, rejects uint64, err error) {
+	mgr, cleanup, err := tmpMgr()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer cleanup()
+	opts := func() []vm.Option {
+		if !cfg.Enabled() {
+			return nil
+		}
+		return []vm.Option{vm.WithOptimizer(guestopt.New(cfg))}
+	}
+	for _, app := range gui.Apps {
+		in := optimizeInput(app)
+		cold, err := run(runSpec{Prog: app.Prog, In: in, Cfg: guiCfg(), Mgr: mgr, Commit: true, Options: opts()})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		optimizedTraces += cold.Res.Stats.TracesOptimized
+		removedInsts += cold.Res.Stats.OptInstsRemoved
+		rejects += cold.Res.Stats.OptRejects
+		warm, err := run(runSpec{Prog: app.Prog, In: in, Cfg: guiCfg(), Mgr: mgr, Prime: primeSame, Options: opts()})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if warm.Prime == nil || warm.Prime.Installed == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("optimize: %s warm run primed nothing", app.Name)
+		}
+		if warm.Res.Stats.TracesOptimized != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("optimize: %s warm run re-optimized %d persisted traces", app.Name, warm.Res.Stats.TracesOptimized)
+		}
+		warmTicks += codeTicks(&warm.Res.Stats)
+	}
+	return warmTicks, optimizedTraces, removedInsts, rejects, nil
+}
+
+// Optimize runs the ablation and gates on the all-passes arm.
+func Optimize() (*Report, error) {
+	gui, err := guiSuite()
+	if err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable("five GUI apps, warm runs primed from optimized caches",
+		"configuration", "warm dispatch ticks", "vs baseline", "traces optimized", "insts removed")
+
+	rep := &Report{ID: "optimize", Title: "Guest-IR optimizer ablation (warm dispatch ticks per pass)"}
+	var base uint64
+	var allSaved float64
+	for _, arm := range optimizeArms() {
+		ticks, traces, removed, rejects, err := optimizeArmTicks(arm.cfg, gui)
+		if err != nil {
+			return nil, err
+		}
+		if rejects != 0 {
+			return nil, fmt.Errorf("optimize: %s: equivalence checker rejected %d engine rewrites", arm.name, rejects)
+		}
+		key := optimizeMetricKey[arm.name]
+		rep.AddMetric("optimize_"+key+"_warm_ticks", float64(ticks))
+		if key == "baseline" {
+			base = ticks
+			tb.AddRow(arm.name, fmt.Sprintf("%d", ticks), "—", "—", "—")
+			continue
+		}
+		saved := stats.Improvement(base, ticks)
+		rep.AddMetric("optimize_"+key+"_saved_pct", 100*saved)
+		tb.AddRow(arm.name, fmt.Sprintf("%d", ticks), stats.Pct(saved),
+			fmt.Sprintf("%d", traces), fmt.Sprintf("%d", removed))
+		if key == "all" {
+			allSaved = saved
+			rep.AddMetric("optimize_traces", float64(traces))
+			rep.AddMetric("optimize_insts_removed", float64(removed))
+		}
+	}
+	rep.Body = tb.Render()
+	rep.Notes = append(rep.Notes,
+		"warm runs load pre-optimized traces from the store: the passes run once at translation time, never on the warm path",
+		"loadelim alone rewrites loads into register copies (same instruction count, so ~0 ticks saved); its win lands in composition, when constfold propagates the copies and deadcode deletes them",
+		fmt.Sprintf("all passes together cut warm dispatch ticks by %s (gate: >= %s)", stats.Pct(allSaved), stats.Pct(optimizeMinSaved)))
+	if allSaved < optimizeMinSaved {
+		return rep, fmt.Errorf("optimize: all passes saved only %s of warm dispatch ticks, want >= %s",
+			stats.Pct(allSaved), stats.Pct(optimizeMinSaved))
+	}
+	return rep, nil
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "optimize", Title: "Guest-IR optimizer ablation (per-pass warm ticks)", Run: Optimize,
+	})
+}

@@ -1,0 +1,429 @@
+// The static equivalence checker: a symbolic re-execution of the original
+// and optimized instruction sequences, compared event by event. It is an
+// independent implementation from the rewrite engine (in the spirit of
+// internal/core/verify, which re-derives every structure it checks): the
+// engine proposes, the checker disposes, and a bug in either shows up as a
+// rejected trace rather than a silent miscompile.
+//
+// The checker proves, for every run of the trace from any initial state:
+//
+//   - the same stores happen, in the same order, with the same addresses,
+//     values and widths;
+//   - every side exit (conditional branch, terminator, fall-through) is
+//     taken under the same condition, to the same target, with the same
+//     full register state;
+//   - the final register state on the fall-through path is identical;
+//   - the set of loaded addresses per store generation is identical, so
+//     the optimized trace faults exactly when the original would (loads
+//     may be collapsed into copies, never added, dropped or moved across
+//     stores);
+//   - position-dependent values (ldpc results, link values) and
+//     loader-patched instructions are modeled symbolically, never as
+//     constants, so a rewrite that baked one in — valid today, wrong
+//     after a rebase — is rejected.
+package guestopt
+
+import (
+	"fmt"
+
+	"persistcc/internal/isa"
+)
+
+type exprKind uint8
+
+const (
+	kConst exprKind = iota + 1 // val: the constant
+	kInit                      // val: register number; its value at trace entry
+	kAddr                      // val: byte delta from trace start (pc-relative value)
+	kPin                       // val: source index of a loader-patched instruction
+	kOp                        // op over a (and b)
+	kLoad                      // memory value: op (width/sign), a (address), val (store generation)
+)
+
+// expr is a node in the interned symbolic-value DAG. Two values are equal
+// iff their *expr pointers are equal.
+type expr struct {
+	id   int
+	kind exprKind
+	op   isa.Op
+	a, b *expr
+	val  uint64
+}
+
+type exprKey struct {
+	kind exprKind
+	op   isa.Op
+	a, b int
+	val  uint64
+}
+
+type interner struct {
+	byKey map[exprKey]*expr
+	next  int
+}
+
+func newInterner() *interner { return &interner{byKey: make(map[exprKey]*expr)} }
+
+func (it *interner) intern(kind exprKind, op isa.Op, a, b *expr, val uint64) *expr {
+	aid, bid := -1, -1
+	if a != nil {
+		aid = a.id
+	}
+	if b != nil {
+		bid = b.id
+	}
+	key := exprKey{kind: kind, op: op, a: aid, b: bid, val: val}
+	if e, ok := it.byKey[key]; ok {
+		return e
+	}
+	e := &expr{id: it.next, kind: kind, op: op, a: a, b: b, val: val}
+	it.next++
+	it.byKey[key] = e
+	return e
+}
+
+func (it *interner) konst(v uint64) *expr   { return it.intern(kConst, 0, nil, nil, v) }
+func (it *interner) initReg(r uint8) *expr  { return it.intern(kInit, 0, nil, nil, uint64(r)) }
+func (it *interner) addrVal(d uint32) *expr { return it.intern(kAddr, 0, nil, nil, uint64(d)) }
+func (it *interner) pinVal(s uint16) *expr  { return it.intern(kPin, 0, nil, nil, uint64(s)) }
+func (it *interner) loadVal(op isa.Op, addr *expr, gen int) *expr {
+	return it.intern(kLoad, op, addr, nil, uint64(gen))
+}
+
+// mkOp builds the canonical expression for a register-register ALU
+// operation. Canonicalization mirrors — by independent derivation from the
+// ISA semantics, not by sharing code — every shape-changing rewrite the
+// engine may apply: constant folding, sub-to-add-negative, shift-amount
+// masking, commutative ordering and the algebraic identities. Identical
+// values therefore reach identical nodes regardless of which encoding
+// computed them.
+func (it *interner) mkOp(op isa.Op, a, b *expr) *expr {
+	if a.kind == kConst && b.kind == kConst {
+		return it.konst(evalSym(op, a.val, b.val))
+	}
+	if op == isa.OpSub && b.kind == kConst {
+		return it.mkOp(isa.OpAdd, a, it.konst(-b.val))
+	}
+	if (op == isa.OpSll || op == isa.OpSrl || op == isa.OpSra) && b.kind == kConst {
+		b = it.konst(b.val & 63)
+	}
+	switch op {
+	case isa.OpAdd, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor:
+		if a.id > b.id {
+			a, b = b, a
+		}
+	}
+	czero := func(e *expr) bool { return e.kind == kConst && e.val == 0 }
+	cone := func(e *expr) bool { return e.kind == kConst && e.val == 1 }
+	switch op {
+	case isa.OpAdd:
+		if czero(a) {
+			return b
+		}
+		if czero(b) {
+			return a
+		}
+	case isa.OpSub:
+		if a == b {
+			return it.konst(0)
+		}
+		if czero(b) {
+			return a
+		}
+	case isa.OpXor:
+		if a == b {
+			return it.konst(0)
+		}
+		if czero(a) {
+			return b
+		}
+		if czero(b) {
+			return a
+		}
+	case isa.OpOr:
+		if a == b || czero(b) {
+			return a
+		}
+		if czero(a) {
+			return b
+		}
+	case isa.OpAnd:
+		if a == b {
+			return a
+		}
+		if czero(a) || czero(b) {
+			return it.konst(0)
+		}
+	case isa.OpMul:
+		if czero(a) || czero(b) {
+			return it.konst(0)
+		}
+		if cone(a) {
+			return b
+		}
+		if cone(b) {
+			return a
+		}
+	case isa.OpSll, isa.OpSrl, isa.OpSra:
+		if czero(b) {
+			return a
+		}
+	case isa.OpSlt, isa.OpSltU:
+		if a == b {
+			return it.konst(0)
+		}
+	}
+	return it.intern(kOp, op, a, b, 0)
+}
+
+// evalSym evaluates one ALU operation over concrete values with the
+// documented ISA semantics (independently of the engine's evaluator):
+// division by zero yields zero, remainder by zero yields the dividend,
+// the most-negative-dividend corner follows two's-complement wraparound,
+// and shift counts use only their low six bits.
+func evalSym(op isa.Op, a, b uint64) uint64 {
+	sa, sb := int64(a), int64(b)
+	boolVal := func(c bool) uint64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpMul:
+		return a * b
+	case isa.OpDiv:
+		if sb == 0 {
+			return 0
+		}
+		if sb == -1 {
+			return uint64(-sa) // covers MinInt64 / -1 == MinInt64 by wraparound
+		}
+		return uint64(sa / sb)
+	case isa.OpDivU:
+		return safeDivU(a, b)
+	case isa.OpRem:
+		if sb == 0 {
+			return a
+		}
+		if sb == -1 {
+			return 0
+		}
+		return uint64(sa % sb)
+	case isa.OpRemU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpSll:
+		return a << (b & 63)
+	case isa.OpSrl:
+		return a >> (b & 63)
+	case isa.OpSra:
+		return uint64(sa >> (b & 63))
+	case isa.OpSlt:
+		return boolVal(sa < sb)
+	case isa.OpSltU:
+		return boolVal(a < b)
+	case isa.OpMovHI:
+		return b<<32 | a&0xFFFFFFFF
+	}
+	return 0
+}
+
+func safeDivU(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// symEvent is one observable effect during symbolic execution: a store, a
+// potential side exit (conditional branch), or the trace's terminator /
+// fall-through. Exits carry the full register state visible to the rest of
+// the program if the exit is taken.
+type symEvent struct {
+	kind uint8 // evStore | evBranch | evExit
+	op   isa.Op
+	a, b *expr  // store: address, value; branch: operands; jalr exit: a = target
+	off  uint32 // target offset from trace start (branch taken-target, jal target, syscall resume, fall-through)
+	snap [isa.NumRegs]*expr
+}
+
+const (
+	evStore uint8 = iota + 1
+	evBranch
+	evExit
+)
+
+type loadSig struct {
+	op   isa.Op
+	addr int // interned address expression id
+	gen  int // store generation at the load
+}
+
+type symResult struct {
+	events []symEvent
+	loads  map[loadSig]bool
+}
+
+// runSym symbolically executes one instruction sequence. src maps each
+// instruction to its original fetch index (identity for the original
+// sequence); origLen is the original instruction count, fixing the
+// fall-through resume offset for both sides.
+func runSym(it *interner, insts []isa.Inst, src []uint16, pinned map[uint16]bool, origLen int) *symResult {
+	var regs [isa.NumRegs]*expr
+	regs[0] = it.konst(0)
+	for r := uint8(1); r < isa.NumRegs; r++ {
+		regs[r] = it.initReg(r)
+	}
+	setRd := func(r uint8, e *expr) {
+		if r != isa.RegZero {
+			regs[r] = e
+		}
+	}
+	res := &symResult{loads: make(map[loadSig]bool)}
+	gen := 0
+	for k, in := range insts {
+		off := uint32(src[k]) * isa.InstSize
+		immExpr := func() *expr { return it.konst(uint64(int64(in.Imm))) }
+		switch isa.Classify(in.Op) {
+		case isa.ClassALU:
+			if in.Op == isa.OpNop {
+				continue
+			}
+			var e *expr
+			switch {
+			case pinned[src[k]]:
+				// Loader-patched result: opaque, identified by source position.
+				e = it.pinVal(src[k])
+			case in.Op == isa.OpMovI:
+				e = it.konst(uint64(int64(in.Imm)))
+			case in.Op == isa.OpMovHI:
+				e = it.mkOp(isa.OpMovHI, regs[in.Rs1], it.konst(uint64(uint32(in.Imm))))
+			case in.Op == isa.OpLdPC:
+				e = it.addrVal(off + uint32(in.Imm))
+			case isRegImmALU(in.Op):
+				e = it.mkOp(regForm(in.Op), regs[in.Rs1], immExpr())
+			default:
+				e = it.mkOp(in.Op, regs[in.Rs1], regs[in.Rs2])
+			}
+			setRd(in.Rd, e)
+		case isa.ClassLoad:
+			addr := it.mkOp(isa.OpAdd, regs[in.Rs1], immExpr())
+			res.loads[loadSig{op: in.Op, addr: addr.id, gen: gen}] = true
+			setRd(in.Rd, it.loadVal(in.Op, addr, gen))
+		case isa.ClassStore:
+			addr := it.mkOp(isa.OpAdd, regs[in.Rs1], immExpr())
+			res.events = append(res.events, symEvent{kind: evStore, op: in.Op, a: addr, b: regs[in.Rs2]})
+			gen++
+		case isa.ClassBranch:
+			res.events = append(res.events, symEvent{
+				kind: evBranch, op: in.Op, a: regs[in.Rs1], b: regs[in.Rs2],
+				off: off + uint32(in.Imm), snap: regs,
+			})
+		case isa.ClassJump:
+			if in.Op == isa.OpJal {
+				setRd(in.Rd, it.addrVal(off+isa.InstSize))
+				res.events = append(res.events, symEvent{kind: evExit, op: in.Op, off: off + uint32(in.Imm), snap: regs})
+			} else {
+				target := it.mkOp(isa.OpAdd, regs[in.Rs1], immExpr()) // read before the link write
+				setRd(in.Rd, it.addrVal(off+isa.InstSize))
+				res.events = append(res.events, symEvent{kind: evExit, op: in.Op, a: target, snap: regs})
+			}
+		case isa.ClassSys:
+			res.events = append(res.events, symEvent{kind: evExit, op: in.Op, off: off + isa.InstSize, snap: regs})
+		case isa.ClassHalt:
+			res.events = append(res.events, symEvent{kind: evExit, op: in.Op, snap: regs})
+		}
+	}
+	if last := insts[len(insts)-1]; !last.IsTerminator() {
+		res.events = append(res.events, symEvent{
+			kind: evExit, op: isa.OpNop, off: uint32(origLen) * isa.InstSize, snap: regs,
+		})
+	}
+	return res
+}
+
+// checkEquivalent proves the optimized sequence equivalent to the original
+// for all initial states, or explains why it cannot.
+func checkEquivalent(orig, opt []isa.Inst, srcIdx []uint16, pinned map[uint16]bool) error {
+	n, m := len(orig), len(opt)
+	if m == 0 || m > n {
+		return fmt.Errorf("guestopt: bad length %d (orig %d)", m, n)
+	}
+	if len(srcIdx) != m {
+		return fmt.Errorf("guestopt: source map length %d != %d", len(srcIdx), m)
+	}
+	prev := -1
+	for _, s := range srcIdx {
+		if int(s) <= prev || int(s) >= n {
+			return fmt.Errorf("guestopt: source map not strictly increasing within bounds")
+		}
+		prev = int(s)
+	}
+	for k, in := range opt {
+		if in.IsTerminator() && k != m-1 {
+			return fmt.Errorf("guestopt: terminator %s at %d before sequence end", in.Op, k)
+		}
+	}
+	if orig[n-1].IsTerminator() && (srcIdx[m-1] != uint16(n-1) || opt[m-1] != orig[n-1]) {
+		return fmt.Errorf("guestopt: terminator not preserved")
+	}
+	pos := make(map[uint16]int, m)
+	for k, s := range srcIdx {
+		pos[s] = k
+	}
+	for s := range pinned {
+		k, ok := pos[s]
+		if !ok || opt[k] != orig[s] {
+			return fmt.Errorf("guestopt: loader-patched instruction %d not kept verbatim", s)
+		}
+	}
+
+	it := newInterner()
+	identity := make([]uint16, n)
+	for i := range identity {
+		identity[i] = uint16(i)
+	}
+	a := runSym(it, orig, identity, pinned, n)
+	b := runSym(it, opt, srcIdx, pinned, n)
+
+	if len(a.events) != len(b.events) {
+		return fmt.Errorf("guestopt: event count %d != %d", len(b.events), len(a.events))
+	}
+	for i := range a.events {
+		x, y := &a.events[i], &b.events[i]
+		if x.kind != y.kind || x.op != y.op || x.a != y.a || x.b != y.b || x.off != y.off {
+			return fmt.Errorf("guestopt: event %d diverges (%s)", i, x.op)
+		}
+		if x.kind != evStore {
+			for r := uint8(1); r < isa.NumRegs; r++ {
+				if x.snap[r] != y.snap[r] {
+					return fmt.Errorf("guestopt: r%d differs at exit event %d", r, i)
+				}
+			}
+		}
+	}
+	for sig := range a.loads {
+		if !b.loads[sig] {
+			return fmt.Errorf("guestopt: load dropped (fault set shrank)")
+		}
+	}
+	for sig := range b.loads {
+		if !a.loads[sig] {
+			return fmt.Errorf("guestopt: load introduced (fault set grew)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package guestopt
+
+import "persistcc/internal/metrics"
+
+// Metrics exports the optimizer's counters. All methods are nil-safe: an
+// optimizer with no bound registry simply drops its observations.
+type Metrics struct {
+	traces  *metrics.CounterVec // outcome: optimized | unchanged | rejected
+	removed *metrics.CounterVec // pass: constfold | copyprop | loadelim | deadcode | deadflag
+	rejects *metrics.Counter
+}
+
+// NewMetrics registers the pcc_guestopt_* families in reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		traces:  reg.CounterVec("pcc_guestopt_traces_total", "traces through the translation-time optimizer by outcome", "outcome"),
+		removed: reg.CounterVec("pcc_guestopt_removed_insts_total", "instructions eliminated, by the pass that removed them", "pass"),
+		rejects: reg.Counter("pcc_guestopt_reject_total", "rewrites refused by the static equivalence checker (trace installed unoptimized)"),
+	}
+}
+
+// observe records one trace's pass through the optimizer.
+func (m *Metrics) observe(outcome string, removedBy map[string]int) {
+	if m == nil {
+		return
+	}
+	m.traces.With(outcome).Inc()
+	if outcome == "rejected" {
+		m.rejects.Inc()
+	}
+	for pass, n := range removedBy {
+		m.removed.With(pass).Add(uint64(n))
+	}
+}

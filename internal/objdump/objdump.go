@@ -13,11 +13,14 @@ import (
 	"persistcc/internal/obj"
 )
 
-// Options selects which sections to print. The zero value prints all.
+// Options selects which sections to print. The zero value prints all
+// standard sections; Opt additionally prints the translation-time
+// optimizer's dry run over the text section.
 type Options struct {
 	NoText   bool
 	NoData   bool
 	NoRelocs bool
+	Opt      bool
 }
 
 // Dump writes the listing for f to w.
@@ -49,6 +52,11 @@ func Dump(w io.Writer, f *obj.File, o Options) error {
 	}
 	if !o.NoRelocs {
 		dumpRelocs(w, f)
+	}
+	if o.Opt && len(f.Text) > 0 {
+		if err := dumpOpt(w, f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

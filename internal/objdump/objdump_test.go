@@ -116,3 +116,53 @@ f:
 		t.Errorf("mid-function target not annotated with displacement:\n%s", out)
 	}
 }
+
+// TestDumpOpt exercises the -opt listing: a function with a foldable
+// constant chain, a dead compare and a duplicated load must show per-pass
+// annotations, the region summary, and a clean checker verdict; the
+// loader-patched la site must be pinned.
+func TestDumpOpt(t *testing.T) {
+	o, err := asm.Assemble("opt.o", `
+.text
+.global _start
+_start:
+	la   t6, buf
+	ld   t5, 0(t6)
+	movi t1, 5
+	movi t2, 7
+	add  t3, t1, t2
+	slt  t4, t3, t5
+	slt  t4, t5, t3
+	ld   t1, 0(t6)
+	add  a0, t3, t1
+	add  a0, a0, t4
+	halt
+.data
+buf:	.word64 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := link.Link(link.Input{Name: "optprog", Kind: obj.KindExec,
+		Objects: []*obj.File{o}, Exports: []string{"_start"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dump(t, exe, objdump.Options{Opt: true})
+	for _, want := range []string{
+		"optimization (guestopt/1:",
+		"; pinned (loader-patched)",
+		"; removed [deadcode]",    // the folded movi chain dies
+		"; rewritten [constfold]", // add t3 becomes movi t3, 12
+		"; removed [deadflag]",    // the first slt is redefined unread
+		"; rewritten [loadelim]",  // the reload collapses to a copy
+		"checker ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("opt dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REJECTED") {
+		t.Errorf("checker rejected the dry run:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+package objdump
+
+import (
+	"fmt"
+	"io"
+
+	"persistcc/internal/guestopt"
+	"persistcc/internal/isa"
+	"persistcc/internal/obj"
+	"persistcc/internal/vm"
+)
+
+// dumpOpt renders what the translation-time optimizer would do to the text
+// section: the module is split into trace-shaped regions exactly as the
+// VM's fetch loop forms them (a linear run ending at a terminator or the
+// trace-length limit), each region runs through guestopt's dry-run
+// Explain, and every instruction is printed with its per-pass fate —
+// untouched, rewritten (with the new form) or removed. Loader-patched
+// instructions are pinned, exactly as in translation.
+func dumpOpt(w io.Writer, f *obj.File) error {
+	o := guestopt.New(guestopt.All())
+	fmt.Fprintf(w, "\noptimization (%s):\n", o.Signature())
+
+	symAt := symbolIndex(f)
+	patched := make(map[uint32]bool)
+	for _, d := range f.DynRelocs {
+		if d.InText && d.Off >= 4 {
+			patched[d.Off-4] = true
+		}
+	}
+
+	region := 0
+	for off := uint32(0); off < uint32(len(f.Text)); {
+		start := off
+		var insts []isa.Inst
+		pinned := make(map[uint16]bool)
+		for off < uint32(len(f.Text)) && len(insts) < vm.MaxTraceInsts {
+			in, err := isa.Decode(f.Text[off:])
+			if err != nil {
+				return fmt.Errorf("objdump: at %#x: %w", off, err)
+			}
+			if patched[off] {
+				pinned[uint16(len(insts))] = true
+			}
+			insts = append(insts, in)
+			off += isa.InstSize
+			if in.IsTerminator() {
+				break
+			}
+		}
+
+		rep := o.Explain(insts, pinned)
+		for i, n := range rep.Notes {
+			pos := start + uint32(i)*isa.InstSize
+			if names, ok := symAt[pos]; ok {
+				for _, name := range names {
+					fmt.Fprintf(w, "%08x <%s>:\n", pos, name)
+				}
+			}
+			line := fmt.Sprintf("  %06x:  %-28s", pos, n.Orig.String())
+			switch {
+			case n.Removed:
+				line += fmt.Sprintf("; removed [%s]", n.Pass)
+			case n.Pass != "":
+				line += fmt.Sprintf("; rewritten [%s]: %s", n.Pass, n.New.String())
+			case pinned[uint16(i)]:
+				line += "; pinned (loader-patched)"
+			}
+			fmt.Fprintln(w, line)
+		}
+		switch {
+		case rep.Err != nil:
+			fmt.Fprintf(w, "  region %d: REJECTED by equivalence checker: %v\n", region, rep.Err)
+		case rep.Changed:
+			fmt.Fprintf(w, "  region %d: %d -> %d instructions, checker ok\n",
+				region, len(rep.Orig), len(rep.Insts))
+		default:
+			fmt.Fprintf(w, "  region %d: unchanged (%d instructions)\n", region, len(rep.Orig))
+		}
+		region++
+	}
+	return nil
+}

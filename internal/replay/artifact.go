@@ -63,7 +63,9 @@ type Crasher struct {
 // up from the working directory), keeping artifacts from fuzz workers,
 // chaos sweeps and experiments in one reviewable place.
 func DefaultDir() string {
-	if d := os.Getenv("PCC_CRASHER_DIR"); d != "" {
+	// Harness configuration, not guest-visible state: where a bundled
+	// artifact lands can never influence a recorded run.
+	if d := os.Getenv("PCC_CRASHER_DIR"); d != "" { //pcc:allow-boundaryseam harness config, not guest-visible
 		return d
 	}
 	dir, err := os.Getwd()

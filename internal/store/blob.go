@@ -23,8 +23,17 @@ import (
 	"persistcc/internal/vm"
 )
 
-// blobMagic identifies encoded blobs.
+// blobMagic identifies encoded blobs holding unoptimized traces. The
+// encoding under it is frozen: a trace translated without the optimizer
+// must hash to the same address it always has, so optimizer-enabled and
+// legacy deployments keep deduplicating against each other's blobs.
 var blobMagic = [4]byte{'P', 'C', 'B', '1'}
+
+// blobMagicOpt identifies blobs holding optimizer-rewritten traces. The
+// body is the PCB1 layout plus an optimization tail (level, original
+// length, source map), so an optimized trace always has a distinct content
+// address from its unoptimized form.
+var blobMagicOpt = [4]byte{'P', 'C', 'B', '2'}
 
 const (
 	maxBlobRefs  = 64
@@ -72,13 +81,22 @@ type Blob struct {
 	Insts  []isa.Inst
 	Ops    []vm.AnalysisOp
 	Notes  []vm.RelocNote // Target = index into Refs
+
+	// Optimization tail (PCB2 blobs only; zero values for PCB1).
+	OptLevel uint8
+	OrigLen  uint16
+	SrcIdx   []uint16
 }
 
 // Encode serializes the blob deterministically. The encoding is the unit
 // of content addressing: Hash() is the SHA-256 of exactly these bytes.
 func (b *Blob) Encode() []byte {
 	w := &binenc.Writer{}
-	w.Raw(blobMagic[:])
+	if b.OptLevel > 0 {
+		w.Raw(blobMagicOpt[:])
+	} else {
+		w.Raw(blobMagic[:])
+	}
 	w.U32(uint32(len(b.Refs)))
 	for _, ref := range b.Refs {
 		w.Raw(ref.Content[:])
@@ -104,6 +122,14 @@ func (b *Blob) Encode() []byte {
 		w.U32(uint32(n.Target))
 		w.U32(n.TargetOff)
 	}
+	if b.OptLevel > 0 {
+		w.U8(b.OptLevel)
+		w.U16(b.OrigLen)
+		w.U32(uint32(len(b.SrcIdx)))
+		for _, s := range b.SrcIdx {
+			w.U16(s)
+		}
+	}
 	return w.Buf
 }
 
@@ -119,8 +145,15 @@ func (b *Blob) Hash() Hash { return Sum(b.Encode()) }
 func DecodeBlob(buf []byte) (*Blob, error) {
 	r := &binenc.Reader{Buf: buf}
 	magic := r.Raw(4)
-	if r.Err == nil && string(magic) != string(blobMagic[:]) {
-		return nil, fmt.Errorf("store: bad blob magic %q", magic)
+	optimized := false
+	if r.Err == nil {
+		switch string(magic) {
+		case string(blobMagic[:]):
+		case string(blobMagicOpt[:]):
+			optimized = true
+		default:
+			return nil, fmt.Errorf("store: bad blob magic %q", magic)
+		}
 	}
 	b := &Blob{}
 	for i, n := 0, r.Count(maxBlobRefs); i < n && r.Err == nil; i++ {
@@ -154,6 +187,13 @@ func DecodeBlob(buf []byte) (*Blob, error) {
 		note.TargetOff = r.U32()
 		b.Notes = append(b.Notes, note)
 	}
+	if optimized {
+		b.OptLevel = r.U8()
+		b.OrigLen = r.U16()
+		for i, n := 0, r.Count(maxBlobInsts); i < n && r.Err == nil; i++ {
+			b.SrcIdx = append(b.SrcIdx, r.U16())
+		}
+	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("store: blob decode: %w", err)
 	}
@@ -168,6 +208,12 @@ func DecodeBlob(buf []byte) (*Blob, error) {
 			return nil, fmt.Errorf("store: blob note %d targets ref %d of %d", i, n.Target, len(b.Refs))
 		}
 	}
+	if optimized && b.OptLevel == 0 {
+		return nil, fmt.Errorf("store: optimized blob with level 0")
+	}
+	if err := vm.CheckOptMeta(b.OptLevel, b.OrigLen, b.SrcIdx, len(b.Insts)); err != nil {
+		return nil, fmt.Errorf("store: blob: %w", err)
+	}
 	return b, nil
 }
 
@@ -181,9 +227,14 @@ func BlobFromTrace(t *vm.Trace, refOf func(module int32) (Ref, error)) (*Blob, [
 		return nil, nil, fmt.Errorf("store: trace at %#x is not file-backed", t.Start)
 	}
 	b := &Blob{
-		ModOff: t.ModOff,
-		Insts:  append([]isa.Inst(nil), t.Insts...),
-		Ops:    append([]vm.AnalysisOp(nil), t.Ops...),
+		ModOff:   t.ModOff,
+		Insts:    append([]isa.Inst(nil), t.Insts...),
+		Ops:      append([]vm.AnalysisOp(nil), t.Ops...),
+		OptLevel: t.OptLevel,
+		OrigLen:  t.OrigLen,
+	}
+	if t.SrcIdx != nil {
+		b.SrcIdx = append([]uint16(nil), t.SrcIdx...)
 	}
 	modules := []int32{t.Module}
 	slot := map[int32]int32{t.Module: 0}
@@ -220,11 +271,16 @@ func (b *Blob) Materialize(modules []int32) (*vm.Trace, error) {
 		return nil, fmt.Errorf("store: materialize got %d module indices for %d refs", len(modules), len(b.Refs))
 	}
 	t := &vm.Trace{
-		Start:  b.Refs[0].Base + b.ModOff,
-		Module: modules[0],
-		ModOff: b.ModOff,
-		Insts:  append([]isa.Inst(nil), b.Insts...),
-		Ops:    append([]vm.AnalysisOp(nil), b.Ops...),
+		Start:    b.Refs[0].Base + b.ModOff,
+		Module:   modules[0],
+		ModOff:   b.ModOff,
+		Insts:    append([]isa.Inst(nil), b.Insts...),
+		Ops:      append([]vm.AnalysisOp(nil), b.Ops...),
+		OptLevel: b.OptLevel,
+		OrigLen:  b.OrigLen,
+	}
+	if b.SrcIdx != nil {
+		t.SrcIdx = append([]uint16(nil), b.SrcIdx...)
 	}
 	for _, n := range b.Notes {
 		n.Target = modules[n.Target]

@@ -10,8 +10,10 @@ import (
 // manifestMagic identifies encoded manifests.
 var manifestMagic = [4]byte{'P', 'C', 'M', '1'}
 
-// manifestVersion is bumped on incompatible encoding changes.
-const manifestVersion = 1
+// manifestVersion is bumped on incompatible encoding changes. Version 2
+// added the per-trace optimization level; version-1 manifests (all traces
+// unoptimized) are still decoded.
+const manifestVersion = 2
 
 const (
 	maxManifestModules = 4096
@@ -36,8 +38,9 @@ type Module struct {
 // plus the mapping from the blob's local ref slots to this manifest's
 // module table. Slot i of the blob corresponds to Modules[Refs[i]].
 type TraceRef struct {
-	Blob Hash
-	Refs []int32
+	Blob     Hash
+	Refs     []int32
+	OptLevel uint8 // expected optimization level of the blob (0 = unoptimized)
 }
 
 // Manifest is the per-application half of the store format: keys, the
@@ -103,6 +106,7 @@ func (m *Manifest) Encode() []byte {
 		for _, ref := range tr.Refs {
 			w.U32(uint32(ref))
 		}
+		w.U8(tr.OptLevel)
 	}
 	w.U64(m.CodePool)
 	w.U64(m.DataPool)
@@ -128,8 +132,9 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if r.Err == nil && string(magic) != string(manifestMagic[:]) {
 		return nil, fmt.Errorf("store: bad manifest magic %q", magic)
 	}
-	if v := r.U32(); r.Err == nil && v != manifestVersion {
-		return nil, fmt.Errorf("store: unsupported manifest version %d", v)
+	version := r.U32()
+	if r.Err == nil && (version < 1 || version > manifestVersion) {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", version)
 	}
 	m := &Manifest{}
 	copy(m.AppKey[:], r.Raw(32))
@@ -154,6 +159,9 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		copy(tr.Blob[:], r.Raw(32))
 		for j, nr := 0, r.Count(maxBlobRefs); j < nr && r.Err == nil; j++ {
 			tr.Refs = append(tr.Refs, int32(r.U32()))
+		}
+		if version >= 2 {
+			tr.OptLevel = r.U8()
 		}
 		m.Traces = append(m.Traces, tr)
 	}
@@ -189,6 +197,9 @@ func (m *Manifest) CheckBlob(tr TraceRef, b *Blob) error {
 		if mod.Content != b.Refs[i].Content || mod.Base != b.Refs[i].Base {
 			return fmt.Errorf("store: blob %s ref %d does not match manifest module %d (%s)", tr.Blob, i, ref, mod.Path)
 		}
+	}
+	if b.OptLevel != tr.OptLevel {
+		return fmt.Errorf("store: blob %s has optimization level %d, manifest expects %d", tr.Blob, b.OptLevel, tr.OptLevel)
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ type CostModel struct {
 	SyscallBase    uint64 // emulation-unit entry/exit
 	SyscallSignal  uint64 // extra cost of emulated signal machinery (sigaction/raise)
 	SpillPenalty   uint64 // extra per-execution cost of an analysis op with no dead register
+	OptPerInst     uint64 // translation-time optimizer: dataflow + rewrite + checker, per original instruction
 
 	// Persistent cache costs (charged by internal/core through the VM).
 	PersistLoadFixed uint64 // opening + mapping a persistent cache file
@@ -52,6 +53,7 @@ func DefaultCostModel() CostModel {
 		SyscallBase:    400,
 		SyscallSignal:  60000,
 		SpillPenalty:   6,
+		OptPerInst:     80,
 
 		PersistLoadFixed: 400_000,
 		PersistKeyCheck:  8_000,

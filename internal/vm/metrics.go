@@ -25,6 +25,8 @@ type vmMetrics struct {
 	flushes    *metrics.CounterVec // cause=capacity|smc
 	remote     *metrics.CounterVec // event=lookup|hit|fallback
 	syscalls   *metrics.CounterVec // num=<syscall number>
+	optTraces  *metrics.CounterVec // outcome=optimized|rejected
+	optRemoved *metrics.Counter
 
 	// Asynchronous translation pipeline (zero without WithPipeline).
 	pipeSpec     *metrics.CounterVec // outcome=enqueued|translated|wasted|dropped
@@ -47,6 +49,8 @@ func newVMMetrics(r *metrics.Registry) *vmMetrics {
 		flushes:    r.CounterVec("pcc_vm_cache_flushes_total", "code cache flushes", "cause"),
 		remote:     r.CounterVec("pcc_vm_remote_total", "shared cache-server interactions", "event"),
 		syscalls:   r.CounterVec("pcc_vm_syscalls_total", "emulated system calls", "num"),
+		optTraces:  r.CounterVec("pcc_vm_opt_traces_total", "translation-time optimizer outcomes per trace", "outcome"),
+		optRemoved: r.Counter("pcc_vm_opt_insts_removed_total", "instructions eliminated by the translation-time optimizer"),
 
 		pipeSpec:     r.CounterVec("pcc_vm_pipeline_spec_total", "speculative translation jobs by outcome", "outcome"),
 		pipeTicks:    r.CounterVec("pcc_vm_pipeline_ticks_total", "pipeline virtual ticks by kind (offload/wasted are modeled worker time, not run time)", "kind"),
@@ -90,6 +94,9 @@ func (v *VM) syncMetrics() {
 	m.remote.With("lookup").Set(s.RemoteLookups)
 	m.remote.With("hit").Set(s.RemoteHits)
 	m.remote.With("fallback").Set(s.RemoteFallbacks)
+	m.optTraces.With("optimized").Set(s.TracesOptimized)
+	m.optTraces.With("rejected").Set(s.OptRejects)
+	m.optRemoved.Set(s.OptInstsRemoved)
 	m.pipeSpec.With("enqueued").Set(s.SpecEnqueued)
 	m.pipeSpec.With("translated").Set(s.SpecTranslated)
 	m.pipeSpec.With("wasted").Set(s.SpecWasted)

@@ -370,13 +370,21 @@ func (p *Pipeline) adopt(v *VM, pc uint32) *Trace {
 
 	v.clock += stall
 	v.stats.SpecStallTicks += stall
+	if v.opt != nil {
+		// Optimization happened at consume time (inside prepareTrace), on
+		// the dispatch thread: charge it as translation work, exactly as
+		// the synchronous path does.
+		optCost := v.cost.OptPerInst * uint64(t.OrigInsts())
+		v.clock += optCost
+		v.stats.TransTicks += optCost
+	}
 	install := v.cost.PersistInstall + v.cost.TransPerOp*uint64(len(t.Ops))
 	v.clock += install
 	v.stats.SpecInstallTicks += install
 	v.stats.SpecOffloadTicks += j.cost
 	v.stats.SpecTranslated++
 	v.stats.TracesTranslated++
-	v.stats.InstsTranslated += uint64(len(t.Insts))
+	v.stats.InstsTranslated += uint64(t.OrigInsts())
 	if v.recordTimeline {
 		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
 	}

@@ -433,7 +433,7 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 			v.execOp(t, t.Ops[opIdx], i)
 			opIdx++
 		}
-		pc := t.Start + uint32(i)*isa.InstSize
+		pc := t.PC(i)
 		c, target, err := v.exec(t.Insts[i], pc)
 		if err != nil {
 			v.addExecTicks(execTicks)
@@ -477,7 +477,7 @@ func (v *VM) execTrace(t *Trace) (*Trace, error) {
 		opIdx++
 	}
 	v.addExecTicks(execTicks)
-	return v.directTransfer(t, n, t.Start+uint32(n)*isa.InstSize)
+	return v.directTransfer(t, n, t.Start+uint32(t.OrigInsts())*isa.InstSize)
 }
 
 // addExecTicks folds one trace execution's accumulated cache-execution

@@ -81,6 +81,17 @@ type Trace struct {
 	LiveOut []isa.RegMask // live registers immediately after each instruction
 	Notes   []RelocNote
 
+	// Translation-time optimization (internal/guestopt). OptLevel 0 is an
+	// unoptimized trace; otherwise SrcIdx maps each optimized instruction to
+	// its index in the original fetched sequence (so pc-dependent semantics
+	// — ldpc, link values, branch displacements — stay anchored to the guest
+	// addresses the instructions were fetched from) and OrigLen is the
+	// original instruction count (the fall-through exit and the page span
+	// still cover the full fetched region).
+	OptLevel uint8
+	OrigLen  uint16
+	SrcIdx   []uint16
+
 	Persisted bool // installed from a persistent cache (not re-translated)
 
 	// Runtime state (never persisted).
@@ -109,6 +120,62 @@ func (t *Trace) DataBytes() uint64 {
 // Execs returns how many times the trace has run in this VM instance.
 func (t *Trace) Execs() uint64 { return t.execs }
 
+// SrcOff returns the byte offset from Start of instruction i's original
+// fetch address. Identity for unoptimized traces; optimized traces map
+// through SrcIdx.
+//
+//pcc:hotpath
+func (t *Trace) SrcOff(i int) uint32 {
+	if t.SrcIdx != nil {
+		return uint32(t.SrcIdx[i]) * isa.InstSize
+	}
+	return uint32(i) * isa.InstSize
+}
+
+// PC returns the guest address instruction i was fetched from — the pc all
+// pc-dependent semantics (ldpc, link values, branch displacements, syscall
+// resume) evaluate against.
+//
+//pcc:hotpath
+func (t *Trace) PC(i int) uint32 { return t.Start + t.SrcOff(i) }
+
+// OrigInsts returns the original fetched instruction count (equal to
+// len(Insts) for unoptimized traces).
+func (t *Trace) OrigInsts() int {
+	if t.OrigLen > 0 {
+		return int(t.OrigLen)
+	}
+	return len(t.Insts)
+}
+
+// CheckOptMeta validates decoded optimization metadata before it is trusted
+// by the persistence layer: an optimized trace needs a strictly increasing
+// source map covering every instruction inside the original fetch region.
+// Unoptimized metadata must be entirely absent.
+func CheckOptMeta(level uint8, origLen uint16, srcIdx []uint16, insts int) error {
+	if level == 0 {
+		if origLen != 0 || srcIdx != nil {
+			return fmt.Errorf("vm: unoptimized trace carries optimization metadata")
+		}
+		return nil
+	}
+	if len(srcIdx) != insts {
+		return fmt.Errorf("vm: source map covers %d of %d instructions", len(srcIdx), insts)
+	}
+	if int(origLen) < insts {
+		return fmt.Errorf("vm: optimized trace has %d instructions but original length %d", insts, origLen)
+	}
+	for i, s := range srcIdx {
+		if s >= origLen {
+			return fmt.Errorf("vm: source index %d maps outside original length %d", s, origLen)
+		}
+		if i > 0 && s <= srcIdx[i-1] {
+			return fmt.Errorf("vm: source map not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
 // RecomputeStatic derives the trace's static metadata — exits and liveness
 // vectors — from Insts and Start. It is called after translation and again
 // by the persistence layer when a trace is rebased under the relocatable-
@@ -117,7 +184,7 @@ func (t *Trace) Execs() uint64 { return t.execs }
 func (t *Trace) RecomputeStatic() {
 	t.Exits = t.Exits[:0]
 	for i, in := range t.Insts {
-		pc := t.Start + uint32(i)*isa.InstSize
+		pc := t.PC(i)
 		idx := uint16(i)
 		if in.IsCondBranch() {
 			t.Exits = append(t.Exits, Exit{Kind: ExitCond, Index: idx, Target: pc + uint32(in.Imm)})
@@ -137,9 +204,11 @@ func (t *Trace) RecomputeStatic() {
 	}
 	last := t.Insts[len(t.Insts)-1]
 	if !last.IsTerminator() {
+		// Fall through past the original fetched region: an optimized trace
+		// resumes where the unoptimized one would have.
 		t.Exits = append(t.Exits, Exit{
 			Kind: ExitFall, Index: uint16(len(t.Insts)),
-			Target: t.Start + uint32(len(t.Insts))*isa.InstSize,
+			Target: t.Start + uint32(t.OrigInsts())*isa.InstSize,
 		})
 	}
 	t.computeLiveness()
@@ -193,7 +262,9 @@ func (c *CodeCache) PageHasCode(addr uint32) bool {
 }
 
 func (c *CodeCache) trackPages(t *Trace, delta int) {
-	end := t.Start + uint32(len(t.Insts))*isa.InstSize - 1
+	// The write monitor covers the original fetched span: a store into a
+	// region an optimized trace elided code from still invalidates it.
+	end := t.Start + uint32(t.OrigInsts())*isa.InstSize - 1
 	for p := t.Start >> 12; p <= end>>12; p++ {
 		c.codePages[p] += delta
 		if c.codePages[p] <= 0 {
@@ -296,14 +367,20 @@ func (v *VM) translate(pc uint32) (*Trace, error) {
 	}
 	v.prepareTrace(t)
 
-	// Cost accounting and bookkeeping.
+	// Cost accounting and bookkeeping. Fetch/decode (and the optimizer's
+	// analysis, when attached) are priced on the original instruction count;
+	// an optimized trace still cost the full translation work.
+	orig := uint64(t.OrigInsts())
 	ticks := v.cost.TransFixed +
-		(v.cost.TransFetch+v.cost.TransPerInst)*uint64(len(t.Insts)) +
+		(v.cost.TransFetch+v.cost.TransPerInst)*orig +
 		v.cost.TransPerOp*uint64(len(t.Ops))
+	if v.opt != nil {
+		ticks += v.cost.OptPerInst * orig
+	}
 	v.clock += ticks
 	v.stats.TransTicks += ticks
 	v.stats.TracesTranslated++
-	v.stats.InstsTranslated += uint64(len(t.Insts))
+	v.stats.InstsTranslated += orig
 	if v.recordTimeline {
 		v.stats.Timeline = append(v.stats.Timeline, TransEvent{Tick: v.clock, PC: pc, Insts: len(t.Insts)})
 	}
@@ -338,6 +415,13 @@ func (v *VM) prepareTrace(t *Trace) {
 				TargetOff: s.TargetOff,
 			})
 		}
+	}
+
+	// Translation-time optimization: after the notes exist (note-bearing
+	// instructions are pinned) and before instrumentation (tools observe
+	// the instruction sequence that will actually run).
+	if v.opt != nil {
+		v.optimizeTrace(t)
 	}
 
 	// Instrumentation.

@@ -87,6 +87,11 @@ type Stats struct {
 	SpecInstallTicks uint64
 	SpecOffloadTicks uint64
 	SpecWastedTicks  uint64
+	// Translation-time optimizer accounting (zero without WithOptimizer).
+	TracesOptimized uint64 // traces installed in optimized form
+	OptInstsRemoved uint64 // instructions the optimizer eliminated
+	OptRejects      uint64 // rewrites the equivalence checker refused
+
 	PrefetchInstalls uint64 // persistent traces bulk-installed at load time
 	BatchCommits     uint64 // batched-commit flushes
 	BatchTraces      uint64 // traces across all flushed batches
@@ -130,6 +135,7 @@ type VM struct {
 	cache     *CodeCache
 	tool      Tool
 	opHandler OpHandler
+	opt       Optimizer
 	maxTrace  int
 	maxInsts  uint64
 
@@ -251,6 +257,9 @@ func New(p *loader.Process, opts ...Option) *VM {
 		v.metrics = metrics.NewRegistry()
 	}
 	v.m = newVMMetrics(v.metrics)
+	if b, ok := v.opt.(metricBinder); ok {
+		b.BindMetrics(v.metrics)
+	}
 	return v
 }
 
@@ -288,9 +297,9 @@ func (v *VM) recordCoverage(t *Trace) {
 	for i := range t.Insts {
 		var key uint64
 		if t.Module >= 0 {
-			key = uint64(uint32(t.Module))<<32 | uint64(t.ModOff+uint32(i)*isa.InstSize)
+			key = uint64(uint32(t.Module))<<32 | uint64(t.ModOff+t.SrcOff(i))
 		} else {
-			key = uint64(0xFFFFFFFF)<<32 | uint64(t.Start+uint32(i)*isa.InstSize)
+			key = uint64(0xFFFFFFFF)<<32 | uint64(t.PC(i))
 		}
 		v.coverage[key] = struct{}{}
 	}

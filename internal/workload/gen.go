@@ -325,13 +325,21 @@ func (g *codegen) emitFunc(sb *strings.Builder, name, alias, next, dat string, b
 	fmt.Fprintf(sb, "\tla t6, %s\n\tld t5, 0(t6)\n", dat)
 	// Seed temporaries.
 	fmt.Fprintf(sb, "\tmv t0, a0\n\tmovi t1, %d\n\taddi t2, t0, %d\n", int32(g.next()), int16(g.next()))
-	ops := [...]string{"add", "sub", "xor", "and", "or", "mul", "sll", "srl"}
+	// The op mix mirrors compiler output: ALU traffic, speculative compares
+	// (the slt family materializing flags that frequently die), and repeat
+	// loads of the function's data word that a register allocator failed to
+	// keep live.
+	ops := [...]string{"add", "sub", "xor", "and", "or", "mul", "sll", "srl", "slt", "sltu"}
 	regs := [...]string{"t0", "t1", "t2", "t3", "t4"}
 	inited := 3
 	for i := 0; i < body; i++ {
 		d := i % len(regs)
 		if d >= inited {
 			inited = d + 1
+		}
+		if g.next()%8 == 0 {
+			fmt.Fprintf(sb, "\tld %s, 0(t6)\n", regs[d])
+			continue
 		}
 		op := ops[g.next()%uint64(len(ops))]
 		a := regs[g.next()%uint64(inited)]

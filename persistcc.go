@@ -32,6 +32,7 @@ import (
 	"persistcc/internal/cacheserver"
 	"persistcc/internal/cacheserver/fleet"
 	"persistcc/internal/core"
+	"persistcc/internal/guestopt"
 	"persistcc/internal/instr"
 	"persistcc/internal/link"
 	"persistcc/internal/loader"
@@ -175,6 +176,15 @@ type RunOptions struct {
 	// (default: <CacheDir>/store) for machine-wide deduplication.
 	StoreDir string
 
+	// Optimize attaches the translation-time optimizer (internal/guestopt,
+	// all passes): traces are constant-folded, dead-code/dead-flag
+	// eliminated and load-collapsed at translation, each rewrite proven by
+	// the static equivalence checker before install (rejections fall back
+	// to the unoptimized encoding). With Persist, optimized traces are
+	// committed in optimized form and keyed separately from unoptimized
+	// caches, so warm runs load pre-optimized code.
+	Optimize bool
+
 	// PipelineWorkers enables the asynchronous translation pipeline with
 	// that many background decode workers: translation-map misses adopt
 	// speculatively decoded traces instead of translating synchronously,
@@ -285,6 +295,9 @@ func Run(exe *Object, libs []*Object, o RunOptions) (*RunOutcome, error) {
 	}
 	if o.MaxInsts > 0 {
 		opts = append(opts, vm.WithMaxInsts(o.MaxInsts))
+	}
+	if o.Optimize {
+		opts = append(opts, vm.WithOptimizer(guestopt.New(guestopt.All())))
 	}
 	var pipe *vm.Pipeline
 	if o.PipelineWorkers > 0 || o.Prefetch {

@@ -134,3 +134,46 @@ func TestFacadeAssembleErrors(t *testing.T) {
 		t.Error("bad library source accepted")
 	}
 }
+
+// TestFacadeOptimize covers RunOptions.Optimize end to end: behavior is
+// unchanged, traces persist in optimized form, and a warm optimized run
+// loads them without re-optimizing. An unoptimized run against the same
+// directory must not see the optimized cache (separate key).
+func TestFacadeOptimize(t *testing.T) {
+	exe, libs := build(t)
+	dir := t.TempDir()
+	cold, err := persistcc.Run(exe, libs, persistcc.RunOptions{
+		Optimize: true, Persist: true, CacheDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ExitCode != 60 {
+		t.Errorf("optimized exit = %d, want 60", cold.ExitCode)
+	}
+	if cold.Stats.OptRejects != 0 {
+		t.Errorf("%d rewrites rejected", cold.Stats.OptRejects)
+	}
+	warm, err := persistcc.Run(exe, libs, persistcc.RunOptions{
+		Optimize: true, Persist: true, CacheDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Prime == nil || warm.Prime.Installed == 0 {
+		t.Fatalf("warm optimized run reused nothing: %+v", warm.Prime)
+	}
+	if warm.Stats.TracesOptimized != 0 {
+		t.Error("warm run re-optimized persisted traces")
+	}
+	if warm.ExitCode != cold.ExitCode {
+		t.Error("optimized warm run diverged")
+	}
+	plain, err := persistcc.Run(exe, libs, persistcc.RunOptions{Persist: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Prime != nil && plain.Prime.Installed != 0 {
+		t.Error("optimizer cache leaked into an unoptimized run")
+	}
+}

@@ -16,11 +16,11 @@ MAX_REGRESS = 0.25
 # local activity (`make fuzz FUZZTIME=10m`).
 FUZZTIME = 10s
 
-.PHONY: check ci build vet lint test test-race race-smoke fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke clean
+.PHONY: check ci build vet lint test test-race race-smoke fmt-check bench bench-smoke bench-baseline chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke guestfuzz-smoke clean
 
 check: fmt-check lint build test-race
 
-ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke
+ci: check bench-smoke chaos-smoke migrate-smoke fleet-smoke replay-smoke optimize-smoke fuzz-smoke guestfuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,15 @@ replay-smoke:
 # the all-passes arm saves < 10% of warm dispatch ticks. Deterministic.
 optimize-smoke:
 	$(GO) run ./cmd/pcc-bench -run optimize
+
+# Coverage-guided guest-program fuzzing gate: for each known-bug plant
+# (miscompiled translation, checksum-valid store-blob corruption, truncated
+# recording) a short fixed-seed campaign must rediscover the bug, minimize
+# it under the body budget, and package a loadable crasher; a healthy-system
+# control campaign must stay silent. Fully deterministic. Long exploratory
+# campaigns run locally via `go run ./cmd/pcc-fuzz -execs 5000 -corpus ...`.
+guestfuzz-smoke:
+	$(GO) run ./cmd/pcc-bench -run guestfuzz
 
 # Brief native-fuzz pass over the parser trust boundaries (VR64 instruction
 # decode, wire-protocol frames, cache-file bytes) plus the differential

@@ -115,7 +115,7 @@ func runCrasher(t *testing.T, path string, regen bool) {
 	// the warm seed; the diverging run below primes from it at another.
 	var mgr *core.Manager
 	if c.WarmASLRSeed != 0 {
-		mgr = testutil.NewMgr(t)
+		mgr = newCrasherMgr(t, c)
 		vw := crasherVM(t, c, c.WarmASLRSeed)
 		if _, err := vw.Run(); err != nil {
 			t.Fatalf("warm run: %v", err)
@@ -185,7 +185,7 @@ func runCrasher(t *testing.T, path string, regen bool) {
 			t.Fatalf("recording layout: %v", err)
 		}
 		if c.Snapshot != "" {
-			smgr := snapshotMgr(t, filepath.Join(filepath.Dir(path), c.Snapshot))
+			smgr := snapshotMgr(t, filepath.Join(filepath.Dir(path), c.Snapshot), c.Store)
 			rep, err := smgr.Prime(v)
 			if err != nil {
 				t.Fatalf("snapshot prime: %v", err)
@@ -204,16 +204,34 @@ func runCrasher(t *testing.T, path string, regen bool) {
 	}
 }
 
+// newCrasherMgr builds the scratch cache manager a case's warm run commits
+// into, honoring the artifact's store-layout flag.
+func newCrasherMgr(t *testing.T, c *replay.Crasher) *core.Manager {
+	t.Helper()
+	if !c.Store {
+		return testutil.NewMgr(t)
+	}
+	mgr, err := core.NewManager(testutil.TempDB(t), core.WithRelocatable(), core.WithStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
 // snapshotMgr opens a manager over a scratch copy of a committed snapshot
 // directory — never over the snapshot itself, which must stay pristine in
 // version control (a manager takes a .lock in its directory).
-func snapshotMgr(t *testing.T, snapDir string) *core.Manager {
+func snapshotMgr(t *testing.T, snapDir string, store bool) *core.Manager {
 	t.Helper()
 	scratch := testutil.TempDB(t)
 	if err := copyTree(snapDir, scratch); err != nil {
 		t.Fatalf("snapshot copy: %v", err)
 	}
-	mgr, err := core.NewManager(scratch)
+	var opts []core.ManagerOption
+	if store {
+		opts = append(opts, core.WithStore())
+	}
+	mgr, err := core.NewManager(scratch, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +266,7 @@ func copyTree(src, dst string) error {
 func regenSidecars(t *testing.T, path string, c *replay.Crasher) {
 	t.Helper()
 	dir := filepath.Dir(path)
-	mgr := testutil.NewMgr(t)
+	mgr := newCrasherMgr(t, c)
 	vc := crasherVM(t, c, c.ASLRSeed)
 	if _, err := vc.Run(); err != nil {
 		t.Fatalf("regen cold run: %v", err)

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"persistcc/internal/guestfuzz"
+	"persistcc/internal/replay"
+	"persistcc/internal/stats"
+)
+
+// Fixed fuzzing budget for the CI smoke: with a deterministic seed the whole
+// campaign — corpus growth, coverage frontier, findings — replays bit for
+// bit, so these numbers are a contract, not a tuning knob. The budget is the
+// one TestFuzzRediscoversPlants proves sufficient.
+const (
+	guestfuzzSeed  = 1
+	guestfuzzExecs = 12
+	// guestfuzzMaxBody is the auto-minimization gate: every packaged
+	// finding must shrink to at most this many generated guest
+	// instructions.
+	guestfuzzMaxBody = 12
+)
+
+// GuestFuzz is the coverage-guided fuzzing smoke: for each known-bug plant
+// (a miscompiled translation, a checksum-valid corrupted store blob, a
+// truncated recording) it runs a short fixed-seed campaign with only the
+// oracle guarding that layer enabled, and gates that the fuzzer (a)
+// rediscovers every plant within the budget, (b) auto-minimizes each finding
+// under the body-instruction budget, and (c) packages it as a replay.Crasher
+// that loads back from disk carrying both the spec and the
+// interpreted-reference expectation. A healthy-system control campaign with
+// no plant must report zero findings — oracles that fire spuriously would
+// drown real bugs.
+func GuestFuzz() (*Report, error) {
+	work, err := os.MkdirTemp("", "pcc-guestfuzz-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+
+	tb := stats.NewTable("known-bug rediscovery (fixed seed, per-plant campaigns)",
+		"plant", "oracle", "execs", "kept", "cov keys", "findings", "min body", "crasher loads")
+
+	plants := guestfuzz.Plants()
+	rep := &Report{ID: "guestfuzz", Title: "Coverage-guided guest fuzzing: planted bugs rediscovered, minimized and packaged"}
+
+	var totExecs, totFindings int
+	rediscovered := 0
+	for _, p := range plants {
+		dir, err := os.MkdirTemp(work, p.Name+"-*")
+		if err != nil {
+			return nil, err
+		}
+		st, err := guestfuzz.Fuzz(guestfuzz.Config{
+			Seed:       guestfuzzSeed,
+			MaxExecs:   guestfuzzExecs,
+			Oracles:    []string{p.Oracle},
+			Hooks:      p.Hooks,
+			CrasherDir: dir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("guestfuzz: campaign %s: %w", p.Name, err)
+		}
+		totExecs += st.Execs
+		totFindings += len(st.Findings)
+
+		found, minBody, loads := false, 0, "n/a"
+		for _, f := range st.Findings {
+			if f.Oracle != p.Oracle {
+				return rep, fmt.Errorf("guestfuzz: plant %s produced a %s finding; only %s was enabled",
+					p.Name, f.Oracle, p.Oracle)
+			}
+			if !found || f.BodySize < minBody {
+				minBody = f.BodySize
+			}
+			found = true
+			c, _, err := replay.LoadCrasher(nil, f.Path)
+			if err != nil {
+				return rep, fmt.Errorf("guestfuzz: packaged crasher %s does not load: %w", f.Path, err)
+			}
+			var specProbe json.RawMessage
+			if specProbe = c.Spec; len(specProbe) == 0 {
+				return rep, fmt.Errorf("guestfuzz: crasher %s carries no program spec", f.Name)
+			}
+			if c.Expect == nil {
+				return rep, fmt.Errorf("guestfuzz: crasher %s carries no interpreted-reference expectation", f.Name)
+			}
+			loads = "yes"
+		}
+		tb.AddRow(p.Name, p.Oracle, fmt.Sprint(st.Execs), fmt.Sprint(st.Kept),
+			fmt.Sprint(st.CovKeys), fmt.Sprint(len(st.Findings)), fmt.Sprint(minBody), loads)
+
+		if !found {
+			return rep, fmt.Errorf("guestfuzz: plant %s not rediscovered within %d execs", p.Name, guestfuzzExecs)
+		}
+		if minBody > guestfuzzMaxBody {
+			return rep, fmt.Errorf("guestfuzz: plant %s minimized to %d body insts, want <= %d",
+				p.Name, minBody, guestfuzzMaxBody)
+		}
+		rediscovered++
+	}
+
+	// Control: the same budget on the healthy system must stay silent.
+	ctrlDir, err := os.MkdirTemp(work, "control-*")
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := guestfuzz.Fuzz(guestfuzz.Config{
+		Seed:       guestfuzzSeed,
+		MaxExecs:   guestfuzzExecs,
+		CrasherDir: ctrlDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("guestfuzz: control campaign: %w", err)
+	}
+	tb.AddRow("(none)", "all", fmt.Sprint(ctrl.Execs), fmt.Sprint(ctrl.Kept),
+		fmt.Sprint(ctrl.CovKeys), fmt.Sprint(len(ctrl.Findings)), "-", "-")
+
+	rep.Body = tb.Render()
+	rep.AddMetric("plants", float64(len(plants)))
+	rep.AddMetric("plants_rediscovered", float64(rediscovered))
+	rep.AddMetric("total_execs", float64(totExecs))
+	rep.AddMetric("total_findings", float64(totFindings))
+	rep.AddMetric("control_findings", float64(len(ctrl.Findings)))
+	rep.AddMetric("control_cov_keys", float64(ctrl.CovKeys))
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("all %d planted known-bugs rediscovered under seed %d within %d execs each, minimized to <= %d generated instructions and packaged as loadable crashers",
+			rediscovered, guestfuzzSeed, guestfuzzExecs, guestfuzzMaxBody),
+		fmt.Sprintf("healthy-system control: %d findings across %d execs (gate: exactly 0)", len(ctrl.Findings), ctrl.Execs))
+
+	if len(ctrl.Findings) != 0 {
+		return rep, fmt.Errorf("guestfuzz: %d spurious findings on the healthy system", len(ctrl.Findings))
+	}
+	if rediscovered < 2 {
+		return rep, fmt.Errorf("guestfuzz: only %d/%d plants rediscovered, want >= 2", rediscovered, len(plants))
+	}
+	return rep, nil
+}
+
+func init() {
+	Registry = append(Registry, Entry{
+		ID: "guestfuzz", Title: "Coverage-guided guest fuzzing: planted bugs rediscovered, minimized and packaged", Run: GuestFuzz,
+	})
+}

@@ -1,0 +1,152 @@
+package guestfuzz
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"persistcc/internal/replay"
+)
+
+// TestFuzzDeterministic: the same (seed, budget) must reproduce the whole
+// campaign — corpus growth, coverage frontier and finding names — or the CI
+// smoke's plant-rediscovery gate is a coin flip.
+func TestFuzzDeterministic(t *testing.T) {
+	run := func() *Stats {
+		t.Helper()
+		stats, err := Fuzz(Config{
+			Seed:       99,
+			MaxExecs:   25,
+			Oracles:    []string{OracleInterpTrans},
+			CrasherDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a.Execs != b.Execs || a.Kept != b.Kept || a.CovKeys != b.CovKeys || a.CorpusSize != b.CorpusSize {
+		t.Errorf("campaign stats differ: %+v vs %+v", a, b)
+	}
+	names := func(s *Stats) []string {
+		var out []string
+		for _, f := range s.Findings {
+			out = append(out, f.Name)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(names(a), names(b)) {
+		t.Errorf("findings differ: %v vs %v", names(a), names(b))
+	}
+}
+
+// TestFuzzGrowsCoverage: mutants must actually enlarge the frontier beyond
+// the seed corpus — a fuzzer that never keeps anything is not exploring.
+func TestFuzzGrowsCoverage(t *testing.T) {
+	seedOnly, err := Fuzz(Config{Seed: 7, MaxExecs: 5, Oracles: []string{OracleInterpTrans}, CrasherDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fuzz(Config{Seed: 7, MaxExecs: 60, Oracles: []string{OracleInterpTrans}, CrasherDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Kept == 0 {
+		t.Error("no mutant ever reached new coverage")
+	}
+	if full.CovKeys <= seedOnly.CovKeys {
+		t.Errorf("coverage frontier did not grow: %d -> %d", seedOnly.CovKeys, full.CovKeys)
+	}
+}
+
+// TestFuzzRediscoversPlants is the CI smoke contract in miniature: under a
+// fixed seed and a bounded budget, each planted known-bug must be
+// rediscovered, auto-minimized under the body budget, and packaged as a
+// crasher that loads back from disk.
+func TestFuzzRediscoversPlants(t *testing.T) {
+	for _, p := range Plants() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			stats, err := Fuzz(Config{
+				Seed:       1,
+				MaxExecs:   12,
+				Oracles:    []string{p.Oracle},
+				Hooks:      p.Hooks,
+				CrasherDir: dir,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats.Findings) == 0 {
+				t.Fatalf("plant %s not rediscovered in %d execs", p.Name, stats.Execs)
+			}
+			f := stats.Findings[0]
+			if f.Oracle != p.Oracle {
+				t.Errorf("found by %s, expected %s", f.Oracle, p.Oracle)
+			}
+			if f.BodySize > 12 {
+				t.Errorf("finding minimized to %d body insts, want <= 12", f.BodySize)
+			}
+			c, _, err := replay.LoadCrasher(nil, f.Path)
+			if err != nil {
+				t.Fatalf("packaged crasher does not load: %v", err)
+			}
+			var spec json.RawMessage
+			if spec = c.Spec; len(spec) == 0 {
+				t.Error("crasher carries no spec")
+			}
+			if c.Expect == nil {
+				t.Error("crasher carries no interpreted-reference expectation")
+			}
+		})
+	}
+}
+
+// TestFuzzCorpusPersists: a second campaign over the same corpus directory
+// must pick up the first one's entries and coverage instead of rediscovering
+// them.
+func TestFuzzCorpusPersists(t *testing.T) {
+	corpus := t.TempDir()
+	first, err := Fuzz(Config{Seed: 3, MaxExecs: 30, Oracles: []string{OracleInterpTrans},
+		CorpusDir: corpus, CrasherDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(corpus, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != first.CorpusSize {
+		t.Errorf("%d corpus files persisted, stats say %d entries", len(files), first.CorpusSize)
+	}
+	second, err := Fuzz(Config{Seed: 4, MaxExecs: 5, Oracles: []string{OracleInterpTrans},
+		CorpusDir: corpus, CrasherDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CovKeys < first.CovKeys {
+		t.Errorf("resumed campaign lost coverage: %d -> %d", first.CovKeys, second.CovKeys)
+	}
+	if second.CorpusSize < first.CorpusSize {
+		t.Errorf("resumed campaign lost corpus entries: %d -> %d", first.CorpusSize, second.CorpusSize)
+	}
+}
+
+// TestMutateStaysBuildable: every mutation composition must yield a
+// buildable, runnable case after Normalize — unbuildable mutants waste the
+// exec budget silently.
+func TestMutateStaysBuildable(t *testing.T) {
+	r := &rng{s: 5}
+	seeds := SeedCases()
+	cur := seeds[0]
+	for i := 0; i < 60; i++ {
+		other := seeds[r.intn(len(seeds))]
+		cur = Mutate(r, cur, other)
+		if _, err := cur.Build(); err != nil {
+			t.Fatalf("mutant %d does not build: %v\ncase: %+v", i, err, cur)
+		}
+	}
+}

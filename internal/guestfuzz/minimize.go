@@ -1,0 +1,134 @@
+package guestfuzz
+
+import "persistcc/internal/workload"
+
+// Minimize delta-debugs a failing case: it proposes structurally smaller
+// candidates in a fixed order and keeps a candidate only when failing still
+// returns true for it, so the verdict is preserved at every accepted step
+// by construction. failing must be deterministic (re-running the oracle
+// that fired, with the same hooks) and must return false for candidates
+// that do not build. The result is the fixpoint: no single reduction pass
+// can shrink it further.
+func Minimize(c *Case, failing func(*Case) bool) *Case {
+	cur := c.Clone()
+	// Bounded only as a safety net; every pass strictly shrinks the case,
+	// so the fixpoint arrives long before this.
+	for round := 0; round < 32; round++ {
+		next := minimizeRound(cur, failing)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// minimizeRound runs every reduction pass once and returns the reduced case,
+// or nil when no pass made progress.
+func minimizeRound(cur *Case, failing func(*Case) bool) *Case {
+	progress := false
+	try := func(cand *Case) bool {
+		cand.Normalize()
+		if failing(cand) {
+			cur = cand
+			progress = true
+			return true
+		}
+		return false
+	}
+
+	// Drop input units, largest chunks first (classic ddmin halving).
+	for chunk := len(cur.In.Units) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(cur.In.Units); {
+			if len(cur.In.Units) <= 1 {
+				break
+			}
+			cand := cur.Clone()
+			cand.In.Units = append(cand.In.Units[:i], cand.In.Units[i+chunk:]...)
+			if !try(cand) {
+				i++
+			}
+		}
+	}
+	// Halve iteration counts toward 1.
+	for i := range cur.In.Units {
+		for cur.In.Units[i].Iters > 1 {
+			cand := cur.Clone()
+			cand.In.Units[i].Iters /= 2
+			if !try(cand) {
+				break
+			}
+		}
+	}
+	// Drop shared services, then whole regions, remapping surviving units.
+	for i := len(cur.Spec.SharedSvcs) - 1; i >= 0; i-- {
+		cand := cur.Clone()
+		cand.Spec.SharedSvcs = append(cand.Spec.SharedSvcs[:i], cand.Spec.SharedSvcs[i+1:]...)
+		dropEntry(cand, len(cand.Spec.Regions)+i)
+		try(cand)
+	}
+	for i := len(cur.Spec.Regions) - 1; i >= 0; i-- {
+		if len(cur.Spec.Regions) <= 1 {
+			break
+		}
+		cand := cur.Clone()
+		cand.Spec.Regions = append(cand.Spec.Regions[:i], cand.Spec.Regions[i+1:]...)
+		dropEntry(cand, i)
+		try(cand)
+	}
+	// Shrink the code itself: fewer functions per region, shorter bodies.
+	for i := range cur.Spec.Regions {
+		for cur.Spec.Regions[i].Funcs > 1 {
+			cand := cur.Clone()
+			cand.Spec.Regions[i].Funcs /= 2
+			if !try(cand) {
+				break
+			}
+		}
+	}
+	bodyOf := func(c *Case) int {
+		if c.Spec.BodyInsts == 0 {
+			return workload.DefaultBodyInsts
+		}
+		return c.Spec.BodyInsts
+	}
+	for bodyOf(cur) > 1 {
+		cand := cur.Clone()
+		cand.Spec.BodyInsts = bodyOf(cur) / 2
+		if !try(cand) {
+			break
+		}
+	}
+	// Strip environment stress that turned out irrelevant.
+	if cur.Spec.SignalCalls > 0 {
+		cand := cur.Clone()
+		cand.Spec.SignalCalls = 0
+		try(cand)
+	}
+	for cur.Spec.SMCRewrites > 0 {
+		cand := cur.Clone()
+		cand.Spec.SMCRewrites--
+		if !try(cand) {
+			break
+		}
+	}
+	// Simplify layout: drop private libraries (folding their regions into
+	// the executable), then placement and seeds.
+	if len(cur.Spec.PrivateLibs) > 0 {
+		cand := cur.Clone()
+		cand.Spec.PrivateLibs = nil
+		for i := range cand.Spec.Regions {
+			cand.Spec.Regions[i].Module = 0
+		}
+		try(cand)
+	}
+	if cur.Placement != 0 || cur.ASLRSeed != 0 || cur.WarmASLRSeed != 0 {
+		cand := cur.Clone()
+		cand.Placement, cand.ASLRSeed, cand.WarmASLRSeed = 0, 0, 0
+		try(cand)
+	}
+	if !progress {
+		return nil
+	}
+	return cur
+}

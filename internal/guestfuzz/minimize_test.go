@@ -1,0 +1,134 @@
+package guestfuzz
+
+import (
+	"testing"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/workload"
+)
+
+// bloatedCase is a deliberately oversized divergence carrier: every axis
+// the minimizer knows how to shrink is inflated.
+func bloatedCase() *Case {
+	c := &Case{
+		Spec: workload.ProgSpec{
+			Name:        "fz",
+			Seed:        7,
+			PrivateLibs: []string{"libp0.so"},
+			Regions: []workload.RegionSpec{
+				{Funcs: 3, Module: 0},
+				{Funcs: 2, Module: 1},
+				{Funcs: 2, Module: 0},
+			},
+			SharedSvcs:  []workload.ServiceSpec{libShapes[2]},
+			BodyInsts:   16,
+			SignalCalls: 2,
+		},
+		In: workload.Input{Units: []workload.Unit{
+			{Entry: 0, Iters: 3}, {Entry: 1, Iters: 2}, {Entry: 2, Iters: 2},
+			{Entry: 3, Iters: 1},
+		}},
+		Placement:    uint8(loader.PlaceASLR),
+		ASLRSeed:     500,
+		WarmASLRSeed: 777,
+	}
+	c.Normalize()
+	return c
+}
+
+// TestMinimizeShrinksMiscompileToGolden: a divergence that fires on almost
+// any code (the miscompile plant) must shrink to the structural minimum —
+// single region, single function, tiny body, trivial input, no stress, no
+// layout exotica — and stay under the 12-guest-instruction body budget.
+func TestMinimizeShrinksMiscompileToGolden(t *testing.T) {
+	hooks := &Hooks{TamperTranslated: tamperImm}
+	failing := func(c *Case) bool {
+		v, err := RunOracle(OracleInterpTrans, c, hooks)
+		return err == nil && v != nil
+	}
+	c := bloatedCase()
+	if !failing(c) {
+		t.Fatal("bloated case does not fail; nothing to minimize")
+	}
+	min := Minimize(c, failing)
+	if !failing(min) {
+		t.Fatal("minimized case no longer fails")
+	}
+	if got := min.BodySize(); got > 12 {
+		t.Errorf("minimized body = %d generated instructions, want <= 12\ncase: %+v", got, min)
+	}
+	if len(min.Spec.Regions) != 1 || min.Spec.Regions[0].Funcs != 1 {
+		t.Errorf("regions not minimal: %+v", min.Spec.Regions)
+	}
+	if len(min.Spec.SharedSvcs) != 0 || len(min.Spec.PrivateLibs) != 0 {
+		t.Errorf("modules not minimal: svcs=%v libs=%v", min.Spec.SharedSvcs, min.Spec.PrivateLibs)
+	}
+	if len(min.In.Units) != 1 || min.In.Units[0].Iters != 1 {
+		t.Errorf("input not minimal: %+v", min.In.Units)
+	}
+	if min.Spec.SignalCalls != 0 {
+		t.Errorf("signal storm survived minimization: %d", min.Spec.SignalCalls)
+	}
+	if min.Placement != 0 || min.ASLRSeed != 0 || min.WarmASLRSeed != 0 {
+		t.Errorf("layout not simplified: placement=%d seeds=%d/%d", min.Placement, min.ASLRSeed, min.WarmASLRSeed)
+	}
+}
+
+// TestMinimizePreservesVerdictAtEveryStep: Minimize may only ever move
+// between failing cases. Wrapping the predicate records every candidate it
+// accepts (returns true for); re-judging each accepted step against the
+// real oracle proves no intermediate state lost the verdict.
+func TestMinimizePreservesVerdictAtEveryStep(t *testing.T) {
+	hooks := &Hooks{TamperRec: truncateRec}
+	oracle := func(c *Case) bool {
+		v, err := RunOracle(OracleRecReplay, c, hooks)
+		return err == nil && v != nil
+	}
+	var accepted []*Case
+	recording := func(c *Case) bool {
+		ok := oracle(c)
+		if ok {
+			accepted = append(accepted, c.Clone())
+		}
+		return ok
+	}
+	c := bloatedCase()
+	min := Minimize(c, recording)
+	if len(accepted) == 0 {
+		t.Fatal("minimizer accepted no step; the predicate never fired")
+	}
+	for i, step := range accepted {
+		if !oracle(step) {
+			t.Fatalf("accepted step %d/%d does not fail on re-judgment: %+v", i+1, len(accepted), step)
+		}
+	}
+	if got := min.BodySize(); got > 12 {
+		t.Errorf("minimized body = %d generated instructions, want <= 12", got)
+	}
+	// The final case must be the last accepted step.
+	if min.Key() != accepted[len(accepted)-1].Key() {
+		t.Error("returned case is not the last accepted candidate")
+	}
+}
+
+// TestMinimizeKeepsLoadBearingStructure: when the bug genuinely needs a
+// feature (store corruption needs the store on the path; nothing else),
+// minimization must strip all the rest but keep the case failing.
+func TestMinimizeKeepsLoadBearingStructure(t *testing.T) {
+	hooks := &Hooks{CorruptDB: corruptStoreBlobs}
+	failing := func(c *Case) bool {
+		v, err := RunOracle(OracleColdWarm, c, hooks)
+		return err == nil && v != nil
+	}
+	c := bloatedCase()
+	if !failing(c) {
+		t.Skip("store corruption does not fire on the bloated carrier")
+	}
+	min := Minimize(c, failing)
+	if !failing(min) {
+		t.Fatal("minimized case no longer fails")
+	}
+	if got := min.BodySize(); got > 12 {
+		t.Errorf("minimized body = %d generated instructions, want <= 12", got)
+	}
+}

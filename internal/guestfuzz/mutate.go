@@ -1,0 +1,211 @@
+package guestfuzz
+
+import (
+	"fmt"
+
+	"persistcc/internal/loader"
+	"persistcc/internal/workload"
+)
+
+// rng is a splitmix64 stream: the fuzzer's only randomness source, so a
+// (seed, exec budget) pair fully determines the run — the property the CI
+// smoke's plant-rediscovery gate depends on.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// libShapes is the fixed pool of shared-library shapes service splicing
+// draws from. A small closed set means distinct cases re-reference the same
+// library bytes, which is exactly the inter-application-sharing surface the
+// store and fleet layers deduplicate on.
+var libShapes = []workload.ServiceSpec{
+	{LibName: "libfz-a.so", LibSeed: 101, LibServices: 2, FuncsPerSvc: 2},
+	{LibName: "libfz-b.so", LibSeed: 202, LibServices: 3, FuncsPerSvc: 3, LibBody: 8},
+	{LibName: "libfz-c.so", LibSeed: 303, LibServices: 1, FuncsPerSvc: 4, LibBody: 6},
+}
+
+// Mutate derives a child case from parent by stacking 1–3 structured
+// mutations, then normalizing. other (possibly nil) is a second corpus
+// entry for crossover.
+func Mutate(r *rng, parent, other *Case) *Case {
+	c := parent.Clone()
+	for n := 1 + r.intn(3); n > 0; n-- {
+		mutations[r.intn(len(mutations))](r, c, other)
+	}
+	c.Spec.Name = "fz" // identity comes from shape, not the parent's name
+	c.Normalize()
+	return c
+}
+
+// Each mutation targets one axis of the persistence cross-product. They may
+// leave the case temporarily invalid; Normalize repairs it.
+var mutations = []func(r *rng, c *Case, other *Case){
+	// Code-shape mutations: different code, different traces, different
+	// cache contents.
+	func(r *rng, c *Case, _ *Case) { c.Spec.Seed = r.next() },
+	func(r *rng, c *Case, _ *Case) { c.Spec.BodyInsts = 1 + r.intn(maxBody) },
+	func(r *rng, c *Case, _ *Case) {
+		c.Spec.Regions = append(c.Spec.Regions, workload.RegionSpec{
+			Funcs:  1 + r.intn(maxFuncs),
+			Module: r.intn(len(c.Spec.PrivateLibs) + 1),
+		})
+	},
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.Spec.Regions) > 1 {
+			i := r.intn(len(c.Spec.Regions))
+			c.Spec.Regions = append(c.Spec.Regions[:i], c.Spec.Regions[i+1:]...)
+			dropEntry(c, i)
+		}
+	},
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.Spec.Regions) > 0 {
+			c.Spec.Regions[r.intn(len(c.Spec.Regions))].Funcs = 1 + r.intn(maxFuncs)
+		}
+	},
+	// Relocation-layout mutations: the same code at different module bases
+	// and placement policies is the rebase surface.
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.Spec.PrivateLibs) == 0 {
+			c.Spec.PrivateLibs = []string{fmt.Sprintf("libp%d.so", r.intn(3))}
+			if len(c.Spec.Regions) > 0 {
+				c.Spec.Regions[r.intn(len(c.Spec.Regions))].Module = 1
+			}
+		} else {
+			c.Spec.PrivateLibs = nil
+			for i := range c.Spec.Regions {
+				c.Spec.Regions[i].Module = 0
+			}
+		}
+	},
+	func(r *rng, c *Case, _ *Case) { c.Placement = uint8(r.intn(3)) },
+	func(r *rng, c *Case, _ *Case) {
+		c.Placement = uint8(loader.PlaceASLR)
+		c.ASLRSeed = 1 + r.next()%1000
+	},
+	func(r *rng, c *Case, _ *Case) {
+		c.Placement = uint8(loader.PlaceASLR)
+		c.WarmASLRSeed = 1 + r.next()%1000
+	},
+	// Environment-stress mutations: emulated-signal storms and SMC rewrites
+	// exercise the expensive-emulation and cache-flush paths.
+	func(r *rng, c *Case, _ *Case) { c.Spec.SignalCalls = r.intn(maxSignals + 1) },
+	func(r *rng, c *Case, _ *Case) { c.Spec.SMCRewrites = r.intn(maxSMC + 1) },
+	// Service splicing: graft a shared-library service chain from the fixed
+	// shape pool, or drop one.
+	func(r *rng, c *Case, _ *Case) {
+		ss := libShapes[r.intn(len(libShapes))]
+		ss.Svc = r.intn(ss.LibServices)
+		c.Spec.SharedSvcs = append(c.Spec.SharedSvcs, ss)
+	},
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.Spec.SharedSvcs) > 0 {
+			i := r.intn(len(c.Spec.SharedSvcs))
+			c.Spec.SharedSvcs = append(c.Spec.SharedSvcs[:i], c.Spec.SharedSvcs[i+1:]...)
+			dropEntry(c, len(c.Spec.Regions)+i)
+		}
+	},
+	// Input mutations: same program, different dynamic paths.
+	func(r *rng, c *Case, _ *Case) {
+		c.In.Units = append(c.In.Units, workload.Unit{Entry: r.intn(8), Iters: 1 + r.intn(maxIters)})
+	},
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.In.Units) > 1 {
+			i := r.intn(len(c.In.Units))
+			c.In.Units = append(c.In.Units[:i], c.In.Units[i+1:]...)
+		}
+	},
+	func(r *rng, c *Case, _ *Case) {
+		if len(c.In.Units) > 0 {
+			u := &c.In.Units[r.intn(len(c.In.Units))]
+			u.Entry, u.Iters = r.intn(8), 1+r.intn(maxIters)
+		}
+	},
+	// Crossover: splice the partner's input or service list onto this spec.
+	func(r *rng, c *Case, other *Case) {
+		if other == nil {
+			return
+		}
+		if r.intn(2) == 0 {
+			c.In.Units = append([]workload.Unit(nil), other.In.Units...)
+		} else {
+			c.Spec.SharedSvcs = append([]workload.ServiceSpec(nil), other.Spec.SharedSvcs...)
+		}
+	},
+}
+
+// dropEntry repairs input units after entry index e vanished: units
+// pointing at it are retargeted to 0, later entries shift down.
+func dropEntry(c *Case, e int) {
+	for i := range c.In.Units {
+		switch u := &c.In.Units[i]; {
+		case u.Entry == e:
+			u.Entry = 0
+		case u.Entry > e:
+			u.Entry--
+		}
+	}
+}
+
+// SeedCases is the hand-shaped initial corpus: one representative per
+// feature axis, so the very first mutants already sit near every surface
+// the oracles judge.
+func SeedCases() []*Case {
+	cases := []*Case{
+		// Minimal single-region program.
+		{
+			Spec: workload.ProgSpec{Name: "fz", Seed: 1, Regions: []workload.RegionSpec{{Funcs: 2, Module: 0}}},
+			In:   workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 2}}},
+		},
+		// Private library under ASLR with distinct warm/cold seeds — the
+		// relocation-rebase shape.
+		{
+			Spec: workload.ProgSpec{
+				Name:        "fz",
+				Seed:        2,
+				PrivateLibs: []string{"libp0.so"},
+				Regions:     []workload.RegionSpec{{Funcs: 2, Module: 0}, {Funcs: 3, Module: 1}},
+			},
+			In:           workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 1}, {Entry: 1, Iters: 2}}},
+			Placement:    uint8(loader.PlaceASLR),
+			ASLRSeed:     22,
+			WarmASLRSeed: 11,
+		},
+		// Shared service splice.
+		{
+			Spec: workload.ProgSpec{
+				Name:       "fz",
+				Seed:       3,
+				Regions:    []workload.RegionSpec{{Funcs: 2, Module: 0}},
+				SharedSvcs: []workload.ServiceSpec{libShapes[0]},
+			},
+			In: workload.Input{Units: []workload.Unit{{Entry: 1, Iters: 2}, {Entry: 0, Iters: 1}}},
+		},
+		// Signal storm at startup.
+		{
+			Spec: workload.ProgSpec{Name: "fz", Seed: 4, Regions: []workload.RegionSpec{{Funcs: 2, Module: 0}}, SignalCalls: 3},
+			In:   workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 2}}},
+		},
+		// Self-modifying code between units.
+		{
+			Spec: workload.ProgSpec{Name: "fz", Seed: 5, Regions: []workload.RegionSpec{{Funcs: 2, Module: 0}}, SMCRewrites: 2},
+			In:   workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 1}, {Entry: 0, Iters: 2}, {Entry: 0, Iters: 1}}},
+		},
+	}
+	for _, c := range cases {
+		c.Normalize()
+	}
+	return cases
+}

@@ -1,0 +1,167 @@
+package guestfuzz
+
+import (
+	"strings"
+	"testing"
+
+	"persistcc/internal/guestopt"
+	"persistcc/internal/isa"
+	"persistcc/internal/loader"
+	"persistcc/internal/vm"
+	"persistcc/internal/workload"
+)
+
+// richCase is a case big and varied enough that every oracle's guarded
+// layer is actually on the execution path: multiple regions, a private
+// library under ASLR with distinct warm/cold layouts.
+func richCase() *Case {
+	c := &Case{
+		Spec: workload.ProgSpec{
+			Name:        "fz",
+			Seed:        42,
+			PrivateLibs: []string{"libp0.so"},
+			Regions: []workload.RegionSpec{
+				{Funcs: 4, Module: 0},
+				{Funcs: 3, Module: 1},
+			},
+		},
+		In: workload.Input{Units: []workload.Unit{
+			{Entry: 0, Iters: 3}, {Entry: 1, Iters: 2}, {Entry: 0, Iters: 1},
+		}},
+		Placement:    uint8(loader.PlaceASLR),
+		ASLRSeed:     22,
+		WarmASLRSeed: 11,
+	}
+	c.Normalize()
+	return c
+}
+
+// TestOraclesPassOnHealthySystem: with no injected bug, every oracle must
+// stay quiet on every seed case — a fuzzer whose oracles fire spuriously
+// drowns real findings.
+func TestOraclesPassOnHealthySystem(t *testing.T) {
+	cases := append(SeedCases(), richCase())
+	for _, c := range cases {
+		for _, o := range AllOracles {
+			v, err := RunOracle(o, c, nil)
+			if err != nil {
+				t.Fatalf("oracle %s on %s: %v", o, c.Key(), err)
+			}
+			if v != nil {
+				t.Errorf("oracle %s fired without a bug on %s: %s", o, c.Key(), v)
+			}
+		}
+	}
+}
+
+// TestOraclesFireOnInjectedBugs: each oracle must detect the deliberate
+// corruption of exactly the layer it guards. An oracle that cannot fail is
+// not a test.
+func TestOraclesFireOnInjectedBugs(t *testing.T) {
+	tests := []struct {
+		name   string
+		oracle string
+		hooks  *Hooks
+	}{
+		{
+			name:   "miscompiled translation",
+			oracle: OracleInterpTrans,
+			hooks:  &Hooks{TamperTranslated: tamperImm},
+		},
+		{
+			name:   "corrupted store blob",
+			oracle: OracleColdWarm,
+			hooks:  &Hooks{CorruptDB: corruptStoreBlobs},
+		},
+		{
+			name:   "checker-evading optimizer miscompile",
+			oracle: OracleOptPlain,
+			hooks: &Hooks{MutateOptimized: func(tr *vm.Trace) {
+				tamperImm(tr)
+			}},
+		},
+		{
+			name:   "truncated recording",
+			oracle: OracleRecReplay,
+			hooks:  &Hooks{TamperRec: truncateRec},
+		},
+	}
+	c := richCase()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, err := RunOracle(tt.oracle, c, tt.hooks)
+			if err != nil {
+				t.Fatalf("oracle errored instead of judging: %v", err)
+			}
+			if v == nil {
+				t.Fatalf("oracle %s did not fire on %s", tt.oracle, tt.name)
+			}
+			if v.Oracle != tt.oracle {
+				t.Errorf("verdict names oracle %s, want %s", v.Oracle, tt.oracle)
+			}
+			t.Logf("verdict: %s", v)
+		})
+	}
+}
+
+// TestPreCheckerMutationIsRejectedNotDivergent: guestopt's own Config.Mutate
+// hook corrupts rewrites BEFORE the independent equivalence checker — the
+// checker must reject them (falling back unoptimized), so the opt-vs-plain
+// oracle stays quiet and the reject counter moves. This is the defense the
+// post-checker MutateOptimized hook deliberately evades.
+func TestPreCheckerMutationIsRejectedNotDivergent(t *testing.T) {
+	c := richCase()
+	cfg := guestopt.All()
+	cfg.Mutate = func(insts []isa.Inst) {
+		for i := range insts {
+			if insts[i].Op == isa.OpAddI && insts[i].Imm != 0 {
+				insts[i].Imm++
+				return
+			}
+		}
+	}
+	prog, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prog.NewVM(c.LoaderConfig(c.ASLRSeed), c.In, c.VMOpts(vm.WithOptimizer(guestopt.New(cfg)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OptRejects == 0 {
+		t.Fatal("mutated rewrites were never rejected; the checker gate is dead")
+	}
+	ref, err := prog.NewVM(c.LoaderConfig(c.ASLRSeed), c.In, c.VMOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := ref.RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != nat.ExitCode {
+		t.Fatalf("checker let a miscompile through: exit %d vs %d", res.ExitCode, nat.ExitCode)
+	}
+}
+
+// TestVerdictDetailNamesDisagreement: a verdict must say what diverged, not
+// just that something did — triage starts from the Detail string.
+func TestVerdictDetailNamesDisagreement(t *testing.T) {
+	v, err := RunOracle(OracleInterpTrans, richCase(), &Hooks{TamperTranslated: tamperImm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("no verdict")
+	}
+	for _, want := range []string{"exit", "output", "insts", "r", "errored"} {
+		if strings.Contains(v.Detail, want) {
+			return
+		}
+	}
+	t.Errorf("detail %q names no compared quantity", v.Detail)
+}

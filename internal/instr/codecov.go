@@ -1,6 +1,8 @@
 package instr
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sort"
 
 	"persistcc/internal/isa"
@@ -51,12 +53,23 @@ func (c *CodeCov) Name() string { return "codecov" }
 // Version implements vm.Tool.
 func (c *CodeCov) Version() string { return "1.0" }
 
+// ConfigString is the canonical description of every knob that changes
+// what the tool records. ConfigHash derives from exactly this string, so
+// any present or future configuration dimension is automatically part of
+// the persistence key: caches instrumented under exact (per-instruction)
+// coverage can never be primed into a bucketed (trace-granular) run, and
+// vice versa — the two modes over-approximate differently, so sharing a
+// key would silently corrupt accumulated coverage.
+func (c *CodeCov) ConfigString() string {
+	if c.PerInstruction {
+		return "mode=inst"
+	}
+	return "mode=trace"
+}
+
 // ConfigHash implements vm.Tool.
 func (c *CodeCov) ConfigHash() uint64 {
-	if c.PerInstruction {
-		return hashConfig("codecov", "inst")
-	}
-	return hashConfig("codecov", "trace")
+	return hashConfig("codecov", c.ConfigString())
 }
 
 // Instrument inserts one analysis op at each trace head. The op argument
@@ -140,4 +153,164 @@ func (c *CodeCov) CoverageOf(other *CodeCov) float64 {
 		}
 	}
 	return float64(n) / float64(len(c.covered))
+}
+
+// Snapshot copies the current covered set into a standalone CovSet, the
+// detached form corpus schedulers and coverage reports work with.
+func (c *CodeCov) Snapshot() *CovSet {
+	s := NewCovSet()
+	for k := range c.covered {
+		s.m[k] = struct{}{}
+	}
+	return s
+}
+
+// AddSet folds a detached set back into the tool's accumulated coverage
+// (e.g. restoring suite-level coverage persisted by a previous run).
+func (c *CodeCov) AddSet(s *CovSet) {
+	for k := range s.m {
+		c.covered[k] = struct{}{}
+	}
+}
+
+// CovSet is a standalone, mergeable, serializable set of covered static
+// instructions. Coverage-guided fuzzing and suite-level regression
+// tracking both need coverage as *data* — merged across runs, compared
+// against a global frontier, and persisted alongside a corpus entry —
+// independent of any live CodeCov tool instance.
+type CovSet struct {
+	m map[CovKey]struct{}
+}
+
+// NewCovSet returns an empty set.
+func NewCovSet() *CovSet { return &CovSet{m: make(map[CovKey]struct{})} }
+
+// Len returns the number of keys in the set.
+func (s *CovSet) Len() int { return len(s.m) }
+
+// Contains reports membership.
+func (s *CovSet) Contains(k CovKey) bool {
+	_, ok := s.m[k]
+	return ok
+}
+
+// Add inserts one key.
+func (s *CovSet) Add(k CovKey) { s.m[k] = struct{}{} }
+
+// Merge folds other into s and returns how many keys were new — the
+// coverage-feedback signal: a mutant whose probe run merges zero new keys
+// taught the corpus nothing.
+func (s *CovSet) Merge(other *CovSet) int {
+	added := 0
+	for k := range other.m {
+		if _, ok := s.m[k]; !ok {
+			s.m[k] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// NewAgainst returns how many of s's keys are absent from frontier,
+// without modifying either set (a dry-run Merge).
+func (s *CovSet) NewAgainst(frontier *CovSet) int {
+	n := 0
+	for k := range s.m {
+		if _, ok := frontier.m[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the set sorted by (module, offset).
+func (s *CovSet) Keys() []CovKey {
+	out := make([]CovKey, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// covSetMagic versions the CovSet encoding.
+const covSetMagic = "PCV1"
+
+// MarshalBinary implements encoding.BinaryMarshaler: a sorted,
+// delta-compressed encoding (per module: key count, then offset deltas as
+// uvarints) that is byte-identical for equal sets regardless of insertion
+// order — safe to diff, content-address, or commit.
+func (s *CovSet) MarshalBinary() ([]byte, error) {
+	keys := s.Keys()
+	buf := make([]byte, 0, 8+len(keys)*2)
+	buf = append(buf, covSetMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	var prevMod int32
+	var prevOff uint32
+	first := true
+	for _, k := range keys {
+		if first || k.Module != prevMod {
+			buf = binary.AppendUvarint(buf, 0) // module marker
+			buf = binary.AppendVarint(buf, int64(k.Module))
+			prevOff = 0
+			first = false
+		}
+		// Offsets are instruction-aligned and strictly increasing within
+		// a module; 1+delta/InstSize keeps every record nonzero so it can
+		// never collide with the module marker.
+		buf = binary.AppendUvarint(buf, 1+uint64(k.Off-prevOff)/isa.InstSize)
+		prevMod, prevOff = k.Module, k.Off
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, merging the
+// decoded keys into s (decode into a fresh NewCovSet for exact contents).
+func (s *CovSet) UnmarshalBinary(data []byte) error {
+	if len(data) < len(covSetMagic) || string(data[:len(covSetMagic)]) != covSetMagic {
+		return fmt.Errorf("instr: covset: bad magic")
+	}
+	if s.m == nil {
+		s.m = make(map[CovKey]struct{})
+	}
+	rest := data[len(covSetMagic):]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return fmt.Errorf("instr: covset: truncated count")
+	}
+	rest = rest[w:]
+	var mod int32
+	var off uint32
+	haveMod := false
+	for i := uint64(0); i < n; i++ {
+		v, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return fmt.Errorf("instr: covset: truncated at key %d", i)
+		}
+		rest = rest[w:]
+		if v == 0 {
+			m, w := binary.Varint(rest)
+			if w <= 0 {
+				return fmt.Errorf("instr: covset: truncated module at key %d", i)
+			}
+			rest = rest[w:]
+			mod, off, haveMod = int32(m), 0, true
+			v, w = binary.Uvarint(rest)
+			if w <= 0 || v == 0 {
+				return fmt.Errorf("instr: covset: missing offset after module at key %d", i)
+			}
+			rest = rest[w:]
+		}
+		if !haveMod {
+			return fmt.Errorf("instr: covset: key before module marker")
+		}
+		off += uint32(v-1) * isa.InstSize
+		s.m[CovKey{Module: mod, Off: off}] = struct{}{}
+	}
+	return nil
 }

@@ -138,3 +138,92 @@ func TestCodeCovAccumulatesAcrossRuns(t *testing.T) {
 		t.Error("suite-level accumulation did not grow")
 	}
 }
+
+// TestCodeCovConfigKeying: exact and trace-granular (bucketed) coverage
+// record different over-approximations, so their persisted instrumentation
+// must never share a cache key — neither at the ConfigHash level nor in
+// the derived tool key the persistence layer uses.
+func TestCodeCovConfigKeying(t *testing.T) {
+	exact, bucketed := instr.NewExactCodeCov(), instr.NewCodeCov()
+	if exact.ConfigString() == bucketed.ConfigString() {
+		t.Fatal("exact and bucketed modes share a config string")
+	}
+	if exact.ConfigHash() == bucketed.ConfigHash() {
+		t.Fatal("exact and bucketed modes share a config hash")
+	}
+	if core.ToolKey(exact) == core.ToolKey(bucketed) {
+		t.Fatal("exact and bucketed modes share a persistence tool key")
+	}
+}
+
+func TestCovSetMergeAndSerialize(t *testing.T) {
+	prog := covProgram(t)
+	covA, covB := instr.NewExactCodeCov(), instr.NewExactCodeCov()
+	runCov(t, prog, covA, workload.Input{Units: []workload.Unit{{Entry: 0, Iters: 1}}}, loader.Config{}, nil)
+	runCov(t, prog, covB, workload.Input{Units: []workload.Unit{{Entry: 1, Iters: 1}}}, loader.Config{}, nil)
+
+	a, b := covA.Snapshot(), covB.Snapshot()
+	if a.Len() != covA.Count() || b.Len() != covB.Count() {
+		t.Fatalf("snapshot sizes: %d/%d vs %d/%d", a.Len(), covA.Count(), b.Len(), covB.Count())
+	}
+
+	// Merge: disjoint region code grows the frontier, re-merging adds zero.
+	frontier := instr.NewCovSet()
+	if added := frontier.Merge(a); added != a.Len() {
+		t.Fatalf("first merge added %d, want %d", added, a.Len())
+	}
+	grewBy := frontier.Merge(b)
+	if grewBy == 0 || grewBy > b.Len() {
+		t.Fatalf("second merge added %d of %d", grewBy, b.Len())
+	}
+	if frontier.Merge(b) != 0 {
+		t.Fatal("re-merging a seen set reported new keys")
+	}
+	if got := b.NewAgainst(frontier); got != 0 {
+		t.Fatalf("NewAgainst full frontier = %d, want 0", got)
+	}
+	if got := b.NewAgainst(a); got != grewBy {
+		t.Fatalf("NewAgainst = %d, Merge found %d", got, grewBy)
+	}
+
+	// Serialization round-trips exactly and is canonical (order-free).
+	enc, err := frontier.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := instr.NewCovSet()
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != frontier.Len() {
+		t.Fatalf("round trip: %d keys, want %d", back.Len(), frontier.Len())
+	}
+	for _, k := range frontier.Keys() {
+		if !back.Contains(k) {
+			t.Fatalf("round trip lost %+v", k)
+		}
+	}
+	enc2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatal("encoding is not canonical across round trips")
+	}
+
+	// A merged-in set feeds back into a live tool.
+	resume := instr.NewExactCodeCov()
+	resume.AddSet(frontier)
+	if resume.Count() != frontier.Len() {
+		t.Fatalf("AddSet: tool has %d keys, want %d", resume.Count(), frontier.Len())
+	}
+
+	// Corrupt encodings are rejected, not misparsed.
+	if err := instr.NewCovSet().UnmarshalBinary(enc[:3]); err == nil {
+		t.Fatal("short input accepted")
+	}
+	bad := append([]byte("XXXX"), enc[4:]...)
+	if err := instr.NewCovSet().UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

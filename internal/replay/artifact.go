@@ -53,9 +53,13 @@ type Crasher struct {
 	Expect *Expect `json:"expect,omitempty"`
 
 	// Recording names a sidecar .rec log to replay bit-exactly; Snapshot
-	// names a sidecar cache-DB directory to replay it against.
+	// names a sidecar cache-DB directory to replay it against. Store marks
+	// the snapshot (and any cache manager the replaying test opens for this
+	// case) as using the content-addressed store layout (core.WithStore) —
+	// store-surface regressions are invisible under the legacy layout.
 	Recording string `json:"recording,omitempty"`
 	Snapshot  string `json:"snapshot,omitempty"`
+	Store     bool   `json:"store,omitempty"`
 }
 
 // DefaultDir resolves where auto-bundled crashers land: $PCC_CRASHER_DIR

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"persistcc/internal/asm"
+	"persistcc/internal/isa"
 	"persistcc/internal/link"
 	"persistcc/internal/loader"
 	"persistcc/internal/obj"
@@ -94,15 +95,40 @@ type SvcRef struct {
 	Svc int
 }
 
+// ServiceSpec is the fully serializable form of a shared-service
+// reference: instead of pointing at a pre-built *SharedLib it carries the
+// generation parameters, and BuildProgram materializes (and memoizes by
+// LibName within one build) the library itself. Because every field is
+// plain data, a ProgSpec using only ServiceSpecs round-trips through JSON
+// — the property crasher artifacts and the guest fuzzer's corpus rely on.
+// Two specs with the same LibName and parameters produce byte-identical
+// libraries, so cross-application sharing still holds.
+type ServiceSpec struct {
+	LibName     string // shared-library name (identity for dedup/link)
+	LibSeed     uint64 // code-generation seed of the library
+	LibServices int    // number of service chains the library exports
+	FuncsPerSvc int    // functions per chain
+	LibBody     int    // per-function body size (DefaultBodyInsts if 0)
+	Svc         int    // which of the library's chains this program calls
+}
+
 // ProgSpec describes one synthetic application.
 type ProgSpec struct {
 	Name        string
 	Seed        uint64
-	PrivateLibs []string     // names for modules 1..len
-	Regions     []RegionSpec // private regions (entries 0..len-1)
-	Services    []SvcRef     // shared services (entries len(Regions)..)
-	BodyInsts   int          // per-function body size (DefaultBodyInsts if 0)
-	SignalCalls int          // emulated-signal storm at startup (File-Roller)
+	PrivateLibs []string      // names for modules 1..len
+	Regions     []RegionSpec  // private regions (entries 0..len-1)
+	Services    []SvcRef      // shared services (entries len(Regions)..)
+	SharedSvcs  []ServiceSpec // serializable shared services (after Services)
+	BodyInsts   int           // per-function body size (DefaultBodyInsts if 0)
+	SignalCalls int           // emulated-signal storm at startup (File-Roller)
+	// SMCRewrites > 0 makes the driver emit a tiny function into the heap
+	// and, after each of the first SMCRewrites input units, rewrite it in
+	// place and call it, folding the result into the exit checksum. Each
+	// rewrite stores fresh instruction words over translated code, so runs
+	// of such programs require SMC write monitoring (vm.WithSMCDetection)
+	// for translated execution to match the interpreter.
+	SMCRewrites int
 }
 
 // Program is a generated application ready to load and run.
@@ -183,6 +209,29 @@ func BuildProgram(spec ProgSpec) (*Program, error) {
 		}
 		heads = append(heads, s.Lib.Services[s.Svc])
 	}
+	// Spec-described shared services: materialize each referenced library
+	// once (memoized by name; conflicting parameters under one name are a
+	// spec error) and dispatch through its exported chain heads.
+	specLibs := make(map[string]*SharedLib)
+	var specLibOrder []*SharedLib
+	for i, ss := range spec.SharedSvcs {
+		lib, ok := specLibs[ss.LibName]
+		if !ok {
+			var err error
+			lib, err = BuildSharedLib(ss.LibName, ss.LibSeed, ss.LibServices, ss.FuncsPerSvc, ss.LibBody)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s: shared svc %d: %w", spec.Name, i, err)
+			}
+			specLibs[ss.LibName] = lib
+			specLibOrder = append(specLibOrder, lib)
+		} else if lib.FuncsPerSvc != ss.FuncsPerSvc || len(lib.Services) != ss.LibServices {
+			return nil, fmt.Errorf("workload: %s: shared svc %d redefines %s", spec.Name, i, ss.LibName)
+		}
+		if ss.Svc < 0 || ss.Svc >= len(lib.Services) {
+			return nil, fmt.Errorf("workload: %s: shared svc %d outside %s", spec.Name, i, ss.LibName)
+		}
+		heads = append(heads, lib.Services[ss.Svc])
+	}
 
 	// Per-module data blocks.
 	for i, sb := range srcs {
@@ -191,7 +240,7 @@ func BuildProgram(spec ProgSpec) (*Program, error) {
 	}
 
 	// Driver and entry table in the executable.
-	emitDriver(srcs[0], heads, spec.SignalCalls)
+	emitDriver(srcs[0], heads, spec)
 
 	// Assemble and link: private libs first (no inter-lib references),
 	// then the executable against private + shared libraries.
@@ -214,6 +263,12 @@ func BuildProgram(spec ProgSpec) (*Program, error) {
 			libs = append(libs, s.Lib.File)
 		}
 	}
+	for _, lib := range specLibOrder {
+		if !sharedSeen[lib.Name] {
+			sharedSeen[lib.Name] = true
+			libs = append(libs, lib.File)
+		}
+	}
 	o, err := asm.Assemble(spec.Name+".o", srcs[0].String())
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", spec.Name, err)
@@ -234,8 +289,9 @@ func BuildProgram(spec ProgSpec) (*Program, error) {
 // emitDriver writes _start: it walks the input block's units, dispatching
 // through the entry table (an indirect call per iteration), emits mark(1)
 // after the first unit (startup complete) and mark(2) plus exit(checksum)
-// at the end.
-func emitDriver(sb *strings.Builder, heads []string, signalCalls int) {
+// at the end. With spec.SMCRewrites > 0 it also rewrites a heap-emitted
+// function between units (self-modifying code, see ProgSpec.SMCRewrites).
+func emitDriver(sb *strings.Builder, heads []string, spec ProgSpec) {
 	sb.WriteString(`
 .text
 .global _start
@@ -246,7 +302,7 @@ _start:
 	movi s1, 17          ; checksum
 	movi s5, 1           ; "first unit" flag
 `)
-	if signalCalls > 0 {
+	if spec.SignalCalls > 0 {
 		fmt.Fprintf(sb, `	movi s6, %d
 sigstorm:
 	movi a0, 8           ; sigaction: expensive VM emulation
@@ -254,7 +310,10 @@ sigstorm:
 	sys
 	addi s6, s6, -1
 	bnez s6, sigstorm
-`, signalCalls)
+`, spec.SignalCalls)
+	}
+	if spec.SMCRewrites > 0 {
+		fmt.Fprintf(sb, "\tmovi s6, %d          ; SMC rewrites remaining\n", spec.SMCRewrites)
 	}
 	sb.WriteString(`nextunit:
 	beqz s0, alldone
@@ -279,7 +338,28 @@ unitdone:
 	sys
 	movi s5, 0
 skipmark:
-	addi s0, s0, -1
+`)
+	if spec.SMCRewrites > 0 {
+		fmt.Fprintf(sb, `	beqz s6, smcskip
+	la   t0, smcwords    ; next rewrite's movi word
+	movi t1, %d
+	sub  t1, t1, s6
+	slli t1, t1, 3
+	add  t0, t0, t1
+	ld   t1, 0(t0)
+	movi t2, 0x20000000  ; the heap-emitted function
+	sd   t1, 0(t2)       ; rewrite instruction 0 in place
+	la   t0, smcret
+	ld   t1, 0(t0)
+	sd   t1, 8(t2)
+	mv   a0, s1
+	callr t2
+	add  s1, s1, a0      ; fold the rewritten function's result
+	addi s6, s6, -1
+smcskip:
+`, spec.SMCRewrites)
+	}
+	sb.WriteString(`	addi s0, s0, -1
 	j    nextunit
 alldone:
 	movi a0, 6           ; mark(2): work complete
@@ -294,6 +374,25 @@ entrytable:
 `)
 	for _, h := range heads {
 		fmt.Fprintf(sb, "\t.word64 %s\n", h)
+	}
+	if spec.SMCRewrites > 0 {
+		// The instruction words the driver stores over the heap function:
+		// one distinct `movi a0, K` per rewrite plus the shared `ret`.
+		// Emitting encoded words from .data (rather than assembling a text
+		// section into the heap) is exactly how JIT-style guests manufacture
+		// code at run time.
+		ret := isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}
+		fmt.Fprintf(sb, "smcret:\n\t.word64 %d\n", ret.EncodeWord())
+		sb.WriteString("smcwords:\n")
+		rng := spec.Seed ^ 0x50C0DE5
+		for i := 0; i < spec.SMCRewrites; i++ {
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			k := int32(1 + (z^(z>>27))&0x3fff)
+			w := isa.Inst{Op: isa.OpMovI, Rd: isa.RegA0, Imm: k}
+			fmt.Fprintf(sb, "\t.word64 %d\n", w.EncodeWord())
+		}
 	}
 }
 

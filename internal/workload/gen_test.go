@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -189,6 +190,144 @@ func TestInputWords(t *testing.T) {
 		if w[i] != want[i] {
 			t.Fatalf("words = %v, want %v", w, want)
 		}
+	}
+}
+
+func TestSharedSvcsSerializable(t *testing.T) {
+	// A spec using only ServiceSpec (no *SharedLib pointers) must build,
+	// round-trip through JSON, and rebuild byte-identically — the property
+	// fuzzer corpus entries and crasher artifacts depend on.
+	spec := ProgSpec{
+		Name: "svcapp",
+		Seed: 6,
+		Regions: []RegionSpec{
+			{Funcs: 3, Module: 0},
+		},
+		SharedSvcs: []ServiceSpec{
+			{LibName: "libsvc.so", LibSeed: 11, LibServices: 3, FuncsPerSvc: 4, Svc: 0},
+			{LibName: "libsvc.so", LibSeed: 11, LibServices: 3, FuncsPerSvc: 4, Svc: 2},
+		},
+	}
+	prog, err := BuildProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", prog.Entries)
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProgSpec
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := BuildProgram(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Exe.Digest() != prog2.Exe.Digest() {
+		t.Error("JSON round-trip changed the built executable")
+	}
+	// The materialized library matches a directly built one, so
+	// inter-application sharing still applies to spec-built programs.
+	lib, err := BuildSharedLib("libsvc.so", 11, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildProgram(ProgSpec{
+		Name:     "svcapp",
+		Seed:     6,
+		Regions:  []RegionSpec{{Funcs: 3, Module: 0}},
+		Services: []SvcRef{{Lib: lib, Svc: 0}, {Lib: lib, Svc: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Exe.Digest() != ref.Exe.Digest() {
+		t.Error("ServiceSpec build differs from equivalent SvcRef build")
+	}
+	in := Input{Units: []Unit{{Entry: 1, Iters: 2}, {Entry: 2, Iters: 1}}}
+	v, err := prog.NewVM(loader.Config{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflicting parameters for one library name must be rejected.
+	bad := spec
+	bad.SharedSvcs = append([]ServiceSpec(nil), spec.SharedSvcs...)
+	bad.SharedSvcs[1].FuncsPerSvc = 5
+	if _, err := BuildProgram(bad); err == nil {
+		t.Error("conflicting shared-lib parameters accepted")
+	}
+	bad = spec
+	bad.SharedSvcs = []ServiceSpec{{LibName: "libsvc.so", LibSeed: 11, LibServices: 3, FuncsPerSvc: 4, Svc: 7}}
+	if _, err := BuildProgram(bad); err == nil {
+		t.Error("out-of-range service index accepted")
+	}
+}
+
+func TestSMCRewrites(t *testing.T) {
+	spec := ProgSpec{
+		Name:        "smcapp",
+		Seed:        8,
+		Regions:     []RegionSpec{{Funcs: 3, Module: 0}},
+		SMCRewrites: 3,
+	}
+	prog, err := BuildProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Units: []Unit{
+		{Entry: 0, Iters: 1}, {Entry: 0, Iters: 2}, {Entry: 0, Iters: 1}, {Entry: 0, Iters: 1},
+	}}
+	interp, err := prog.NewVM(loader.Config{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := interp.RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Translated execution of self-modifying guests needs SMC detection;
+	// with it, the rewrite between units must flush and still agree with
+	// the always-coherent interpreter.
+	trans, err := prog.NewVM(loader.Config{}, in, vm.WithSMCDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := trans.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.ExitCode != rt.ExitCode {
+		t.Fatalf("SMC divergence: interp %d, translated %d", ri.ExitCode, rt.ExitCode)
+	}
+	if rt.Stats.SMCFlushes == 0 {
+		t.Error("no SMC flushes despite rewrites")
+	}
+	// The rewrites feed the checksum, so they must change the exit code
+	// relative to the same spec without them.
+	plain, err := BuildProgram(ProgSpec{
+		Name: "smcapp", Seed: 8, Regions: []RegionSpec{{Funcs: 3, Module: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := plain.NewVM(loader.Config{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pv.RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ExitCode == ri.ExitCode {
+		t.Error("SMC rewrites did not affect the checksum")
 	}
 }
 
